@@ -1,0 +1,160 @@
+package semholo
+
+// Benchmark harness: one testing.B target per table/figure of the paper
+// plus the hot-path micro-benchmarks. `go test -bench=. -benchmem` runs
+// everything; cmd/semholo-bench prints the full experiment series with
+// the measured values EXPERIMENTS.md records.
+
+import (
+	"fmt"
+	"testing"
+
+	"semholo/internal/experiments"
+)
+
+// benchEnv is shared across benchmarks (construction renders the rig).
+var benchEnv = experiments.NewEnv(experiments.EnvOptions{Seed: 3})
+
+// BenchmarkTable1Keypoint measures the paper's proof-of-concept pipeline
+// end to end (extract + wire + reconstruct) — Table 1's keypoint row.
+func BenchmarkTable1Keypoint(b *testing.B) {
+	world := NewWorld(WorldOptions{Seed: 3})
+	enc, dec := NewKeypointPipeline(world, KeypointOptions{Resolution: 48})
+	c := world.FrameAt(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ef, err := enc.Encode(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames := make([]WireFrame, 0, len(ef.Channels))
+		for _, ch := range ef.Channels {
+			frames = append(frames, WireFrame{
+				Type: FrameTypeSemantic, Channel: ch.Channel, Flags: ch.Flags, Payload: ch.Payload,
+			})
+		}
+		if _, err := dec.Decode(frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Text measures the text pipeline (caption + delta +
+// text-to-3D) — Table 1's text row.
+func BenchmarkTable1Text(b *testing.B) {
+	world := NewWorld(WorldOptions{Seed: 4})
+	enc, dec := NewTextPipeline(TextOptions{})
+	c := world.FrameAt(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ef, err := enc.Encode(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames := make([]WireFrame, 0, len(ef.Channels))
+		for _, ch := range ef.Channels {
+			frames = append(frames, WireFrame{
+				Type: FrameTypeSemantic, Channel: ch.Channel, Flags: ch.Flags, Payload: ch.Payload,
+			})
+		}
+		if _, err := dec.Decode(frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Traditional measures the baseline (Draco-style mesh
+// codec both ways) — Table 1's traditional row.
+func BenchmarkTable1Traditional(b *testing.B) {
+	world := NewWorld(WorldOptions{Seed: 5})
+	enc, dec := NewTraditionalPipeline()
+	c := world.FrameAt(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ef, err := enc.Encode(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames := make([]WireFrame, 0, len(ef.Channels))
+		for _, ch := range ef.Channels {
+			frames = append(frames, WireFrame{
+				Type: FrameTypeSemantic, Channel: ch.Channel, Flags: ch.Flags, Payload: ch.Payload,
+			})
+		}
+		if _, err := dec.Decode(frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the bandwidth comparison (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(benchEnv, 2)
+		if res.SavingsRaw < 10 {
+			b.Fatalf("implausible savings %v", res.SavingsRaw)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the quality-vs-resolution sweep at a reduced
+// axis (Figure 2); the full axis runs via cmd/semholo-bench -full.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2(benchEnv, []int{32, 64})
+	}
+}
+
+// BenchmarkFig3 regenerates the texture comparison (Figure 3).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3(benchEnv, 48)
+	}
+}
+
+// BenchmarkFig4Reconstruct times mesh reconstruction per output
+// resolution (Figure 4's x-axis; run -bench 'Fig4' -benchtime 1x for the
+// full sweep).
+func BenchmarkFig4Reconstruct(b *testing.B) {
+	for _, res := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("res%d", res), func(b *testing.B) {
+			world := NewWorld(WorldOptions{Seed: 6})
+			enc, dec := NewKeypointPipeline(world, KeypointOptions{Resolution: res})
+			ef, err := enc.Encode(world.FrameAt(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames := make([]WireFrame, 0, len(ef.Channels))
+			for _, ch := range ef.Channels {
+				frames = append(frames, WireFrame{
+					Type: FrameTypeSemantic, Channel: ch.Channel, Flags: ch.Flags, Payload: ch.Payload,
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.Decode(frames); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFoveated times the §3.1 hybrid at a mid radius.
+func BenchmarkAblationFoveated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Foveated(benchEnv, []float64{6})
+	}
+}
+
+// BenchmarkAblationTextDelta times the §3.3 delta series.
+func BenchmarkAblationTextDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TextDelta(benchEnv, 5)
+	}
+}

@@ -1,0 +1,128 @@
+// Command semholo-receiver is a standalone telepresence receiver: it
+// accepts a semholo-sender session over TCP, reconstructs every media
+// frame with the selected semantics, and reports throughput, decode
+// timing, and reconstruction statistics. Reconstructions can optionally
+// be dumped as OBJ files for inspection.
+//
+// Usage:
+//
+//	semholo-receiver -listen :7843 -mode keypoint -dump /tmp/frames
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"semholo"
+	"semholo/internal/mesh"
+	"semholo/internal/transport"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7843", "listen address")
+		mode   = flag.String("mode", "keypoint", "semantics: keypoint|traditional|text")
+		res    = flag.Int("res", 64, "keypoint reconstruction resolution")
+		dump   = flag.String("dump", "", "directory to dump OBJ reconstructions (every 30th frame)")
+		name   = flag.String("name", "site-B", "participant name")
+	)
+	flag.Parse()
+
+	world := semholo.NewWorld(semholo.WorldOptions{})
+	var dec semholo.Decoder
+	switch *mode {
+	case "keypoint":
+		_, kd := semholo.NewKeypointPipeline(world, semholo.KeypointOptions{Resolution: *res})
+		dec = kd
+	case "traditional":
+		_, dec = semholo.NewTraditionalPipeline()
+	case "text":
+		_, dec = semholo.NewTextPipeline(semholo.TextOptions{})
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("listening on %s (%s mode)", ln.Addr(), *mode)
+	conn, err := ln.Accept()
+	if err != nil {
+		log.Fatalf("accept: %v", err)
+	}
+	sess, peer, err := semholo.Serve(conn, semholo.Hello{Peer: *name, Mode: *mode})
+	if err != nil {
+		log.Fatalf("handshake: %v", err)
+	}
+	log.Printf("session with %s (%s @ %.0f fps)", peer.Peer, peer.Mode, peer.FPS)
+
+	tracer := &semholo.Tracer{}
+	receiver := &semholo.Receiver{
+		Session:   sess,
+		Decoder:   dec,
+		Tracer:    tracer,
+		Estimator: transport.NewBandwidthEstimator(),
+	}
+	start := time.Now()
+	frames := 0
+	for {
+		data, err := receiver.NextFrame()
+		if err != nil {
+			if errors.Is(err, semholo.ErrSessionClosed) || errors.Is(err, io.EOF) {
+				break
+			}
+			log.Fatalf("frame %d: %v", frames, err)
+		}
+		frames++
+		if frames%30 == 0 {
+			describe(frames, data)
+			if *dump != "" && data.Mesh != nil {
+				dumpOBJ(*dump, frames, data.Mesh)
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	_, recv, _, _ := sess.Stats()
+	fmt.Printf("received %d media frames (%.2f MB) in %.1fs — %.2f Mbps, est %.2f Mbps\n",
+		frames, float64(recv)/1e6, elapsed, float64(recv)*8/elapsed/1e6,
+		receiver.Estimator.Estimate()/1e6)
+	fmt.Print(tracer.Report())
+}
+
+func describe(frame int, data semholo.FrameData) {
+	switch {
+	case data.Mesh != nil:
+		log.Printf("frame %4d: mesh %d verts / %d faces", frame, len(data.Mesh.Vertices), len(data.Mesh.Faces))
+	case data.Cloud != nil:
+		log.Printf("frame %4d: cloud %d points", frame, data.Cloud.Len())
+	case data.NovelView != nil:
+		log.Printf("frame %4d: novel view %dx%d", frame,
+			data.NovelView.Camera.Intr.Width, data.NovelView.Camera.Intr.Height)
+	}
+}
+
+func dumpOBJ(dir string, frame int, m *mesh.Mesh) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("dump: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("frame-%05d.obj", frame))
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("dump: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := mesh.WriteOBJ(f, m); err != nil {
+		log.Printf("dump: %v", err)
+	}
+}

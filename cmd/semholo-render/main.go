@@ -1,0 +1,113 @@
+// Command semholo-render produces the image panels behind the paper's
+// qualitative figures as PNG files: Figure 2 (ground truth vs keypoint
+// reconstructions across output resolutions), Figure 3 (delivered vs
+// learned texture on a face close-up), and one decoded-output panel per
+// taxonomy pipeline.
+//
+// Usage:
+//
+//	semholo-render -out ./renders
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/png"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"semholo/internal/avatar"
+	"semholo/internal/body"
+	"semholo/internal/capture"
+	"semholo/internal/experiments"
+	"semholo/internal/geom"
+	"semholo/internal/pointcloud"
+	"semholo/internal/render"
+	"semholo/internal/textsem"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "renders", "output directory")
+		res  = flag.Int("size", 256, "render resolution (pixels)")
+		seed = flag.Int64("seed", 1, "scene seed")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	model := body.NewModel(nil, body.ModelOptions{Detail: 2})
+	params := body.Talking(nil).At(0.9)
+	truthMesh := model.Mesh(params)
+
+	cam := geom.NewLookAtCamera(
+		geom.IntrinsicsFromFOV(*res, *res, math.Pi/5),
+		geom.V3(0.4, 1.1, 2.4), geom.V3(0, 1.0, 0), geom.V3(0, 1, 0))
+
+	save := func(name string, f *render.Frame) {
+		path := filepath.Join(*out, name+".png")
+		file, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer file.Close()
+		if err := png.Encode(file, f.Image()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	// Figure 2(a): textured ground truth from the capture.
+	gt := render.NewFrame(cam)
+	render.RenderMesh(gt, truthMesh, capture.SkinShader())
+	save("fig2a-ground-truth", gt)
+
+	// Figure 2(b–d): untextured keypoint reconstructions per resolution.
+	kps := model.Keypoints(params)
+	fitted := avatar.Fit(model, kps, nil)
+	fitted.Expression = params.Expression
+	for _, r := range []int{64, 128, 256} {
+		rec := &avatar.Reconstructor{Model: model, Resolution: r}
+		m := rec.Reconstruct(fitted)
+		m.ComputeNormals()
+		f := render.NewFrame(cam)
+		render.RenderMesh(f, m, render.MeshOptions{})
+		save(fmt.Sprintf("fig2-recon-res%d", r), f)
+	}
+
+	// Taxonomy panel: the text pipeline's reconstructed point cloud.
+	cloud := sampleCloud(truthMesh)
+	doc := textsem.Captioner{CellSize: 0.2, Precision: 2}.Caption(cloud)
+	recon, err := (textsem.Generator{}).Generate(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fc := render.NewFrame(cam)
+	render.RenderCloud(fc, recon, 2)
+	save("taxonomy-text-pointcloud", fc)
+
+	// Figure 3 panels: ground truth vs delivered vs learned texture.
+	env := experiments.NewEnv(experiments.EnvOptions{Seed: *seed})
+	f3 := experiments.Fig3(env, 96)
+	save("fig3-ground-truth", f3.GroundTruthView)
+	save("fig3-delivered-texture", f3.FreshView)
+	save("fig3-learned-texture", f3.StaleView)
+}
+
+// sampleCloud converts the mesh surface into a colored point cloud.
+func sampleCloud(m interface {
+	SamplePoints(int) []geom.Vec3
+}) *pointcloud.Cloud {
+	pts := m.SamplePoints(20000)
+	c := pointcloud.New(len(pts))
+	c.Points = pts
+	c.Colors = make([]pointcloud.Color, len(pts))
+	shader := capture.SkinShader().Shader
+	for i, p := range pts {
+		c.Colors[i] = shader(0, [3]float64{}, p, geom.Vec3{})
+	}
+	return c
+}

@@ -1,0 +1,105 @@
+// Adaptive: rate adaptation across the taxonomy (§3.2's end goal). A
+// session runs over a link whose bandwidth collapses and recovers (a
+// congestion episode); the receiver reports its bandwidth estimate, and
+// the adaptive encoder walks down the semantics ladder — traditional →
+// keypoint → text — and back up, keeping the stream alive the whole
+// time. The receiver demultiplexes whatever arrives without out-of-band
+// signaling (each pipeline owns its channels).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semholo"
+	"semholo/internal/compress"
+	"semholo/internal/core"
+	"semholo/internal/keypoint"
+	"semholo/internal/textsem"
+	"semholo/internal/transport"
+)
+
+func main() {
+	world := semholo.NewWorld(semholo.WorldOptions{Seed: 31})
+
+	// The adaptation ladder, cheapest first.
+	textEnc := &core.TextEncoder{
+		Captioner: textsem.Captioner{CellSize: 0.25, Precision: 2},
+		Codec:     compress.LZR(),
+	}
+	kpEnc := &core.KeypointEncoder{
+		Model:    world.Model,
+		Detector: keypoint.NewDetector(keypoint.DefaultDetector()),
+		Filter:   keypoint.NewOneEuroFilter(1.0, 0.3),
+		Codec:    compress.LZR(),
+	}
+	tradEnc := &core.TraditionalEncoder{}
+	adaptive, err := core.NewAdaptiveEncoder([]core.AdaptiveLevel{
+		{Encoder: textEnc, Bitrate: 0.05e6},
+		{Encoder: kpEnc, Bitrate: 0.4e6},
+		{Encoder: tradEnc, Bitrate: 12e6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive.OnSwitch = func(from, to core.Mode) {
+		fmt.Printf("            *** switching %s -> %s ***\n", from, to)
+	}
+
+	decoder := &core.AdaptiveDecoder{
+		Keypoint:    &core.KeypointDecoder{Model: world.Model, Codec: compress.LZR(), Resolution: 0},
+		Traditional: &core.TraditionalDecoder{},
+		Text:        &core.TextDecoder{Codec: compress.LZR()},
+	}
+
+	// A congestion episode: plentiful → collapse → squeeze → recovery.
+	// (In a live session these come from the receiver's bandwidth
+	// reports; the trace makes the run deterministic.)
+	bandwidthTrace := []float64{
+		100e6, 100e6, 100e6, // healthy: full meshes flow
+		5e6, 5e6, // congestion: fall back to keypoints
+		0.2e6, 0.2e6, // collapse: text only
+		0.7e6, 0.7e6, // partial recovery: keypoints again
+		60e6, 60e6, // recovered: full meshes
+	}
+
+	for i, bps := range bandwidthTrace {
+		mode := adaptive.UpdateBandwidth(bps)
+		c := world.FrameAt(i)
+		ef, err := adaptive.Encode(c)
+		if err != nil {
+			log.Fatalf("frame %d: %v", i, err)
+		}
+		data, err := decoder.Decode(toFrames(ef))
+		if err != nil {
+			log.Fatalf("frame %d decode: %v", i, err)
+		}
+		fmt.Printf("frame %2d: link %6.1f Mbps -> %-11s %7d B/frame (%.3f Mbps @30) %s\n",
+			i, bps/1e6, mode, ef.TotalBytes(),
+			float64(ef.TotalBytes())*8*30/1e6, describe(data))
+	}
+}
+
+func describe(d core.FrameData) string {
+	switch {
+	case d.Mesh != nil:
+		return fmt.Sprintf("[mesh %dv]", len(d.Mesh.Vertices))
+	case d.Params != nil:
+		return "[pose params]"
+	case d.Cloud != nil:
+		return fmt.Sprintf("[cloud %dpt]", d.Cloud.Len())
+	default:
+		return "[empty]"
+	}
+}
+
+func toFrames(ef core.EncodedFrame) []transport.Frame {
+	out := make([]transport.Frame, 0, len(ef.Channels))
+	for _, ch := range ef.Channels {
+		out = append(out, transport.Frame{
+			Type: transport.TypeSemantic, Channel: ch.Channel,
+			Flags: ch.Flags, Payload: ch.Payload,
+		})
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module semholo
+
+go 1.22

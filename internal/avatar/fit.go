@@ -1,0 +1,166 @@
+// Package avatar reconstructs a human mesh from 3D keypoints — the
+// receiver-side "mesh reconstruction" stage of the keypoint pipeline
+// (Figure 1) and the stand-in for X-Avatar [83], the implicit-avatar
+// network the paper's proof-of-concept retrains (§4.1).
+//
+// The pipeline mirrors X-Avatar's structure: keypoints are first encoded
+// into the parametric body model (Fit — the "3D keypoints aligned with
+// SMPL-X parameters" input), then a geometry network evaluated over an
+// R³ voxel grid produces the output mesh (Reconstructor — here an
+// implicit signed-distance field over the posed skeleton, polygonized by
+// marching tetrahedra). The output-resolution knob R matches the paper's
+// 128/256/512/1024 sweep: reconstruction cost scales with the surface
+// area in grid cells, reproducing Figure 4's FPS collapse, and geometric
+// detail grows with R, reproducing Figure 2's quality trend.
+package avatar
+
+import (
+	"math"
+
+	"semholo/internal/body"
+	"semholo/internal/geom"
+)
+
+// kids[j] lists the child joints of j, precomputed from the hierarchy.
+var kids = func() [body.NumJoints][]body.Joint {
+	var k [body.NumJoints][]body.Joint
+	for j := 1; j < body.NumJoints; j++ {
+		p := body.Joint(j).Parent()
+		k[p] = append(k[p], body.Joint(j))
+	}
+	return k
+}()
+
+// Fit recovers body parameters from keypoint positions by closed-form
+// hierarchical alignment: walking the skeleton root-to-leaves, each
+// joint's global rotation is solved from the directions to its observed
+// children (two-vector alignment when multiple children pin the twist).
+// keypoints must be ordered as body.Model.Keypoints produces them (joints
+// first); extra landmark entries are ignored. shape carries the known
+// session shape coefficients (identity is static, so it is fitted once
+// out of band and shipped with the handshake, not per frame).
+func Fit(model *body.Model, keypoints []geom.Vec3, shape []float64) *body.Params {
+	p := &body.Params{}
+	for i := 0; i < body.NumShape && i < len(shape); i++ {
+		p.Shape[i] = shape[i]
+	}
+	if len(keypoints) < body.NumJoints {
+		return p
+	}
+	skel := model.Skeleton
+
+	// Root translation from the observed pelvis.
+	p.Translation = keypoints[body.Pelvis].Sub(skel.Offsets[body.Pelvis])
+
+	// Global rotations solved top-down.
+	var globalRot [body.NumJoints]geom.Quat
+	for j := 0; j < body.NumJoints; j++ {
+		parent := body.Joint(j).Parent()
+		parentRot := geom.QuatIdentity()
+		if parent >= 0 {
+			parentRot = globalRot[parent]
+		}
+		children := kids[j]
+		if len(children) == 0 {
+			globalRot[j] = parentRot // leaves inherit (twist unobservable)
+			p.Pose[j] = geom.Vec3{}
+			continue
+		}
+		// Collect (rest direction, observed direction) pairs, longest
+		// bone first so it anchors the alignment.
+		type pair struct {
+			rest, obs geom.Vec3
+			weight    float64
+		}
+		var pairs []pair
+		for _, c := range children {
+			rest := skel.Offsets[c]
+			if rest.LenSq() < 1e-12 {
+				continue
+			}
+			obs := keypoints[c].Sub(keypoints[j])
+			if obs.LenSq() < 1e-12 {
+				continue
+			}
+			pairs = append(pairs, pair{rest.Normalize(), obs.Normalize(), rest.Len()})
+		}
+		if len(pairs) == 0 {
+			globalRot[j] = parentRot
+			p.Pose[j] = geom.Vec3{}
+			continue
+		}
+		// Primary: heaviest bone.
+		pi := 0
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].weight > pairs[pi].weight {
+				pi = i
+			}
+		}
+		primary := pairs[pi]
+		g := rotationBetween(primary.rest, primary.obs)
+		if len(pairs) > 1 {
+			// Resolve twist about the primary axis using the other
+			// children: choose the angle that best aligns their
+			// projections onto the plane ⊥ the primary observed axis.
+			axis := primary.obs
+			var sumSin, sumCos float64
+			for i, pr := range pairs {
+				if i == pi {
+					continue
+				}
+				a := g.Rotate(pr.rest)
+				// Project both onto the plane ⊥ axis.
+				ap := a.Sub(axis.Scale(a.Dot(axis)))
+				bp := pr.obs.Sub(axis.Scale(pr.obs.Dot(axis)))
+				if ap.LenSq() < 1e-12 || bp.LenSq() < 1e-12 {
+					continue
+				}
+				ap, bp = ap.Normalize(), bp.Normalize()
+				sumCos += ap.Dot(bp) * pr.weight
+				sumSin += axis.Dot(ap.Cross(bp)) * pr.weight
+			}
+			if sumSin != 0 || sumCos != 0 {
+				twist := math.Atan2(sumSin, sumCos)
+				g = geom.QuatFromAxisAngle(axis, twist).Mul(g)
+			}
+		}
+		globalRot[j] = g
+		local := parentRot.Conjugate().Mul(g)
+		p.Pose[j] = local.RotationVector()
+	}
+	return p
+}
+
+// rotationBetween returns the minimal rotation mapping unit vector a to
+// unit vector b.
+func rotationBetween(a, b geom.Vec3) geom.Quat {
+	d := geom.Clamp(a.Dot(b), -1, 1)
+	if d > 1-1e-12 {
+		return geom.QuatIdentity()
+	}
+	if d < -1+1e-12 {
+		// Opposite: rotate π about any perpendicular axis.
+		perp := a.Cross(geom.V3(1, 0, 0))
+		if perp.LenSq() < 1e-12 {
+			perp = a.Cross(geom.V3(0, 1, 0))
+		}
+		return geom.QuatFromAxisAngle(perp, math.Pi)
+	}
+	axis := a.Cross(b)
+	return geom.QuatFromAxisAngle(axis, math.Acos(d))
+}
+
+// FitError measures the residual between the keypoints implied by fitted
+// params and the observed ones (mean distance over joints).
+func FitError(model *body.Model, fitted *body.Params, observed []geom.Vec3) float64 {
+	implied := model.Keypoints(fitted)
+	n := body.NumJoints
+	if len(observed) < n {
+		n = len(observed)
+	}
+	var sum float64
+	for j := 0; j < n; j++ {
+		sum += implied[j].Dist(observed[j])
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,242 @@
+package body
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semholo/internal/geom"
+)
+
+func TestSkeletonHierarchyValid(t *testing.T) {
+	for j := 0; j < NumJoints; j++ {
+		p := Joint(j).Parent()
+		if j == int(Pelvis) {
+			if p != -1 {
+				t.Errorf("root has parent %d", p)
+			}
+			continue
+		}
+		if p < 0 || int(p) >= NumJoints {
+			t.Errorf("joint %s has invalid parent %d", Joint(j).Name(), p)
+		}
+		if int(p) >= j {
+			t.Errorf("joint %s (%d) has parent %s (%d) not preceding it", Joint(j).Name(), j, p.Name(), p)
+		}
+	}
+}
+
+func TestJointNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for j := 0; j < NumJoints; j++ {
+		n := Joint(j).Name()
+		if n == "" || n == "invalid" {
+			t.Errorf("joint %d has bad name %q", j, n)
+		}
+		if seen[n] {
+			t.Errorf("duplicate joint name %q", n)
+		}
+		seen[n] = true
+	}
+	if Joint(-1).Name() != "invalid" || Joint(NumJoints).Name() != "invalid" {
+		t.Error("out-of-range joints should be invalid")
+	}
+}
+
+func TestRestPosePlausible(t *testing.T) {
+	s := NewSkeleton()
+	g := s.restGlobalTransforms()
+	pos := JointPositions(&g)
+	// Head above pelvis, pelvis above feet, total height ~1.5-1.9 m.
+	if pos[Head].Y <= pos[Pelvis].Y {
+		t.Error("head below pelvis in rest pose")
+	}
+	if pos[LeftAnkle].Y >= pos[Pelvis].Y {
+		t.Error("ankle above pelvis")
+	}
+	height := pos[Head].Y + 0.1 - (pos[LeftAnkle].Y - 0.05)
+	if height < 1.4 || height > 2.0 {
+		t.Errorf("implausible height %.2f m", height)
+	}
+	// Left/right symmetry.
+	pairs := [][2]Joint{
+		{LeftShoulder, RightShoulder},
+		{LeftWrist, RightWrist},
+		{LeftKnee, RightKnee},
+		{LeftToe, RightToe},
+		{LeftIndex3, RightIndex3},
+	}
+	for _, pr := range pairs {
+		l, r := pos[pr[0]], pos[pr[1]]
+		if math.Abs(l.X+r.X) > 1e-9 || math.Abs(l.Y-r.Y) > 1e-9 || math.Abs(l.Z-r.Z) > 1e-9 {
+			t.Errorf("asymmetry %s=%v vs %s=%v", pr[0].Name(), l, pr[1].Name(), r)
+		}
+	}
+}
+
+func TestForwardKinematicsPropagates(t *testing.T) {
+	s := NewSkeleton()
+	var pose [NumJoints]geom.Vec3
+	// Bend the left elbow 90° about z: the wrist moves, the right arm
+	// doesn't.
+	pose[LeftElbow] = geom.V3(0, 0, math.Pi/2)
+	g := s.globalTransforms(&pose, geom.Vec3{})
+	rest := s.restGlobalTransforms()
+	posed := JointPositions(&g)
+	restPos := JointPositions(&rest)
+	if posed[LeftWrist].Dist(restPos[LeftWrist]) < 0.1 {
+		t.Error("left wrist did not move when elbow bent")
+	}
+	if posed[RightWrist].Dist(restPos[RightWrist]) > 1e-9 {
+		t.Error("right wrist moved when left elbow bent")
+	}
+	if posed[LeftElbow].Dist(restPos[LeftElbow]) > 1e-9 {
+		t.Error("elbow joint itself moved")
+	}
+	// Bone length preserved.
+	lr := restPos[LeftWrist].Dist(restPos[LeftElbow])
+	lp := posed[LeftWrist].Dist(posed[LeftElbow])
+	if math.Abs(lr-lp) > 1e-9 {
+		t.Errorf("forearm length changed: %v -> %v", lr, lp)
+	}
+}
+
+func TestTranslationMovesEverything(t *testing.T) {
+	s := NewSkeleton()
+	var pose [NumJoints]geom.Vec3
+	tr := geom.V3(1, 2, 3)
+	g := s.globalTransforms(&pose, tr)
+	rest := s.restGlobalTransforms()
+	gp, rp := JointPositions(&g), JointPositions(&rest)
+	for j := 0; j < NumJoints; j++ {
+		if gp[j].Dist(rp[j].Add(tr)) > 1e-9 {
+			t.Fatalf("joint %s not translated rigidly", Joint(j).Name())
+		}
+	}
+}
+
+func TestParamsMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := &Params{Translation: geom.V3(0.1, -0.2, 0.3)}
+	for j := 0; j < NumJoints; j++ {
+		p.Pose[j] = geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.3)
+	}
+	for i := range p.Shape {
+		p.Shape[i] = rng.NormFloat64()
+	}
+	for i := range p.Expression {
+		p.Expression[i] = rng.Float64()
+	}
+	buf := p.Marshal()
+	if len(buf) != MarshaledSize {
+		t.Fatalf("marshaled size %d, want %d", len(buf), MarshaledSize)
+	}
+	q, err := UnmarshalParams(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *q != *p {
+		t.Error("round trip changed params")
+	}
+}
+
+func TestParamsFrameSizeRegime(t *testing.T) {
+	// The paper reports 1.91 KB/frame for SMPL-X-aligned pose data
+	// (§4.2). Our frame must be in the same regime: 1-2.5 KB.
+	if MarshaledSize < 1000 || MarshaledSize > 2500 {
+		t.Errorf("frame size %d bytes outside the 1-2.5 KB regime", MarshaledSize)
+	}
+}
+
+func TestUnmarshalRejectsBad(t *testing.T) {
+	if _, err := UnmarshalParams(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := UnmarshalParams(make([]byte, MarshaledSize-1)); err == nil {
+		t.Error("short frame accepted")
+	}
+	good := (&Params{}).Marshal()
+	good[0] = 'X'
+	if _, err := UnmarshalParams(good); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// NaN pose.
+	p := &Params{}
+	p.Pose[3] = geom.V3(math.NaN(), 0, 0)
+	if _, err := UnmarshalParams(p.Marshal()); err == nil {
+		t.Error("NaN pose accepted")
+	}
+}
+
+func TestParamsMarshalQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &Params{}
+		for j := 0; j < NumJoints; j++ {
+			p.Pose[j] = geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		}
+		q, err := UnmarshalParams(p.Marshal())
+		return err == nil && *q == *p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsLerpEndpoints(t *testing.T) {
+	a := Talking(nil).At(0)
+	b := Talking(nil).At(2)
+	l0 := a.Lerp(b, 0)
+	l1 := a.Lerp(b, 1)
+	if a.Distance(l0) > 1e-6 {
+		t.Errorf("Lerp(0) distance %v", a.Distance(l0))
+	}
+	if b.Distance(l1) > 1e-6 {
+		t.Errorf("Lerp(1) distance %v", b.Distance(l1))
+	}
+	mid := a.Lerp(b, 0.5)
+	if a.Distance(mid) > a.Distance(b) {
+		t.Error("midpoint farther than endpoint")
+	}
+}
+
+func TestShapeChangesSkeleton(t *testing.T) {
+	tall := shapedSkeleton([]float64{3})
+	short := shapedSkeleton([]float64{-3})
+	gt := tall.restGlobalTransforms()
+	gs := short.restGlobalTransforms()
+	ht := JointPositions(&gt)[Head].Y
+	hs := JointPositions(&gs)[Head].Y
+	if ht <= hs {
+		t.Errorf("shape[0]=+3 head %.2f not taller than -3 head %.2f", ht, hs)
+	}
+}
+
+// Property: forward kinematics preserves bone lengths for any pose.
+func TestFKPreservesBoneLengthsQuick(t *testing.T) {
+	s := NewSkeleton()
+	rest := s.restGlobalTransforms()
+	restPos := JointPositions(&rest)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pose [NumJoints]geom.Vec3
+		for j := range pose {
+			pose[j] = geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.5)
+		}
+		g := s.globalTransforms(&pose, geom.V3(rng.NormFloat64(), 0, rng.NormFloat64()))
+		pos := JointPositions(&g)
+		for j := 1; j < NumJoints; j++ {
+			p := Joint(j).Parent()
+			restLen := restPos[j].Dist(restPos[p])
+			posedLen := pos[j].Dist(pos[p])
+			if math.Abs(restLen-posedLen) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package body
+
+import (
+	"math"
+	"testing"
+
+	"semholo/internal/geom"
+)
+
+// Shared across tests: model construction is the expensive part.
+var testModel = NewModel(nil, ModelOptions{Detail: 1})
+
+func TestTemplateValid(t *testing.T) {
+	if err := testModel.Template.Validate(); err != nil {
+		t.Fatalf("template invalid: %v", err)
+	}
+	if len(testModel.Template.Vertices) < 1000 {
+		t.Errorf("template only %d vertices at detail 1", len(testModel.Template.Vertices))
+	}
+	b := testModel.Template.Bounds()
+	// Roughly human-sized and centered on x.
+	if b.Size().Y < 1.4 || b.Size().Y > 2.2 {
+		t.Errorf("template height %.2f", b.Size().Y)
+	}
+	if math.Abs(b.Center().X) > 0.05 {
+		t.Errorf("template off-center: %v", b.Center())
+	}
+}
+
+func TestDetailScalesVertexCount(t *testing.T) {
+	m1 := NewModel(nil, ModelOptions{Detail: 1})
+	m2 := NewModel(nil, ModelOptions{Detail: 2})
+	if len(m2.Template.Vertices) < 2*len(m1.Template.Vertices) {
+		t.Errorf("detail 2 (%d verts) not ≥2× detail 1 (%d verts)",
+			len(m2.Template.Vertices), len(m1.Template.Vertices))
+	}
+	// Detail 2 must be in the SMPL-X regime used to size Table 2.
+	if n := len(m2.Template.Vertices); n < 5000 || n > 40000 {
+		t.Errorf("detail-2 template has %d vertices, want 5k-40k", n)
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	for vi, infl := range testModel.Weights {
+		if len(infl) == 0 || len(infl) > maxInfluences {
+			t.Fatalf("vertex %d has %d influences", vi, len(infl))
+		}
+		var sum float64
+		for _, in := range infl {
+			if in.W < 0 || in.W > 1.0001 {
+				t.Fatalf("vertex %d weight %v out of range", vi, in.W)
+			}
+			if in.Joint <= 0 || int(in.Joint) >= NumJoints {
+				t.Fatalf("vertex %d bound to invalid joint %d", vi, in.Joint)
+			}
+			sum += in.W
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("vertex %d weights sum to %v", vi, sum)
+		}
+	}
+}
+
+func TestRestPoseMeshMatchesTemplate(t *testing.T) {
+	rest := testModel.Mesh(&Params{})
+	if len(rest.Vertices) != len(testModel.Template.Vertices) {
+		t.Fatal("vertex count changed")
+	}
+	for i := range rest.Vertices {
+		if rest.Vertices[i].Dist(testModel.Template.Vertices[i]) > 1e-9 {
+			t.Fatalf("vertex %d moved in rest pose by %v", i,
+				rest.Vertices[i].Dist(testModel.Template.Vertices[i]))
+		}
+	}
+}
+
+func TestPosedMeshMovesArm(t *testing.T) {
+	p := &Params{}
+	p.Pose[LeftShoulder] = geom.V3(0, 0, -1.2) // arm down
+	posed := testModel.Mesh(p)
+	rest := testModel.Template
+	// Vertices near the left wrist must move substantially; right-leg
+	// vertices must not.
+	g := testModel.JointGlobals(&Params{})
+	restWrist := g[LeftWrist].TranslationPart()
+	restAnkle := g[RightAnkle].TranslationPart()
+	var wristMoved, ankleMoved float64
+	var wristN, ankleN int
+	for i, v := range rest.Vertices {
+		d := posed.Vertices[i].Dist(v)
+		if v.Dist(restWrist) < 0.08 {
+			wristMoved += d
+			wristN++
+		}
+		if v.Dist(restAnkle) < 0.08 {
+			ankleMoved += d
+			ankleN++
+		}
+	}
+	if wristN == 0 || ankleN == 0 {
+		t.Fatal("no probe vertices found")
+	}
+	if avg := wristMoved / float64(wristN); avg < 0.1 {
+		t.Errorf("wrist vertices moved only %.3f m", avg)
+	}
+	if avg := ankleMoved / float64(ankleN); avg > 0.01 {
+		t.Errorf("ankle vertices moved %.3f m on arm pose", avg)
+	}
+}
+
+func TestKeypointsCountAndFinite(t *testing.T) {
+	kps := testModel.Keypoints(&Params{})
+	if len(kps) != KeypointCount {
+		t.Fatalf("got %d keypoints, want %d", len(kps), KeypointCount)
+	}
+	for i, k := range kps {
+		if !k.IsFinite() {
+			t.Fatalf("keypoint %d not finite: %v", i, k)
+		}
+	}
+	// The taxonomy cites ~100 keypoints as sufficient; ours must be in
+	// the tens-to-low-hundreds regime.
+	if KeypointCount < 50 || KeypointCount > 150 {
+		t.Errorf("keypoint count %d outside expected regime", KeypointCount)
+	}
+}
+
+func TestKeypointsTrackPose(t *testing.T) {
+	rest := testModel.Keypoints(&Params{})
+	p := &Params{}
+	p.Pose[LeftElbow] = geom.V3(0, 0, 1.3)
+	posed := testModel.Keypoints(p)
+	if posed[LeftWrist].Dist(rest[LeftWrist]) < 0.1 {
+		t.Error("wrist keypoint did not follow elbow")
+	}
+	if posed[RightWrist].Dist(rest[RightWrist]) > 1e-9 {
+		t.Error("right wrist keypoint moved")
+	}
+}
+
+func TestExpressionJawOpens(t *testing.T) {
+	rest := testModel.Mesh(&Params{})
+	p := &Params{}
+	p.Expression[0] = 1 // jaw fully open
+	open := testModel.Mesh(p)
+	// Some vertices (jaw region) must move; total movement small.
+	var moved int
+	for i := range rest.Vertices {
+		if open.Vertices[i].Dist(rest.Vertices[i]) > 0.005 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("jaw-open expression moved nothing")
+	}
+	if moved > len(rest.Vertices)/4 {
+		t.Errorf("jaw-open expression moved %d/%d vertices", moved, len(rest.Vertices))
+	}
+}
+
+func TestExpressionSmileLocalized(t *testing.T) {
+	p := &Params{}
+	p.Expression[1] = 1.5
+	smiled := testModel.Mesh(p)
+	rest := testModel.Mesh(&Params{})
+	g := testModel.JointGlobals(&Params{})
+	head := g[Head].TranslationPart()
+	for i := range rest.Vertices {
+		d := smiled.Vertices[i].Dist(rest.Vertices[i])
+		if d > 1e-9 && rest.Vertices[i].Dist(head) > 0.3 {
+			t.Fatalf("smile moved vertex %d far from head (%.2f m away)", i, rest.Vertices[i].Dist(head))
+		}
+	}
+}
+
+func TestMotionContinuity(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		m    Motion
+	}{
+		{"talking", Talking(nil)},
+		{"walking", Walking(nil)},
+		{"waving", Waving(nil)},
+		{"still", Still(nil)},
+	} {
+		prev := mk.m.At(0)
+		for i := 1; i <= 30; i++ {
+			cur := mk.m.At(float64(i) / 30)
+			d := prev.Distance(cur)
+			if d > 0.2 {
+				t.Errorf("%s: frame-to-frame pose distance %v at frame %d", mk.name, d, i)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestSampleCount(t *testing.T) {
+	frames := Sample(Talking(nil), 0, 30, 10)
+	if len(frames) != 10 {
+		t.Fatalf("Sample returned %d frames", len(frames))
+	}
+	if frames[0].Distance(frames[9]) == 0 {
+		t.Error("talking motion is frozen")
+	}
+}
+
+func BenchmarkPoseMesh(b *testing.B) {
+	p := Talking(nil).At(1.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		testModel.Mesh(p)
+	}
+}
+
+func BenchmarkKeypoints(b *testing.B) {
+	p := Talking(nil).At(1.0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		testModel.Keypoints(p)
+	}
+}

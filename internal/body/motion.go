@@ -1,0 +1,125 @@
+package body
+
+import (
+	"math"
+
+	"semholo/internal/geom"
+)
+
+// Motion generates a pose-parameter stream: the deterministic workload
+// generator standing in for the paper's captured RGB-D sequences (the
+// X-Avatar dataset, §4.1). Each generator produces smooth, plausible
+// human motion so inter-frame similarity — which the delta-encoding and
+// fine-tuning agenda items (§3.2, §3.3) exploit — is realistic.
+type Motion interface {
+	// At returns the body parameters at time t (seconds).
+	At(t float64) *Params
+}
+
+// MotionFunc adapts a function to the Motion interface.
+type MotionFunc func(t float64) *Params
+
+// At implements Motion.
+func (f MotionFunc) At(t float64) *Params { return f(t) }
+
+// baseParams returns a neutral standing pose with slight arm lowering so
+// the T-pose doesn't look robotic.
+func baseParams(shape []float64) *Params {
+	p := &Params{}
+	for i := 0; i < NumShape && i < len(shape); i++ {
+		p.Shape[i] = shape[i]
+	}
+	// Arms relaxed: rotate shoulders down around z (left arm +x → rotate
+	// -z brings it down; right arm mirrored).
+	p.Pose[LeftShoulder] = geom.V3(0, 0, -1.1)
+	p.Pose[RightShoulder] = geom.V3(0, 0, 1.1)
+	return p
+}
+
+// Talking simulates a seated/standing speaker: subtle torso sway, head
+// motion, continuous jaw and expression activity, sporadic hand gestures.
+// This is the "online meeting" workload (§1: a speaker's prominent
+// gestures and facial expressions).
+func Talking(shape []float64) Motion {
+	return MotionFunc(func(t float64) *Params {
+		p := baseParams(shape)
+		sway := 0.03 * math.Sin(2*math.Pi*0.2*t)
+		p.Pose[Spine2] = geom.V3(0.02*math.Sin(2*math.Pi*0.13*t), sway, 0)
+		p.Pose[Neck] = geom.V3(
+			0.06*math.Sin(2*math.Pi*0.31*t),
+			0.10*math.Sin(2*math.Pi*0.17*t+1),
+			0.03*math.Sin(2*math.Pi*0.23*t+2),
+		)
+		// Gesturing right forearm, period ~4s.
+		gest := 0.5 + 0.5*math.Sin(2*math.Pi*0.25*t)
+		p.Pose[RightShoulder] = geom.V3(0, 0.3*gest, 0.9-0.5*gest)
+		p.Pose[RightElbow] = geom.V3(0, -0.4-0.8*gest, 0.3)
+		// Finger articulation while gesturing.
+		curl := 0.3 + 0.25*math.Sin(2*math.Pi*0.5*t)
+		for j := RightThumb1; j <= RightPinky3; j++ {
+			p.Pose[j] = geom.V3(0, 0, curl)
+		}
+		// Speech: jaw at syllable rate ~4 Hz, modulated at phrase rate.
+		phrase := 0.5 + 0.5*math.Sin(2*math.Pi*0.1*t)
+		p.Expression[0] = phrase * (0.3 + 0.3*math.Abs(math.Sin(2*math.Pi*2.1*t)))
+		p.Expression[1] = 0.4 * math.Sin(2*math.Pi*0.07*t) // drifting smile/pout
+		p.Expression[2] = 0.3 * math.Max(0, math.Sin(2*math.Pi*0.11*t+0.7))
+		return p
+	})
+}
+
+// Walking simulates walking in place: alternating leg swing, arm
+// counter-swing, vertical bob.
+func Walking(shape []float64) Motion {
+	const stride = 1.0 // Hz
+	return MotionFunc(func(t float64) *Params {
+		p := baseParams(shape)
+		ph := 2 * math.Pi * stride * t
+		swing := 0.5 * math.Sin(ph)
+		p.Pose[LeftHip] = geom.V3(swing, 0, 0)
+		p.Pose[RightHip] = geom.V3(-swing, 0, 0)
+		p.Pose[LeftKnee] = geom.V3(math.Max(0, -0.9*math.Sin(ph-0.6)), 0, 0)
+		p.Pose[RightKnee] = geom.V3(math.Max(0, 0.9*math.Sin(ph-0.6)), 0, 0)
+		// Arms counter-swing about the shoulder x axis.
+		p.Pose[LeftShoulder] = p.Pose[LeftShoulder].Add(geom.V3(-0.35*swing, 0, 0))
+		p.Pose[RightShoulder] = p.Pose[RightShoulder].Add(geom.V3(0.35*swing, 0, 0))
+		p.Pose[LeftElbow] = geom.V3(-0.25, 0, 0)
+		p.Pose[RightElbow] = geom.V3(-0.25, 0, 0)
+		p.Translation = geom.V3(0, 0.025*math.Abs(math.Sin(ph)), 0)
+		p.Pose[Spine1] = geom.V3(0.03, 0.05*math.Sin(ph), 0)
+		return p
+	})
+}
+
+// Waving simulates a greeting wave with the left arm plus head nods —
+// a high-amplitude, high-frequency upper-body workload.
+func Waving(shape []float64) Motion {
+	return MotionFunc(func(t float64) *Params {
+		p := baseParams(shape)
+		// Raise the left arm and oscillate the forearm.
+		p.Pose[LeftShoulder] = geom.V3(0, 0, 1.2)
+		p.Pose[LeftElbow] = geom.V3(0, 0, 0.6+0.5*math.Sin(2*math.Pi*1.5*t))
+		p.Pose[LeftWrist] = geom.V3(0, 0.3*math.Sin(2*math.Pi*1.5*t+0.5), 0)
+		p.Pose[Neck] = geom.V3(0.12*math.Sin(2*math.Pi*0.5*t), 0, 0)
+		p.Expression[1] = 0.6 // smiling
+		return p
+	})
+}
+
+// Still returns a frozen pose — the degenerate workload for measuring
+// codec floors (inter-frame deltas should approach zero bytes).
+func Still(shape []float64) Motion {
+	return MotionFunc(func(t float64) *Params {
+		return baseParams(shape)
+	})
+}
+
+// Sample evaluates a motion at the given frame rate and returns count
+// consecutive frames starting at t0.
+func Sample(m Motion, t0 float64, fps float64, count int) []*Params {
+	out := make([]*Params, count)
+	for i := 0; i < count; i++ {
+		out[i] = m.At(t0 + float64(i)/fps)
+	}
+	return out
+}

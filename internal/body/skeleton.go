@@ -1,0 +1,270 @@
+// Package body implements a from-scratch parametric articulated human
+// body model — the stand-in for SMPL-X [74], which the paper's
+// proof-of-concept aligns keypoints to (§4.1). The model exposes the same
+// interface contract as SMPL-X: a compact pose+shape+expression parameter
+// vector (~1.9 KB per frame on the wire — the "semantic" payload of
+// Table 2) that deterministically expands into a full-body triangle mesh
+// of ~10k vertices (the "traditional" payload of Table 2).
+//
+// The template is generated procedurally (capsules per bone, blended by
+// distance-weighted linear blend skinning), so the repository needs no
+// external scan data. The fixed-parameter limitation the paper discusses
+// in §3.1 — extra keypoints cannot improve quality beyond what the
+// parameter space spans — holds for this model exactly as for SMPL-X.
+package body
+
+import "semholo/internal/geom"
+
+// Joint identifies a skeleton joint.
+type Joint int
+
+// The skeleton mirrors SMPL-X's layout: body, jaw and eyes, and 15
+// finger joints per hand. 57 joints total.
+const (
+	Pelvis Joint = iota
+	Spine1
+	Spine2
+	Spine3
+	Neck
+	Head
+	Jaw
+	LeftEye
+	RightEye
+
+	LeftClavicle
+	LeftShoulder
+	LeftElbow
+	LeftWrist
+	RightClavicle
+	RightShoulder
+	RightElbow
+	RightWrist
+
+	LeftHip
+	LeftKnee
+	LeftAnkle
+	LeftFoot
+	LeftToe
+	RightHip
+	RightKnee
+	RightAnkle
+	RightFoot
+	RightToe
+
+	// Fingers: per hand, thumb/index/middle/ring/pinky × 3 phalanges,
+	// ordered proximal → distal.
+	LeftThumb1
+	LeftThumb2
+	LeftThumb3
+	LeftIndex1
+	LeftIndex2
+	LeftIndex3
+	LeftMiddle1
+	LeftMiddle2
+	LeftMiddle3
+	LeftRing1
+	LeftRing2
+	LeftRing3
+	LeftPinky1
+	LeftPinky2
+	LeftPinky3
+	RightThumb1
+	RightThumb2
+	RightThumb3
+	RightIndex1
+	RightIndex2
+	RightIndex3
+	RightMiddle1
+	RightMiddle2
+	RightMiddle3
+	RightRing1
+	RightRing2
+	RightRing3
+	RightPinky1
+	RightPinky2
+	RightPinky3
+
+	NumJoints int = iota
+)
+
+// jointSpec defines a joint's place in the hierarchy and its rest-pose
+// offset from its parent (T-pose, y up, meters; subject faces +z, left is
+// +x). Radius is the skinning capsule radius of the bone ending at this
+// joint.
+type jointSpec struct {
+	name   string
+	parent Joint
+	offset geom.Vec3
+	radius float64
+}
+
+var jointSpecs = [NumJoints]jointSpec{
+	Pelvis:   {"pelvis", -1, geom.Vec3{Y: 0.95}, 0.13},
+	Spine1:   {"spine1", Pelvis, geom.Vec3{Y: 0.12}, 0.13},
+	Spine2:   {"spine2", Spine1, geom.Vec3{Y: 0.13}, 0.13},
+	Spine3:   {"spine3", Spine2, geom.Vec3{Y: 0.13}, 0.14},
+	Neck:     {"neck", Spine3, geom.Vec3{Y: 0.12}, 0.05},
+	Head:     {"head", Neck, geom.Vec3{Y: 0.10}, 0.10},
+	Jaw:      {"jaw", Head, geom.Vec3{Y: -0.01, Z: 0.06}, 0.035},
+	LeftEye:  {"leftEye", Head, geom.Vec3{X: 0.035, Y: 0.05, Z: 0.09}, 0.014},
+	RightEye: {"rightEye", Head, geom.Vec3{X: -0.035, Y: 0.05, Z: 0.09}, 0.014},
+
+	LeftClavicle:  {"leftClavicle", Spine3, geom.Vec3{X: 0.09, Y: 0.05}, 0.045},
+	LeftShoulder:  {"leftShoulder", LeftClavicle, geom.Vec3{X: 0.11}, 0.05},
+	LeftElbow:     {"leftElbow", LeftShoulder, geom.Vec3{X: 0.26}, 0.045},
+	LeftWrist:     {"leftWrist", LeftElbow, geom.Vec3{X: 0.25}, 0.035},
+	RightClavicle: {"rightClavicle", Spine3, geom.Vec3{X: -0.09, Y: 0.05}, 0.045},
+	RightShoulder: {"rightShoulder", RightClavicle, geom.Vec3{X: -0.11}, 0.05},
+	RightElbow:    {"rightElbow", RightShoulder, geom.Vec3{X: -0.26}, 0.045},
+	RightWrist:    {"rightWrist", RightElbow, geom.Vec3{X: -0.25}, 0.035},
+
+	LeftHip:    {"leftHip", Pelvis, geom.Vec3{X: 0.09, Y: -0.05}, 0.08},
+	LeftKnee:   {"leftKnee", LeftHip, geom.Vec3{Y: -0.40}, 0.065},
+	LeftAnkle:  {"leftAnkle", LeftKnee, geom.Vec3{Y: -0.42}, 0.05},
+	LeftFoot:   {"leftFoot", LeftAnkle, geom.Vec3{Y: -0.06, Z: 0.10}, 0.04},
+	LeftToe:    {"leftToe", LeftFoot, geom.Vec3{Z: 0.06}, 0.025},
+	RightHip:   {"rightHip", Pelvis, geom.Vec3{X: -0.09, Y: -0.05}, 0.08},
+	RightKnee:  {"rightKnee", RightHip, geom.Vec3{Y: -0.40}, 0.065},
+	RightAnkle: {"rightAnkle", RightKnee, geom.Vec3{Y: -0.42}, 0.05},
+	RightFoot:  {"rightFoot", RightAnkle, geom.Vec3{Y: -0.06, Z: 0.10}, 0.04},
+	RightToe:   {"rightToe", RightFoot, geom.Vec3{Z: 0.06}, 0.025},
+
+	LeftThumb1:  {"leftThumb1", LeftWrist, geom.Vec3{X: 0.025, Z: 0.025}, 0.011},
+	LeftThumb2:  {"leftThumb2", LeftThumb1, geom.Vec3{X: 0.032, Z: 0.012}, 0.010},
+	LeftThumb3:  {"leftThumb3", LeftThumb2, geom.Vec3{X: 0.028}, 0.009},
+	LeftIndex1:  {"leftIndex1", LeftWrist, geom.Vec3{X: 0.09, Z: 0.024}, 0.010},
+	LeftIndex2:  {"leftIndex2", LeftIndex1, geom.Vec3{X: 0.035}, 0.009},
+	LeftIndex3:  {"leftIndex3", LeftIndex2, geom.Vec3{X: 0.025}, 0.008},
+	LeftMiddle1: {"leftMiddle1", LeftWrist, geom.Vec3{X: 0.092}, 0.010},
+	LeftMiddle2: {"leftMiddle2", LeftMiddle1, geom.Vec3{X: 0.038}, 0.009},
+	LeftMiddle3: {"leftMiddle3", LeftMiddle2, geom.Vec3{X: 0.027}, 0.008},
+	LeftRing1:   {"leftRing1", LeftWrist, geom.Vec3{X: 0.088, Z: -0.02}, 0.009},
+	LeftRing2:   {"leftRing2", LeftRing1, geom.Vec3{X: 0.034}, 0.009},
+	LeftRing3:   {"leftRing3", LeftRing2, geom.Vec3{X: 0.025}, 0.008},
+	LeftPinky1:  {"leftPinky1", LeftWrist, geom.Vec3{X: 0.082, Z: -0.038}, 0.008},
+	LeftPinky2:  {"leftPinky2", LeftPinky1, geom.Vec3{X: 0.028}, 0.008},
+	LeftPinky3:  {"leftPinky3", LeftPinky2, geom.Vec3{X: 0.02}, 0.007},
+
+	RightThumb1:  {"rightThumb1", RightWrist, geom.Vec3{X: -0.025, Z: 0.025}, 0.011},
+	RightThumb2:  {"rightThumb2", RightThumb1, geom.Vec3{X: -0.032, Z: 0.012}, 0.010},
+	RightThumb3:  {"rightThumb3", RightThumb2, geom.Vec3{X: -0.028}, 0.009},
+	RightIndex1:  {"rightIndex1", RightWrist, geom.Vec3{X: -0.09, Z: 0.024}, 0.010},
+	RightIndex2:  {"rightIndex2", RightIndex1, geom.Vec3{X: -0.035}, 0.009},
+	RightIndex3:  {"rightIndex3", RightIndex2, geom.Vec3{X: -0.025}, 0.008},
+	RightMiddle1: {"rightMiddle1", RightWrist, geom.Vec3{X: -0.092}, 0.010},
+	RightMiddle2: {"rightMiddle2", RightMiddle1, geom.Vec3{X: -0.038}, 0.009},
+	RightMiddle3: {"rightMiddle3", RightMiddle2, geom.Vec3{X: -0.027}, 0.008},
+	RightRing1:   {"rightRing1", RightWrist, geom.Vec3{X: -0.088, Z: -0.02}, 0.009},
+	RightRing2:   {"rightRing2", RightRing1, geom.Vec3{X: -0.034}, 0.009},
+	RightRing3:   {"rightRing3", RightRing2, geom.Vec3{X: -0.025}, 0.008},
+	RightPinky1:  {"rightPinky1", RightWrist, geom.Vec3{X: -0.082, Z: -0.038}, 0.008},
+	RightPinky2:  {"rightPinky2", RightPinky1, geom.Vec3{X: -0.028}, 0.008},
+	RightPinky3:  {"rightPinky3", RightPinky2, geom.Vec3{X: -0.02}, 0.007},
+}
+
+// Name returns the joint's canonical name.
+func (j Joint) Name() string {
+	if j < 0 || int(j) >= NumJoints {
+		return "invalid"
+	}
+	return jointSpecs[j].name
+}
+
+// Parent returns the joint's parent, or -1 for the root.
+func (j Joint) Parent() Joint { return jointSpecs[j].parent }
+
+// Skeleton holds the rest-pose hierarchy after shape parameters have been
+// applied (shape scales bone offsets).
+type Skeleton struct {
+	Offsets [NumJoints]geom.Vec3 // rest offset from parent
+	Radii   [NumJoints]float64   // capsule radius of the bone ending here
+}
+
+// NewSkeleton builds the canonical (zero-shape) skeleton.
+func NewSkeleton() *Skeleton {
+	var s Skeleton
+	for j := 0; j < NumJoints; j++ {
+		s.Offsets[j] = jointSpecs[j].offset
+		s.Radii[j] = jointSpecs[j].radius
+	}
+	return &s
+}
+
+// shapedSkeleton applies shape coefficients. The first coefficients have
+// interpretable meaning, mirroring SMPL-X's principal components:
+//
+//	0: overall height scale   1: limb length   2: torso girth
+//	3: shoulder width         4: head size     5: leg/arm ratio
+//
+// Remaining coefficients perturb individual bone groups slightly so the
+// space has full rank.
+func shapedSkeleton(shape []float64) *Skeleton {
+	s := NewSkeleton()
+	get := func(i int) float64 {
+		if i < len(shape) {
+			return geom.Clamp(shape[i], -3, 3)
+		}
+		return 0
+	}
+	heightScale := 1 + 0.07*get(0)
+	limbScale := 1 + 0.06*get(1)
+	girth := 1 + 0.10*get(2)
+	shoulders := 1 + 0.08*get(3)
+	headScale := 1 + 0.05*get(4)
+	legArm := 0.04 * get(5)
+
+	for j := 0; j < NumJoints; j++ {
+		off := s.Offsets[j].Scale(heightScale)
+		switch Joint(j) {
+		case LeftShoulder, RightShoulder, LeftClavicle, RightClavicle:
+			off = off.Scale(shoulders)
+		case LeftElbow, LeftWrist, RightElbow, RightWrist:
+			off = off.Scale(limbScale * (1 - legArm))
+		case LeftKnee, LeftAnkle, RightKnee, RightAnkle:
+			off = off.Scale(limbScale * (1 + legArm))
+		case Head, Jaw, LeftEye, RightEye:
+			off = off.Scale(headScale)
+		}
+		// Small full-rank perturbation from the remaining coefficients.
+		if k := 6 + (j % 10); k < len(shape) {
+			off = off.Scale(1 + 0.01*geom.Clamp(shape[k], -3, 3))
+		}
+		s.Offsets[j] = off
+		s.Radii[j] *= girth
+		if Joint(j) == Head {
+			s.Radii[j] = jointSpecs[j].radius * headScale
+		}
+	}
+	return s
+}
+
+// globalTransforms runs forward kinematics: world transform per joint for
+// the given pose (axis-angle per joint) and root translation.
+func (s *Skeleton) globalTransforms(pose *[NumJoints]geom.Vec3, translation geom.Vec3) [NumJoints]geom.Mat4 {
+	var g [NumJoints]geom.Mat4
+	for j := 0; j < NumJoints; j++ {
+		local := geom.RigidTransform(geom.QuatFromRotationVector(pose[j]).Mat3(), s.Offsets[j])
+		if p := jointSpecs[j].parent; p < 0 {
+			root := geom.Translation(translation)
+			g[j] = root.Mul(local)
+		} else {
+			g[j] = g[p].Mul(local)
+		}
+	}
+	return g
+}
+
+// restGlobalTransforms is forward kinematics with the zero pose.
+func (s *Skeleton) restGlobalTransforms() [NumJoints]geom.Mat4 {
+	var zero [NumJoints]geom.Vec3
+	return s.globalTransforms(&zero, geom.Vec3{})
+}
+
+// JointPositions extracts world-space joint positions from transforms.
+func JointPositions(g *[NumJoints]geom.Mat4) [NumJoints]geom.Vec3 {
+	var p [NumJoints]geom.Vec3
+	for j := 0; j < NumJoints; j++ {
+		p[j] = g[j].TranslationPart()
+	}
+	return p
+}

@@ -1,0 +1,148 @@
+package capture
+
+import (
+	"math"
+	"testing"
+
+	"semholo/internal/body"
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+	"semholo/internal/pointcloud"
+	"semholo/internal/render"
+)
+
+func testRig(noise NoiseModel) *Rig {
+	r := NewRing(4, 2.5, 1.0, geom.V3(0, 1.0, 0), 96, math.Pi/3, 42)
+	r.Noise = noise
+	return r
+}
+
+func TestRingGeometry(t *testing.T) {
+	r := testRig(NoiseModel{})
+	if len(r.Cameras) != 4 {
+		t.Fatalf("got %d cameras", len(r.Cameras))
+	}
+	for i, cam := range r.Cameras {
+		c := cam.Center()
+		radial := math.Hypot(c.X, c.Z)
+		if math.Abs(radial-2.5) > 1e-9 {
+			t.Errorf("camera %d at radius %v", i, radial)
+		}
+		if math.Abs(c.Y-1.0) > 1e-9 {
+			t.Errorf("camera %d at height %v", i, c.Y)
+		}
+		// Each camera sees the target at its image center.
+		px, _, ok := cam.ProjectWorld(geom.V3(0, 1.0, 0))
+		if !ok || math.Abs(px.X-48) > 1e-6 || math.Abs(px.Y-48) > 1e-6 {
+			t.Errorf("camera %d target projects to %v", i, px)
+		}
+	}
+}
+
+func TestCaptureCleanSphere(t *testing.T) {
+	r := testRig(NoiseModel{})
+	s := mesh.UnitSphere(3)
+	s.Transform(geom.Translation(geom.V3(0, 1.0, 0)))
+	views := r.Capture(s, render.MeshOptions{})
+	if len(views) != 4 {
+		t.Fatalf("got %d views", len(views))
+	}
+	cloud := pointcloud.Fuse(views, pointcloud.FuseOptions{Stride: 2})
+	if cloud.Len() < 500 {
+		t.Fatalf("fused only %d points", cloud.Len())
+	}
+	for _, p := range cloud.Points {
+		if math.Abs(p.Sub(geom.V3(0, 1, 0)).Len()-1) > 0.02 {
+			t.Fatalf("clean capture point %v off surface", p)
+		}
+	}
+}
+
+func TestNoiseModelPerturbsDepth(t *testing.T) {
+	clean := testRig(NoiseModel{})
+	noisy := testRig(NoiseModel{DepthSigma: 0.01})
+	s := mesh.UnitSphere(3)
+	s.Transform(geom.Translation(geom.V3(0, 1.0, 0)))
+	vc := clean.Capture(s, render.MeshOptions{})[0]
+	vn := noisy.Capture(s, render.MeshOptions{})[0]
+	var diff, n float64
+	for i := range vc.Depth {
+		if vc.Depth[i] > 0 && vn.Depth[i] > 0 {
+			diff += math.Abs(vc.Depth[i] - vn.Depth[i])
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no overlapping pixels")
+	}
+	avg := diff / n
+	// σ=0.01 at ~1.5-2.5 m range, scaled by z²: expect several cm mean.
+	if avg < 0.005 {
+		t.Errorf("mean depth perturbation %.4f too small for σ=0.01", avg)
+	}
+}
+
+func TestDropoutCreatesHoles(t *testing.T) {
+	r := testRig(NoiseModel{Dropout: 0.5})
+	s := mesh.UnitSphere(3)
+	s.Transform(geom.Translation(geom.V3(0, 1.0, 0)))
+	vNoisy := r.Capture(s, render.MeshOptions{})[0]
+	rClean := testRig(NoiseModel{})
+	vClean := rClean.Capture(s, render.MeshOptions{})[0]
+	countValid := func(v pointcloud.DepthView) int {
+		n := 0
+		for _, d := range v.Depth {
+			if d > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	nc, nn := countValid(vClean), countValid(vNoisy)
+	if nn >= nc {
+		t.Fatalf("dropout did not reduce valid pixels: %d vs %d", nn, nc)
+	}
+	ratio := float64(nn) / float64(nc)
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Errorf("dropout 0.5 kept %.2f of pixels", ratio)
+	}
+}
+
+func TestSequenceProducesMovingCaptures(t *testing.T) {
+	seq := &Sequence{
+		Model:  body.NewModel(nil, body.ModelOptions{Detail: 1}),
+		Motion: body.Waving(nil),
+		Rig:    testRig(KinectLike()),
+		FPS:    30,
+		Render: SkinShader(),
+	}
+	c0 := seq.FrameAt(0)
+	c15 := seq.FrameAt(15)
+	if c0.Time != 0 || math.Abs(c15.Time-0.5) > 1e-9 {
+		t.Errorf("timestamps %v %v", c0.Time, c15.Time)
+	}
+	if c0.Truth.Distance(c15.Truth) == 0 {
+		t.Error("motion frozen across half a second")
+	}
+	if len(c0.Views) != 4 {
+		t.Fatalf("%d views", len(c0.Views))
+	}
+	// The capture actually sees the human: fuse and check extent.
+	cloud := pointcloud.Fuse(c0.Views, pointcloud.FuseOptions{Stride: 2})
+	if cloud.Len() < 200 {
+		t.Fatalf("human barely visible: %d points", cloud.Len())
+	}
+	b := cloud.Bounds()
+	if b.Size().Y < 1.0 {
+		t.Errorf("captured human height %.2f m", b.Size().Y)
+	}
+}
+
+func TestSkinShaderSegmentsBody(t *testing.T) {
+	opt := SkinShader()
+	head := opt.Shader(0, [3]float64{1, 0, 0}, geom.V3(0, 1.6, 0), geom.V3(0, 0, 1))
+	legs := opt.Shader(0, [3]float64{1, 0, 0}, geom.V3(0, 0.4, 0), geom.V3(0, 0, 1))
+	if head == legs {
+		t.Error("shader does not distinguish head from legs")
+	}
+}

@@ -1,0 +1,85 @@
+// Package compress provides the compression substrate for SemHolo's wire
+// payloads. The paper compresses keypoint semantics with LZMA and
+// traditional meshes with Google Draco (§4.2, Table 2); neither is
+// available to an offline, stdlib-only build, so this package provides
+// from-scratch equivalents from the same codec families:
+//
+//   - lzr (subpackage): an LZMA-family general-purpose codec — LZ77
+//     matching with an adaptive binary range coder.
+//   - dracogo (subpackage): a Draco-style mesh codec — attribute
+//     quantization, delta/parallelogram prediction, entropy coding.
+//   - flate-based codec: stdlib DEFLATE as a second general baseline.
+//
+// The Codec interface makes the benchmark harness codec-agnostic.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"semholo/internal/compress/lzr"
+)
+
+// Codec is a byte-level general-purpose compressor.
+type Codec interface {
+	// Name identifies the codec in benchmark output.
+	Name() string
+	// Encode compresses src into a self-describing buffer.
+	Encode(src []byte) []byte
+	// Decode reverses Encode.
+	Decode(src []byte) ([]byte, error)
+}
+
+// LZR returns the LZMA-family codec (the stand-in for the paper's LZMA).
+func LZR() Codec { return lzrCodec{} }
+
+type lzrCodec struct{}
+
+func (lzrCodec) Name() string                      { return "lzr" }
+func (lzrCodec) Encode(src []byte) []byte          { return lzr.Compress(src) }
+func (lzrCodec) Decode(src []byte) ([]byte, error) { return lzr.Decompress(src) }
+
+// Flate returns a stdlib DEFLATE codec at best compression.
+func Flate() Codec { return flateCodec{} }
+
+type flateCodec struct{}
+
+func (flateCodec) Name() string { return "flate" }
+
+func (flateCodec) Encode(src []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		// flate.NewWriter only fails on invalid level; ours is constant.
+		panic(fmt.Sprintf("compress: flate writer: %v", err))
+	}
+	if _, err := w.Write(src); err != nil {
+		panic(fmt.Sprintf("compress: flate write: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("compress: flate close: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func (flateCodec) Decode(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("compress: flate decode: %w", err)
+	}
+	return out, nil
+}
+
+// Identity returns a no-op codec, used as the "w/o compression" arm of
+// Table 2.
+func Identity() Codec { return identityCodec{} }
+
+type identityCodec struct{}
+
+func (identityCodec) Name() string                      { return "identity" }
+func (identityCodec) Encode(src []byte) []byte          { return append([]byte(nil), src...) }
+func (identityCodec) Decode(src []byte) ([]byte, error) { return append([]byte(nil), src...), nil }

@@ -1,0 +1,57 @@
+package compress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecsRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte(strings.Repeat("semantic communication ", 200)),
+		bytes.Repeat([]byte{0, 1, 2, 3, 255}, 1000),
+	}
+	for _, c := range []Codec{LZR(), Flate(), Identity()} {
+		for i, p := range payloads {
+			enc := c.Encode(p)
+			dec, err := c.Decode(enc)
+			if err != nil {
+				t.Fatalf("%s payload %d: %v", c.Name(), i, err)
+			}
+			if !bytes.Equal(dec, p) {
+				t.Fatalf("%s payload %d: round trip mismatch", c.Name(), i)
+			}
+		}
+	}
+}
+
+func TestCodecNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range []Codec{LZR(), Flate(), Identity()} {
+		if seen[c.Name()] {
+			t.Fatalf("duplicate codec name %q", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+}
+
+func TestLZRCompetitiveWithFlate(t *testing.T) {
+	// On repetitive structured data our LZMA-family codec should be in
+	// the same league as DEFLATE (within 2×).
+	src := []byte(strings.Repeat("pose=0.12,0.33,1.25;", 500))
+	l := len(LZR().Encode(src))
+	f := len(Flate().Encode(src))
+	if float64(l) > 2*float64(f) {
+		t.Errorf("lzr %d bytes vs flate %d bytes", l, f)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, c := range []Codec{LZR(), Flate()} {
+		if _, err := c.Decode([]byte("definitely not compressed")); err == nil {
+			t.Errorf("%s accepted garbage", c.Name())
+		}
+	}
+}

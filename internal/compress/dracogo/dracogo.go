@@ -1,0 +1,425 @@
+// Package dracogo implements a Draco-style lossy mesh and point-cloud
+// codec: attribute quantization over the bounding box, delta prediction,
+// variable-length integer packing, and a final entropy-coding pass with
+// the lzr range coder. It is the stand-in for Google Draco, which the
+// paper uses to compress the traditional untextured mesh baseline
+// (§4.2, Table 2: 397.7 KB → 42.1 KB per frame).
+package dracogo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"semholo/internal/compress/lzr"
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+	"semholo/internal/pointcloud"
+)
+
+// ErrCorrupt is returned for malformed streams.
+var ErrCorrupt = errors.New("dracogo: corrupt stream")
+
+const (
+	meshMagic  = "DGM1"
+	cloudMagic = "DGC1"
+
+	flagNormals = 1 << 0
+	flagUVs     = 1 << 1
+	flagColors  = 1 << 2
+)
+
+// Options controls quantization fidelity.
+type Options struct {
+	// PositionBits is the per-axis position quantization (default 14,
+	// Draco's default). Valid range 1..30.
+	PositionBits int
+	// NormalBits quantizes normal components (default 8).
+	NormalBits int
+	// UVBits quantizes texture coordinates (default 12).
+	UVBits int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PositionBits <= 0 {
+		o.PositionBits = 14
+	}
+	if o.PositionBits > 30 {
+		o.PositionBits = 30
+	}
+	if o.NormalBits <= 0 {
+		o.NormalBits = 8
+	}
+	if o.UVBits <= 0 {
+		o.UVBits = 12
+	}
+	return o
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+type quantizer struct {
+	min  geom.Vec3
+	inv  geom.Vec3 // levels/extent per axis
+	step geom.Vec3 // extent/levels per axis
+}
+
+func newQuantizer(b geom.AABB, bits int) quantizer {
+	levels := float64(int64(1)<<uint(bits) - 1)
+	size := b.Size()
+	q := quantizer{min: b.Min}
+	axis := func(ext float64) (inv, step float64) {
+		if ext <= 0 {
+			return 0, 0
+		}
+		return levels / ext, ext / levels
+	}
+	q.inv.X, q.step.X = axis(size.X)
+	q.inv.Y, q.step.Y = axis(size.Y)
+	q.inv.Z, q.step.Z = axis(size.Z)
+	return q
+}
+
+func (q quantizer) quantize(p geom.Vec3) (x, y, z int64) {
+	d := p.Sub(q.min)
+	return int64(d.X*q.inv.X + 0.5), int64(d.Y*q.inv.Y + 0.5), int64(d.Z*q.inv.Z + 0.5)
+}
+
+func (q quantizer) dequantize(x, y, z int64) geom.Vec3 {
+	return geom.Vec3{
+		X: q.min.X + float64(x)*q.step.X,
+		Y: q.min.Y + float64(y)*q.step.Y,
+		Z: q.min.Z + float64(z)*q.step.Z,
+	}
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func readFloat(buf []byte) (float64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("%w: short float", ErrCorrupt)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf)), buf[8:], nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	return v, buf[n:], nil
+}
+
+// EncodeMesh compresses m. Vertex positions are quantized; normals and
+// UVs, when present, travel quantized as well. Face connectivity is
+// delta-coded against the previous face.
+func EncodeMesh(m *mesh.Mesh, opt Options) []byte {
+	opt = opt.withDefaults()
+	buf := []byte(meshMagic)
+	var flags byte
+	if m.Normals != nil {
+		flags |= flagNormals
+	}
+	if m.UVs != nil {
+		flags |= flagUVs
+	}
+	buf = append(buf, flags, byte(opt.PositionBits), byte(opt.NormalBits), byte(opt.UVBits))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Vertices)))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Faces)))
+
+	b := m.Bounds()
+	if b.IsEmpty() {
+		b = geom.AABB{}
+	}
+	for _, f := range []float64{b.Min.X, b.Min.Y, b.Min.Z, b.Max.X, b.Max.Y, b.Max.Z} {
+		buf = appendFloat(buf, f)
+	}
+
+	q := newQuantizer(b, opt.PositionBits)
+	var px, py, pz int64
+	for _, v := range m.Vertices {
+		x, y, z := q.quantize(v)
+		buf = binary.AppendUvarint(buf, zigzag(x-px))
+		buf = binary.AppendUvarint(buf, zigzag(y-py))
+		buf = binary.AppendUvarint(buf, zigzag(z-pz))
+		px, py, pz = x, y, z
+	}
+
+	if m.Normals != nil {
+		scale := float64(int64(1)<<uint(opt.NormalBits-1) - 1)
+		var nx, ny, nz int64
+		for _, n := range m.Normals {
+			x := int64(n.X * scale)
+			y := int64(n.Y * scale)
+			z := int64(n.Z * scale)
+			buf = binary.AppendUvarint(buf, zigzag(x-nx))
+			buf = binary.AppendUvarint(buf, zigzag(y-ny))
+			buf = binary.AppendUvarint(buf, zigzag(z-nz))
+			nx, ny, nz = x, y, z
+		}
+	}
+	if m.UVs != nil {
+		scale := float64(int64(1)<<uint(opt.UVBits) - 1)
+		var ux, uy int64
+		for _, uv := range m.UVs {
+			x := int64(geom.Clamp(uv.X, 0, 1) * scale)
+			y := int64(geom.Clamp(uv.Y, 0, 1) * scale)
+			buf = binary.AppendUvarint(buf, zigzag(x-ux))
+			buf = binary.AppendUvarint(buf, zigzag(y-uy))
+			ux, uy = x, y
+		}
+	}
+
+	var pa int64
+	for _, f := range m.Faces {
+		buf = binary.AppendUvarint(buf, zigzag(int64(f.A)-pa))
+		buf = binary.AppendUvarint(buf, zigzag(int64(f.B)-int64(f.A)))
+		buf = binary.AppendUvarint(buf, zigzag(int64(f.C)-int64(f.A)))
+		pa = int64(f.A)
+	}
+	return lzr.Compress(buf)
+}
+
+// DecodeMesh reverses EncodeMesh. The result is lossy: positions are
+// reconstructed to quantization precision.
+func DecodeMesh(data []byte) (*mesh.Mesh, error) {
+	raw, err := lzr.Decompress(data)
+	if err != nil {
+		return nil, fmt.Errorf("dracogo: %w", err)
+	}
+	if len(raw) < 8 || string(raw[:4]) != meshMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	flags := raw[4]
+	posBits, normBits, uvBits := int(raw[5]), int(raw[6]), int(raw[7])
+	if posBits < 1 || posBits > 30 {
+		return nil, fmt.Errorf("%w: position bits %d", ErrCorrupt, posBits)
+	}
+	buf := raw[8:]
+
+	nv, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	nf, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if nv > 1<<28 || nf > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible sizes %d/%d", ErrCorrupt, nv, nf)
+	}
+	var bounds [6]float64
+	for i := range bounds {
+		bounds[i], buf, err = readFloat(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b := geom.AABB{
+		Min: geom.V3(bounds[0], bounds[1], bounds[2]),
+		Max: geom.V3(bounds[3], bounds[4], bounds[5]),
+	}
+	q := newQuantizer(b, posBits)
+
+	m := &mesh.Mesh{Vertices: make([]geom.Vec3, nv), Faces: make([]mesh.Face, nf)}
+	var px, py, pz int64
+	for i := uint64(0); i < nv; i++ {
+		var dx, dy, dz uint64
+		if dx, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if dy, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if dz, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		px += unzigzag(dx)
+		py += unzigzag(dy)
+		pz += unzigzag(dz)
+		m.Vertices[i] = q.dequantize(px, py, pz)
+	}
+
+	if flags&flagNormals != 0 {
+		scale := float64(int64(1)<<uint(normBits-1) - 1)
+		if scale <= 0 {
+			return nil, fmt.Errorf("%w: normal bits %d", ErrCorrupt, normBits)
+		}
+		m.Normals = make([]geom.Vec3, nv)
+		var nx, ny, nz int64
+		for i := uint64(0); i < nv; i++ {
+			var dx, dy, dz uint64
+			if dx, buf, err = readUvarint(buf); err != nil {
+				return nil, err
+			}
+			if dy, buf, err = readUvarint(buf); err != nil {
+				return nil, err
+			}
+			if dz, buf, err = readUvarint(buf); err != nil {
+				return nil, err
+			}
+			nx += unzigzag(dx)
+			ny += unzigzag(dy)
+			nz += unzigzag(dz)
+			m.Normals[i] = geom.V3(float64(nx)/scale, float64(ny)/scale, float64(nz)/scale).Normalize()
+		}
+	}
+	if flags&flagUVs != 0 {
+		scale := float64(int64(1)<<uint(uvBits) - 1)
+		if scale <= 0 {
+			return nil, fmt.Errorf("%w: uv bits %d", ErrCorrupt, uvBits)
+		}
+		m.UVs = make([]geom.Vec2, nv)
+		var ux, uy int64
+		for i := uint64(0); i < nv; i++ {
+			var dx, dy uint64
+			if dx, buf, err = readUvarint(buf); err != nil {
+				return nil, err
+			}
+			if dy, buf, err = readUvarint(buf); err != nil {
+				return nil, err
+			}
+			ux += unzigzag(dx)
+			uy += unzigzag(dy)
+			m.UVs[i] = geom.V2(float64(ux)/scale, float64(uy)/scale)
+		}
+	}
+
+	var pa int64
+	for i := uint64(0); i < nf; i++ {
+		var da, db, dc uint64
+		if da, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if db, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if dc, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		a := pa + unzigzag(da)
+		bidx := a + unzigzag(db)
+		cidx := a + unzigzag(dc)
+		if a < 0 || bidx < 0 || cidx < 0 || uint64(a) >= nv || uint64(bidx) >= nv || uint64(cidx) >= nv {
+			return nil, fmt.Errorf("%w: face %d out of range", ErrCorrupt, i)
+		}
+		m.Faces[i] = mesh.Face{A: int(a), B: int(bidx), C: int(cidx)}
+		pa = a
+	}
+	_ = buf
+	return m, nil
+}
+
+// EncodeCloud compresses a point cloud: quantized positions (delta-coded
+// in Morton-ish append order) plus optional 8-bit colors.
+func EncodeCloud(c *pointcloud.Cloud, opt Options) []byte {
+	opt = opt.withDefaults()
+	buf := []byte(cloudMagic)
+	var flags byte
+	if c.Colors != nil {
+		flags |= flagColors
+	}
+	buf = append(buf, flags, byte(opt.PositionBits))
+	buf = binary.AppendUvarint(buf, uint64(len(c.Points)))
+
+	b := c.Bounds()
+	if b.IsEmpty() {
+		b = geom.AABB{}
+	}
+	for _, f := range []float64{b.Min.X, b.Min.Y, b.Min.Z, b.Max.X, b.Max.Y, b.Max.Z} {
+		buf = appendFloat(buf, f)
+	}
+	q := newQuantizer(b, opt.PositionBits)
+	var px, py, pz int64
+	for _, p := range c.Points {
+		x, y, z := q.quantize(p)
+		buf = binary.AppendUvarint(buf, zigzag(x-px))
+		buf = binary.AppendUvarint(buf, zigzag(y-py))
+		buf = binary.AppendUvarint(buf, zigzag(z-pz))
+		px, py, pz = x, y, z
+	}
+	if c.Colors != nil {
+		for _, col := range c.Colors {
+			buf = append(buf,
+				byte(geom.Clamp(col.R, 0, 1)*255),
+				byte(geom.Clamp(col.G, 0, 1)*255),
+				byte(geom.Clamp(col.B, 0, 1)*255))
+		}
+	}
+	return lzr.Compress(buf)
+}
+
+// DecodeCloud reverses EncodeCloud.
+func DecodeCloud(data []byte) (*pointcloud.Cloud, error) {
+	raw, err := lzr.Decompress(data)
+	if err != nil {
+		return nil, fmt.Errorf("dracogo: %w", err)
+	}
+	if len(raw) < 6 || string(raw[:4]) != cloudMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	flags := raw[4]
+	posBits := int(raw[5])
+	if posBits < 1 || posBits > 30 {
+		return nil, fmt.Errorf("%w: position bits %d", ErrCorrupt, posBits)
+	}
+	buf := raw[6:]
+	n, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible point count %d", ErrCorrupt, n)
+	}
+	var bounds [6]float64
+	for i := range bounds {
+		bounds[i], buf, err = readFloat(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b := geom.AABB{
+		Min: geom.V3(bounds[0], bounds[1], bounds[2]),
+		Max: geom.V3(bounds[3], bounds[4], bounds[5]),
+	}
+	q := newQuantizer(b, posBits)
+
+	c := &pointcloud.Cloud{Points: make([]geom.Vec3, n)}
+	var px, py, pz int64
+	for i := uint64(0); i < n; i++ {
+		var dx, dy, dz uint64
+		if dx, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if dy, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if dz, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		px += unzigzag(dx)
+		py += unzigzag(dy)
+		pz += unzigzag(dz)
+		c.Points[i] = q.dequantize(px, py, pz)
+	}
+	if flags&flagColors != 0 {
+		if uint64(len(buf)) < 3*n {
+			return nil, fmt.Errorf("%w: short color block", ErrCorrupt)
+		}
+		c.Colors = make([]pointcloud.Color, n)
+		for i := uint64(0); i < n; i++ {
+			c.Colors[i] = pointcloud.Color{
+				R: float64(buf[3*i]) / 255,
+				G: float64(buf[3*i+1]) / 255,
+				B: float64(buf[3*i+2]) / 255,
+			}
+		}
+	}
+	return c, nil
+}

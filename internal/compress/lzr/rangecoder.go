@@ -1,0 +1,180 @@
+// Package lzr implements an LZMA-family lossless codec: LZ77 matching
+// over the full input window combined with an adaptive binary range
+// coder. It is the stand-in for the LZMA compressor the paper applies to
+// keypoint semantics (§4.2); the probability-model layout follows the
+// classic LZMA design (11-bit probabilities, bit trees, position slots)
+// in simplified form.
+package lzr
+
+const (
+	probBits = 11
+	probInit = 1 << (probBits - 1) // 1024 = p(0) = 0.5
+	moveBits = 5
+	topValue = 1 << 24
+)
+
+// prob is an adaptive probability of the next bit being 0, in [0, 2048).
+type prob = uint16
+
+// rangeEncoder is a carry-propagating binary range encoder (LZMA style).
+type rangeEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+func newRangeEncoder() *rangeEncoder {
+	return &rangeEncoder{rng: 0xFFFFFFFF, cacheSize: 1}
+}
+
+func (e *rangeEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || (e.low>>32) != 0 {
+		temp := e.cache
+		for {
+			e.out = append(e.out, temp+byte(e.low>>32))
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+func (e *rangeEncoder) encodeBit(p *prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+// encodeDirect encodes n bits of v (MSB first) at fixed probability ½.
+func (e *rangeEncoder) encodeDirect(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		e.rng >>= 1
+		if (v>>uint(i))&1 != 0 {
+			e.low += uint64(e.rng)
+		}
+		if e.rng < topValue {
+			e.shiftLow()
+			e.rng <<= 8
+		}
+	}
+}
+
+func (e *rangeEncoder) flush() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// rangeDecoder mirrors rangeEncoder.
+type rangeDecoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+	err  bool // set on input underrun; surfaced by the caller
+}
+
+func newRangeDecoder(in []byte) *rangeDecoder {
+	d := &rangeDecoder{rng: 0xFFFFFFFF, in: in}
+	d.next() // first byte emitted by the encoder is always 0
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *rangeDecoder) next() byte {
+	if d.pos >= len(d.in) {
+		d.err = true
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *rangeDecoder) decodeBit(p *prob) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+		bit = 0
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return bit
+}
+
+func (d *rangeDecoder) decodeDirect(n int) uint32 {
+	var v uint32
+	for i := 0; i < n; i++ {
+		d.rng >>= 1
+		d.code -= d.rng
+		t := 0 - (d.code >> 31) // all-ones when code borrowed
+		d.code += d.rng & t
+		v = v<<1 | (t + 1)
+		if d.rng < topValue {
+			d.rng <<= 8
+			d.code = d.code<<8 | uint32(d.next())
+		}
+	}
+	return v
+}
+
+// bitTree encodes nbit-wide symbols through a tree of 2^nbit−1 adaptive
+// probabilities, MSB first.
+type bitTree struct {
+	probs []prob
+	nbit  int
+}
+
+func newBitTree(nbit int) *bitTree {
+	t := &bitTree{probs: make([]prob, 1<<nbit), nbit: nbit}
+	for i := range t.probs {
+		t.probs[i] = probInit
+	}
+	return t
+}
+
+func (t *bitTree) encode(e *rangeEncoder, sym uint32) {
+	node := uint32(1)
+	for i := t.nbit - 1; i >= 0; i-- {
+		bit := int((sym >> uint(i)) & 1)
+		e.encodeBit(&t.probs[node], bit)
+		node = node<<1 | uint32(bit)
+	}
+}
+
+func (t *bitTree) decode(d *rangeDecoder) uint32 {
+	node := uint32(1)
+	for i := 0; i < t.nbit; i++ {
+		node = node<<1 | uint32(d.decodeBit(&t.probs[node]))
+	}
+	return node - 1<<t.nbit
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"semholo/internal/compress"
+	"semholo/internal/netsim"
+	"semholo/internal/textsem"
+	"semholo/internal/transport"
+)
+
+// TestLiveAdaptationLoop runs the full closed control loop the paper's
+// rate-adaptation agenda implies: the receiver measures delivered
+// bandwidth and reports it on the control channel; the sender's adaptive
+// encoder switches semantics; the link's bandwidth is collapsed
+// mid-session and the stream must downshift (traditional → keypoint or
+// text) without stalling.
+func TestLiveAdaptationLoop(t *testing.T) {
+	a, b, link := netsim.Pipe(netsim.LinkConfig{Bandwidth: 100e6, MTU: 16 * 1024})
+	defer link.Close()
+
+	// Sender side.
+	textEnc := &TextEncoder{Captioner: textsem.Captioner{CellSize: 0.25, Precision: 2}, Codec: compress.LZR()}
+	kpEnc := newKeypointEncoder(false)
+	tradEnc := &TraditionalEncoder{}
+	adaptive, err := NewAdaptiveEncoder([]AdaptiveLevel{
+		{Encoder: textEnc, Bitrate: 0.05e6},
+		{Encoder: kpEnc, Bitrate: 0.4e6},
+		{Encoder: tradEnc, Bitrate: 3e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var switchMu sync.Mutex
+	var switches []Mode
+	adaptive.OnSwitch = func(from, to Mode) {
+		switchMu.Lock()
+		switches = append(switches, to)
+		switchMu.Unlock()
+	}
+
+	type hs struct {
+		s   *transport.Session
+		err error
+	}
+	hch := make(chan hs, 1)
+	go func() {
+		s, _, err := transport.Accept(b, transport.Hello{Peer: "rx", Mode: "adaptive"})
+		hch <- hs{s, err}
+	}()
+	sessA, _, err := transport.Dial(a, transport.Hello{Peer: "tx", Mode: "adaptive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := <-hch
+	if h.err != nil {
+		t.Fatal(h.err)
+	}
+
+	sender := &Sender{Session: sessA, Encoder: adaptive}
+	sender.OnBandwidth = func(bps float64) { adaptive.UpdateBandwidth(bps) }
+
+	// The sender also consumes incoming control frames (full duplex).
+	go func() {
+		for {
+			f, err := sessA.Recv()
+			if err != nil {
+				return
+			}
+			if f.Type == transport.TypeControl {
+				_ = sender.HandleControl(f)
+			}
+		}
+	}()
+
+	// Receiver side: decode and report bandwidth after every frame.
+	receiver := &Receiver{
+		Session: h.s,
+		Decoder: &AdaptiveDecoder{
+			Keypoint:    &KeypointDecoder{Model: testModel, Codec: compress.LZR()},
+			Traditional: &TraditionalDecoder{},
+			Text:        &TextDecoder{Codec: compress.LZR()},
+		},
+		Estimator: transport.NewBandwidthEstimator(),
+	}
+	receiver.Estimator.Window = 50 * time.Millisecond
+
+	const totalFrames = 30
+	recvModes := make(chan Mode, totalFrames)
+	go func() {
+		defer close(recvModes)
+		for i := 0; i < totalFrames; i++ {
+			data, err := receiver.NextFrame()
+			if err != nil {
+				if errors.Is(err, ErrSessionClosed) || errors.Is(err, io.EOF) {
+					return
+				}
+				t.Errorf("recv frame %d: %v", i, err)
+				return
+			}
+			switch {
+			case data.Mesh != nil && data.Params == nil:
+				recvModes <- ModeTraditional
+			case data.Params != nil:
+				recvModes <- ModeKeypoint
+			case data.Cloud != nil:
+				recvModes <- ModeText
+			}
+			_ = receiver.ReportBandwidth()
+		}
+	}()
+
+	// Pin the initial mode to traditional (healthy link), then stream;
+	// collapse the link mid-way.
+	adaptive.UpdateBandwidth(100e6)
+	for i := 0; i < totalFrames; i++ {
+		if i == 10 {
+			link.SetBandwidth(0.25e6) // congestion hits
+		}
+		if err := sender.SendFrame(testSeq.FrameAt(i % 8)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		// Paced at ~30 FPS so bandwidth windows close.
+		time.Sleep(20 * time.Millisecond)
+	}
+	sessA.Close()
+
+	var seen []Mode
+	for m := range recvModes {
+		seen = append(seen, m)
+	}
+	if len(seen) < totalFrames/2 {
+		t.Fatalf("only %d/%d frames delivered", len(seen), totalFrames)
+	}
+	// The session must start traditional and end in a cheaper mode.
+	if seen[0] != ModeTraditional {
+		t.Errorf("first delivered mode %s, want traditional", seen[0])
+	}
+	last := seen[len(seen)-1]
+	if last == ModeTraditional {
+		t.Errorf("stream never downshifted after congestion; modes: %v", seen)
+	}
+	switchMu.Lock()
+	defer switchMu.Unlock()
+	if len(switches) == 0 {
+		t.Error("adaptive encoder never switched")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"semholo/internal/capture"
+	"semholo/internal/compress/dracogo"
+	"semholo/internal/pointcloud"
+	"semholo/internal/transport"
+)
+
+// ChanCloudData carries Draco-style compressed point clouds — the other
+// half of Figure 1's "PtCl/Mesh" traditional representation.
+const ChanCloudData uint16 = 11
+
+// CloudEncoder ships the fused multi-view point cloud every frame,
+// compressed with the Draco-style cloud codec. Compared to the mesh
+// baseline it skips surface reconstruction at the capture side (cheaper
+// extraction) at the cost of shipping more primitives.
+type CloudEncoder struct {
+	// Fuse controls multi-view fusion (stride/voxel/outlier filtering).
+	Fuse pointcloud.FuseOptions
+	// Options tunes quantization.
+	Options dracogo.Options
+}
+
+// Mode implements Encoder (a traditional-family pipeline).
+func (e *CloudEncoder) Mode() Mode { return ModeTraditional }
+
+// Encode implements Encoder.
+func (e *CloudEncoder) Encode(c capture.Capture) (EncodedFrame, error) {
+	if len(c.Views) == 0 {
+		return EncodedFrame{}, fmt.Errorf("core: cloud encoder needs views")
+	}
+	fuse := e.Fuse
+	if fuse.Stride == 0 {
+		fuse.Stride = 2
+	}
+	if fuse.Voxel == 0 {
+		fuse.Voxel = 0.015
+	}
+	cloud := pointcloud.Fuse(c.Views, fuse)
+	payload := dracogo.EncodeCloud(cloud, e.Options)
+	return EncodedFrame{Channels: []ChannelPayload{{
+		Channel: ChanCloudData,
+		Flags:   transport.FlagKeyframe | transport.FlagCompressed | transport.FlagEndOfFrame,
+		Payload: payload,
+	}}}, nil
+}
+
+// CloudDecoder reverses CloudEncoder.
+type CloudDecoder struct{}
+
+// Mode implements Decoder.
+func (d *CloudDecoder) Mode() Mode { return ModeTraditional }
+
+// Decode implements Decoder.
+func (d *CloudDecoder) Decode(channels []transport.Frame) (FrameData, error) {
+	for _, f := range channels {
+		if f.Channel != ChanCloudData {
+			return FrameData{}, errUnexpectedChannel(ModeTraditional, f.Channel)
+		}
+		cloud, err := dracogo.DecodeCloud(f.Payload)
+		if err != nil {
+			return FrameData{}, fmt.Errorf("core: cloud decode: %w", err)
+		}
+		return FrameData{Cloud: cloud}, nil
+	}
+	return FrameData{}, fmt.Errorf("core: cloud decoder got no payload")
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"semholo/internal/avatar"
+	"semholo/internal/body"
+	"semholo/internal/capture"
+	"semholo/internal/compress"
+	"semholo/internal/compress/dracogo"
+	"semholo/internal/gaze"
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+	"semholo/internal/transport"
+)
+
+// HybridEncoder implements the foveated hybrid scheme of §3.1: the
+// region around the viewer's gaze gets the compressed ground-truth mesh
+// (full quality), while the periphery travels as keypoints only and is
+// reconstructed with limited refinement at the receiver. The gaze anchor
+// arrives from the receiver over the control channel (the Sender runtime
+// wires it through SetGazeAnchor); the foveal radius is the
+// bandwidth-versus-reconstruction-cost trade-off knob of the ablation.
+type HybridEncoder struct {
+	Keypoint *KeypointEncoder
+	Selector gaze.FovealSelector
+	// MeshOptions tunes foveal submesh compression.
+	MeshOptions dracogo.Options
+
+	anchor    geom.Vec3
+	hasAnchor bool
+}
+
+// SetGazeAnchor updates the world-space point the remote viewer is
+// looking at (from receiver gaze reports).
+func (e *HybridEncoder) SetGazeAnchor(p geom.Vec3) {
+	e.anchor = p
+	e.hasAnchor = true
+}
+
+// Mode implements Encoder.
+func (e *HybridEncoder) Mode() Mode { return ModeHybrid }
+
+// Encode implements Encoder.
+func (e *HybridEncoder) Encode(c capture.Capture) (EncodedFrame, error) {
+	if e.Keypoint == nil {
+		return EncodedFrame{}, fmt.Errorf("core: hybrid encoder missing keypoint encoder")
+	}
+	kp, err := e.Keypoint.Encode(c)
+	if err != nil {
+		return EncodedFrame{}, err
+	}
+	// Strip EndOfFrame from the keypoint payloads; the foveal mesh
+	// closes the frame.
+	for i := range kp.Channels {
+		kp.Channels[i].Flags &^= transport.FlagEndOfFrame
+	}
+	out := EncodedFrame{Channels: kp.Channels}
+
+	foveal := e.fovealSubmesh(c.Mesh)
+	var payload []byte
+	if foveal != nil && len(foveal.Faces) > 0 {
+		payload = dracogo.EncodeMesh(foveal, e.MeshOptions)
+	}
+	out.Channels = append(out.Channels, ChannelPayload{
+		Channel: ChanFovealMesh,
+		Flags:   transport.FlagKeyframe | transport.FlagCompressed | transport.FlagEndOfFrame,
+		Payload: payload, // empty payload = no foveal region this frame
+	})
+	return out, nil
+}
+
+// fovealSubmesh extracts the faces of m inside the foveal region.
+func (e *HybridEncoder) fovealSubmesh(m *mesh.Mesh) *mesh.Mesh {
+	if m == nil || !e.hasAnchor {
+		return nil
+	}
+	centroids := make([]geom.Vec3, len(m.Faces))
+	for i := range m.Faces {
+		centroids[i] = m.FaceCentroid(i)
+	}
+	fovealFaces, _ := e.Selector.SplitMesh(centroids, e.anchor)
+	if len(fovealFaces) == 0 {
+		return nil
+	}
+	sub := &mesh.Mesh{Vertices: append([]geom.Vec3(nil), m.Vertices...)}
+	for _, fi := range fovealFaces {
+		sub.Faces = append(sub.Faces, m.Faces[fi])
+	}
+	sub.CompactVertices()
+	return sub
+}
+
+// HybridDecoder reconstructs the periphery from keypoints at a reduced
+// resolution and grafts the received foveal mesh over it: peripheral
+// faces falling inside the foveal region are dropped, then the foveal
+// patch is merged. The seam between the two parts is the integration
+// challenge §3.1 leaves open; the decoder makes it measurable rather
+// than hiding it.
+type HybridDecoder struct {
+	Model *body.Model
+	Codec compress.Codec
+	// PeripheralResolution is the keypoint-reconstruction resolution for
+	// the periphery (deliberately low; that is the point of the hybrid).
+	PeripheralResolution int
+	Selector             gaze.FovealSelector
+
+	anchor    geom.Vec3
+	hasAnchor bool
+}
+
+// SetGazeAnchor mirrors the encoder-side anchor (receivers know their
+// own gaze).
+func (d *HybridDecoder) SetGazeAnchor(p geom.Vec3) {
+	d.anchor = p
+	d.hasAnchor = true
+}
+
+// Mode implements Decoder.
+func (d *HybridDecoder) Mode() Mode { return ModeHybrid }
+
+// Decode implements Decoder.
+func (d *HybridDecoder) Decode(channels []transport.Frame) (FrameData, error) {
+	var params *body.Params
+	var foveal *mesh.Mesh
+	for _, f := range channels {
+		switch f.Channel {
+		case ChanKeypointData:
+			raw := f.Payload
+			if f.Flags&transport.FlagCompressed != 0 {
+				dec, err := d.Codec.Decode(f.Payload)
+				if err != nil {
+					return FrameData{}, fmt.Errorf("core: hybrid pose decompress: %w", err)
+				}
+				raw = dec
+			}
+			p, err := body.UnmarshalParams(raw)
+			if err != nil {
+				return FrameData{}, fmt.Errorf("core: hybrid pose: %w", err)
+			}
+			params = p
+		case ChanFovealMesh:
+			if len(f.Payload) == 0 {
+				continue // no foveal region this frame
+			}
+			m, err := dracogo.DecodeMesh(f.Payload)
+			if err != nil {
+				return FrameData{}, fmt.Errorf("core: foveal mesh: %w", err)
+			}
+			foveal = m
+		case ChanTextureData:
+			// Texture riding along with the keypoint payloads; ignored
+			// here (the session runtime exposes it via KeypointDecoder
+			// when texturing is on).
+		default:
+			return FrameData{}, errUnexpectedChannel(ModeHybrid, f.Channel)
+		}
+	}
+	if params == nil {
+		return FrameData{}, fmt.Errorf("core: hybrid decoder got no pose payload")
+	}
+	res := d.PeripheralResolution
+	if res <= 0 {
+		res = 48
+	}
+	rec := &avatar.Reconstructor{Model: d.Model, Resolution: res}
+	peripheral := rec.Reconstruct(params)
+
+	merged := peripheral
+	if foveal != nil && d.hasAnchor {
+		// Drop peripheral faces inside the fovea, then graft the patch.
+		kept := &mesh.Mesh{Vertices: peripheral.Vertices}
+		for i, face := range peripheral.Faces {
+			if !d.Selector.InFovea(peripheral.FaceCentroid(i), d.anchor) {
+				kept.Faces = append(kept.Faces, face)
+			}
+		}
+		kept.CompactVertices()
+		kept.Merge(foveal)
+		merged = kept
+	} else if foveal != nil {
+		peripheral.Merge(foveal)
+	}
+	return FrameData{Params: params, Mesh: merged}, nil
+}

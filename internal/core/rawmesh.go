@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+)
+
+// rawMeshBytes serializes an untextured mesh without compression:
+// float64 vertex positions plus uint32 face indices. This is the
+// "traditional w/o compression" payload of Table 2 (the paper measures
+// 397.7 KB/frame for the SMPL-X mesh; our detail-2 template lands in the
+// same regime).
+func rawMeshBytes(m *mesh.Mesh) []byte {
+	buf := make([]byte, 0, 8+len(m.Vertices)*24+len(m.Faces)*12)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Vertices)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Faces)))
+	for _, v := range m.Vertices {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Y))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Z))
+	}
+	for _, f := range m.Faces {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.A))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.B))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.C))
+	}
+	return buf
+}
+
+// meshFromRaw reverses rawMeshBytes.
+func meshFromRaw(data []byte) (*mesh.Mesh, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("core: raw mesh too short")
+	}
+	nv := binary.LittleEndian.Uint32(data)
+	nf := binary.LittleEndian.Uint32(data[4:])
+	need := 8 + int(nv)*24 + int(nf)*12
+	if nv > 1<<26 || nf > 1<<26 || len(data) != need {
+		return nil, fmt.Errorf("core: raw mesh size mismatch: %d bytes for %d/%d", len(data), nv, nf)
+	}
+	m := &mesh.Mesh{
+		Vertices: make([]geom.Vec3, nv),
+		Faces:    make([]mesh.Face, nf),
+	}
+	pos := 8
+	for i := range m.Vertices {
+		m.Vertices[i] = geom.V3(
+			math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(data[pos+8:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(data[pos+16:])),
+		)
+		pos += 24
+	}
+	for i := range m.Faces {
+		m.Faces[i] = mesh.Face{
+			A: int(binary.LittleEndian.Uint32(data[pos:])),
+			B: int(binary.LittleEndian.Uint32(data[pos+4:])),
+			C: int(binary.LittleEndian.Uint32(data[pos+8:])),
+		}
+		pos += 12
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: raw mesh invalid: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"semholo/internal/transport"
+)
+
+// Relay is the multi-party edge component the paper's two-site Figure 1
+// elides: each participant holds one session to the relay, which
+// forwards every semantic frame to all other participants (an SFU —
+// semantic forwarding unit, not a mixer: payloads are opaque, so the
+// relay is mode-agnostic and adds no reconstruction latency). Control
+// frames (gaze, bandwidth) are forwarded too, so foveated encoding and
+// rate adaptation work across the relay.
+//
+// Frames fan out with the originating participant's name prepended on a
+// dedicated control line during attach, letting receivers demultiplex
+// participants by channel block (each participant's channels are offset
+// by ParticipantChannelStride).
+type Relay struct {
+	mu      sync.Mutex
+	peers   map[string]*relayPeer
+	nextIdx int
+}
+
+// ParticipantChannelStride separates participants' channel spaces when
+// relayed: participant i's channel c arrives as c + i*stride.
+const ParticipantChannelStride uint16 = 1000
+
+type relayPeer struct {
+	name string
+	idx  int
+	sess *transport.Session
+}
+
+// NewRelay builds an empty relay.
+func NewRelay() *Relay {
+	return &Relay{peers: map[string]*relayPeer{}}
+}
+
+// Attach registers a session under the participant's name and starts
+// forwarding its frames to everyone else. It returns the participant's
+// channel-block index. Forwarding stops when the session errors or
+// closes; the peer is then detached.
+func (r *Relay) Attach(name string, sess *transport.Session) (int, error) {
+	r.mu.Lock()
+	if _, dup := r.peers[name]; dup {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("core: relay already has participant %q", name)
+	}
+	p := &relayPeer{name: name, idx: r.nextIdx, sess: sess}
+	r.nextIdx++
+	r.peers[name] = p
+	r.mu.Unlock()
+
+	go r.pump(p)
+	return p.idx, nil
+}
+
+// Peers returns the current participant names.
+func (r *Relay) Peers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.peers))
+	for n := range r.peers {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (r *Relay) pump(p *relayPeer) {
+	defer r.detach(p.name)
+	base := uint16(p.idx) * ParticipantChannelStride
+	for {
+		f, err := p.sess.Recv()
+		if err != nil {
+			if err != io.EOF {
+				// Connection torn down; nothing to report beyond detach.
+				_ = err
+			}
+			return
+		}
+		if f.Type == transport.TypeClose {
+			return
+		}
+		// Re-home the channel into the sender's block and fan out.
+		out := f.Clone()
+		out.Channel += base
+		r.broadcast(p.name, out)
+	}
+}
+
+func (r *Relay) broadcast(from string, f transport.Frame) {
+	r.mu.Lock()
+	targets := make([]*relayPeer, 0, len(r.peers))
+	for name, p := range r.peers {
+		if name != from {
+			targets = append(targets, p)
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range targets {
+		var err error
+		switch f.Type {
+		case transport.TypeSemantic:
+			err = p.sess.Send(f.Channel, f.Flags, f.Payload)
+		case transport.TypeControl:
+			err = p.sess.SendControl(f.Payload)
+		}
+		if err != nil {
+			// Broken peer: let its own pump detach it.
+			continue
+		}
+	}
+}
+
+func (r *Relay) detach(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.peers, name)
+}
+
+// SplitParticipant decomposes a relayed channel into (participant block
+// index, original channel).
+func SplitParticipant(channel uint16) (idx int, orig uint16) {
+	return int(channel / ParticipantChannelStride), channel % ParticipantChannelStride
+}

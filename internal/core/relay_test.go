@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"semholo/internal/compress"
+	"semholo/internal/geom"
+	"semholo/internal/netsim"
+	"semholo/internal/transport"
+)
+
+// relayParticipant is one attached test client.
+type relayParticipant struct {
+	name string
+	sess *transport.Session
+	link *netsim.Link
+}
+
+func attachParticipant(t *testing.T, r *Relay, name string) *relayParticipant {
+	t.Helper()
+	a, b, link := netsim.Pipe(netsim.LinkConfig{})
+	type hs struct {
+		s   *transport.Session
+		err error
+	}
+	ch := make(chan hs, 1)
+	go func() {
+		s, _, err := transport.Accept(b, transport.Hello{Peer: "relay"})
+		ch <- hs{s, err}
+	}()
+	sess, _, err := transport.Dial(a, transport.Hello{Peer: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := <-ch
+	if h.err != nil {
+		t.Fatal(h.err)
+	}
+	if _, err := r.Attach(name, h.s); err != nil {
+		t.Fatal(err)
+	}
+	return &relayParticipant{name: name, sess: sess, link: link}
+}
+
+func TestRelayFansOutToAllOthers(t *testing.T) {
+	r := NewRelay()
+	alice := attachParticipant(t, r, "alice")
+	bob := attachParticipant(t, r, "bob")
+	carol := attachParticipant(t, r, "carol")
+	defer alice.link.Close()
+	defer bob.link.Close()
+	defer carol.link.Close()
+
+	if got := len(r.Peers()); got != 3 {
+		t.Fatalf("%d peers", got)
+	}
+
+	// Alice streams one keypoint frame.
+	enc := newKeypointEncoder(false)
+	ef, err := enc.Encode(testSeq.FrameAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range ef.Channels {
+		if err := alice.sess.Send(ch.Channel, ch.Flags, ch.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both Bob and Carol receive it in Alice's channel block; Alice
+	// receives nothing back.
+	for _, p := range []*relayParticipant{bob, carol} {
+		f, err := p.sess.Recv()
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		idx, orig := SplitParticipant(f.Channel)
+		if orig != ChanKeypointData {
+			t.Errorf("%s got channel %d (orig %d)", p.name, f.Channel, orig)
+		}
+		if idx != 0 { // alice attached first
+			t.Errorf("%s got block %d", p.name, idx)
+		}
+		// Decodes like a direct stream.
+		dec := &KeypointDecoder{Model: testModel, Codec: compress.LZR()}
+		clone := f.Clone()
+		clone.Channel = orig
+		if _, err := dec.Decode([]transport.Frame{clone}); err != nil {
+			t.Errorf("%s decode: %v", p.name, err)
+		}
+	}
+}
+
+func TestRelayControlFramesForwarded(t *testing.T) {
+	r := NewRelay()
+	viewer := attachParticipant(t, r, "viewer")
+	presenter := attachParticipant(t, r, "presenter")
+	defer viewer.link.Close()
+	defer presenter.link.Close()
+
+	// The viewer reports gaze; the presenter's session must see it.
+	recv := &Receiver{Session: viewer.sess}
+	if err := recv.ReportGaze(geom.V3(0, 1.5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan transport.Frame, 1)
+	go func() {
+		f, err := presenter.sess.Recv()
+		if err == nil {
+			done <- f.Clone()
+		}
+	}()
+	select {
+	case f := <-done:
+		if f.Type != transport.TypeControl {
+			t.Errorf("forwarded type %v", f.Type)
+		}
+		sender := &Sender{Session: presenter.sess}
+		got := false
+		sender.OnGaze = func(v geom.Vec3) { got = true }
+		if err := sender.HandleControl(f); err != nil {
+			t.Fatal(err)
+		}
+		if !got {
+			t.Error("gaze callback not fired")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("control frame never forwarded")
+	}
+}
+
+func TestRelayDetachOnClose(t *testing.T) {
+	r := NewRelay()
+	p1 := attachParticipant(t, r, "p1")
+	p2 := attachParticipant(t, r, "p2")
+	defer p2.link.Close()
+
+	p1.sess.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(r.Peers()) != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := r.Peers(); len(got) != 1 || got[0] != "p2" {
+		t.Errorf("peers after close: %v", got)
+	}
+}
+
+func TestRelayRejectsDuplicateName(t *testing.T) {
+	r := NewRelay()
+	p := attachParticipant(t, r, "dup")
+	defer p.link.Close()
+	a, b, link := netsim.Pipe(netsim.LinkConfig{})
+	defer link.Close()
+	go transport.Dial(a, transport.Hello{Peer: "dup"})
+	s, _, err := transport.Accept(b, transport.Hello{Peer: "relay"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Attach("dup", s); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}

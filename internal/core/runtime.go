@@ -1,0 +1,167 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"semholo/internal/capture"
+	"semholo/internal/geom"
+	"semholo/internal/trace"
+	"semholo/internal/transport"
+)
+
+// controlMsg is the JSON control-plane message exchanged during a
+// session: bandwidth reports and gaze updates flowing receiver→sender,
+// mode switches flowing sender→receiver.
+type controlMsg struct {
+	Kind string `json:"kind"` // "bandwidth" | "gaze" | "mode"
+	// Bandwidth report (bits/s).
+	Bps float64 `json:"bps,omitempty"`
+	// Gaze anchor in world coordinates.
+	Gaze *[3]float64 `json:"gaze,omitempty"`
+	// Mode switch announcement.
+	Mode Mode `json:"mode,omitempty"`
+}
+
+// Sender drives one direction of a telepresence session: it encodes
+// captures and ships them, processing control messages (gaze, bandwidth)
+// from the receiver between frames.
+type Sender struct {
+	Session *transport.Session
+	Encoder Encoder
+	Tracer  *trace.Tracer
+
+	// OnGaze, when set, receives remote gaze anchors (wired to the
+	// hybrid encoder by NewHybridSender-style constructors or manually).
+	OnGaze func(geom.Vec3)
+	// OnBandwidth receives remote bandwidth reports (for adaptation).
+	OnBandwidth func(bps float64)
+}
+
+// SendFrame encodes and transmits one capture.
+func (s *Sender) SendFrame(c capture.Capture) error {
+	var stop func()
+	if s.Tracer != nil {
+		stop = s.Tracer.Start("encode")
+	}
+	enc, err := s.Encoder.Encode(c)
+	if stop != nil {
+		stop()
+	}
+	if err != nil {
+		return fmt.Errorf("core: encode: %w", err)
+	}
+	if s.Tracer != nil {
+		defer s.Tracer.Start("send")()
+	}
+	for _, ch := range enc.Channels {
+		if err := s.Session.Send(ch.Channel, ch.Flags, ch.Payload); err != nil {
+			return fmt.Errorf("core: send channel %d: %w", ch.Channel, err)
+		}
+	}
+	return nil
+}
+
+// HandleControl processes one received control frame (senders that also
+// Recv — full-duplex sessions — route TypeControl frames here).
+func (s *Sender) HandleControl(f transport.Frame) error {
+	var msg controlMsg
+	if err := json.Unmarshal(f.Payload, &msg); err != nil {
+		return fmt.Errorf("core: control message: %w", err)
+	}
+	switch msg.Kind {
+	case "gaze":
+		if msg.Gaze != nil && s.OnGaze != nil {
+			s.OnGaze(geom.V3(msg.Gaze[0], msg.Gaze[1], msg.Gaze[2]))
+		}
+	case "bandwidth":
+		if s.OnBandwidth != nil {
+			s.OnBandwidth(msg.Bps)
+		}
+	}
+	return nil
+}
+
+// Receiver drives the other direction: it collects channel payloads
+// until an end-of-frame marker, decodes the media frame, and reports
+// bandwidth and gaze back to the sender.
+type Receiver struct {
+	Session *transport.Session
+	Decoder Decoder
+	Tracer  *trace.Tracer
+	// Estimator, when set, observes arriving bytes for rate adaptation.
+	Estimator *transport.BandwidthEstimator
+
+	pending []transport.Frame
+}
+
+// NextFrame blocks until one full media frame has arrived and decodes
+// it. It returns transport errors verbatim (io.EOF / closed pipe when
+// the sender is done) and a TypeClose sentinel error on graceful close.
+func (r *Receiver) NextFrame() (FrameData, error) {
+	for {
+		f, err := r.Session.Recv()
+		if err != nil {
+			return FrameData{}, err
+		}
+		if r.Estimator != nil {
+			r.Estimator.Observe(time.Now(), len(f.Payload))
+		}
+		switch f.Type {
+		case transport.TypeClose:
+			return FrameData{}, ErrSessionClosed
+		case transport.TypeControl:
+			// Control frames are handled by the application; ignore here.
+			continue
+		case transport.TypeSemantic:
+			r.pending = append(r.pending, f.Clone())
+			if f.Flags&transport.FlagEndOfFrame == 0 {
+				continue
+			}
+			frames := r.pending
+			r.pending = nil
+			var stop func()
+			if r.Tracer != nil {
+				stop = r.Tracer.Start("decode")
+			}
+			data, err := r.Decoder.Decode(frames)
+			if stop != nil {
+				stop()
+			}
+			if err != nil {
+				return FrameData{}, err
+			}
+			return data, nil
+		default:
+			continue
+		}
+	}
+}
+
+// ErrSessionClosed reports a graceful peer close.
+var ErrSessionClosed = fmt.Errorf("core: session closed by peer")
+
+// ReportBandwidth sends the receiver's current bandwidth estimate to the
+// sender.
+func (r *Receiver) ReportBandwidth() error {
+	if r.Estimator == nil {
+		return nil
+	}
+	payload, err := json.Marshal(controlMsg{Kind: "bandwidth", Bps: r.Estimator.Estimate()})
+	if err != nil {
+		return err
+	}
+	return r.Session.SendControl(payload)
+}
+
+// ReportGaze sends the local gaze anchor to the sender (for foveated
+// encoding).
+func (r *Receiver) ReportGaze(anchor geom.Vec3) error {
+	g := [3]float64{anchor.X, anchor.Y, anchor.Z}
+	payload, err := json.Marshal(controlMsg{Kind: "gaze", Gaze: &g})
+	if err != nil {
+		return err
+	}
+	return r.Session.SendControl(payload)
+}

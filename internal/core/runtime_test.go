@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"semholo/internal/body"
+	"semholo/internal/compress"
+	"semholo/internal/geom"
+	"semholo/internal/netsim"
+	"semholo/internal/trace"
+	"semholo/internal/transport"
+)
+
+// startSession builds a connected sender/receiver pair over an emulated
+// link.
+func startSession(t *testing.T, cfg netsim.LinkConfig, enc Encoder, dec Decoder) (*Sender, *Receiver, *netsim.Link) {
+	t.Helper()
+	a, b, link := netsim.Pipe(cfg)
+	type res struct {
+		s   *transport.Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, _, err := transport.Accept(b, transport.Hello{Peer: "receiver", Mode: string(dec.Mode())})
+		ch <- res{s, err}
+	}()
+	sa, _, err := transport.Dial(a, transport.Hello{Peer: "sender", Mode: string(enc.Mode())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	sender := &Sender{Session: sa, Encoder: enc, Tracer: trace.New()}
+	receiver := &Receiver{
+		Session:   r.s,
+		Decoder:   dec,
+		Tracer:    trace.New(),
+		Estimator: transport.NewBandwidthEstimator(),
+	}
+	return sender, receiver, link
+}
+
+func TestEndToEndKeypointSession(t *testing.T) {
+	enc := newKeypointEncoder(false)
+	dec := &KeypointDecoder{Model: testModel, Codec: compress.LZR(), Resolution: 32}
+	sender, receiver, link := startSession(t, netsim.BroadbandUS(23), enc, dec)
+	defer link.Close()
+
+	const nFrames = 5
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < nFrames; i++ {
+			if err := sender.SendFrame(testSeq.FrameAt(i)); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+
+	for i := 0; i < nFrames; i++ {
+		data, err := receiver.NextFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if data.Params == nil || data.Mesh == nil {
+			t.Fatalf("frame %d incomplete", i)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	// Timing recorded on both ends.
+	if receiver.Tracer.Snapshot()["decode"].Count != nFrames {
+		t.Error("decode spans missing")
+	}
+	if sender.Tracer.Snapshot()["encode"].Count != nFrames {
+		t.Error("encode spans missing")
+	}
+	// Keypoint mode over the paper's 25 Mbps broadband: trivially fits.
+	sent, _, _, _ := sender.Session.Stats()
+	perFrame := float64(sent) / nFrames
+	if perFrame > 4096 {
+		t.Errorf("keypoint session sends %.0f bytes/frame", perFrame)
+	}
+}
+
+func TestEndToEndTraditionalSessionSlower(t *testing.T) {
+	// The same motion over the same link with traditional encoding must
+	// move orders of magnitude more data — Table 2 live on the wire.
+	link := netsim.LinkConfig{Bandwidth: 100e6, MTU: 32 * 1024}
+	encT := &TraditionalEncoder{}
+	decT := &TraditionalDecoder{}
+	senderT, receiverT, linkT := startSession(t, link, encT, decT)
+	defer linkT.Close()
+
+	go senderT.SendFrame(testSeq.FrameAt(0))
+	if _, err := receiverT.NextFrame(); err != nil {
+		t.Fatal(err)
+	}
+	sentT, _, _, _ := senderT.Session.Stats()
+
+	encK := newKeypointEncoder(false)
+	decK := &KeypointDecoder{Model: testModel, Codec: compress.LZR()}
+	senderK, receiverK, linkK := startSession(t, link, encK, decK)
+	defer linkK.Close()
+	go senderK.SendFrame(testSeq.FrameAt(0))
+	if _, err := receiverK.NextFrame(); err != nil {
+		t.Fatal(err)
+	}
+	sentK, _, _, _ := senderK.Session.Stats()
+
+	if ratio := float64(sentT) / float64(sentK); ratio < 10 {
+		t.Errorf("wire ratio traditional/keypoint = %.1f", ratio)
+	}
+}
+
+func TestGazeControlReachesSenderEncoder(t *testing.T) {
+	enc := newKeypointEncoder(false)
+	dec := &KeypointDecoder{Model: testModel, Codec: compress.LZR()}
+	sender, receiver, link := startSession(t, netsim.LinkConfig{}, enc, dec)
+	defer link.Close()
+
+	got := make(chan geom.Vec3, 1)
+	sender.OnGaze = func(p geom.Vec3) { got <- p }
+
+	// Sender listens for control frames on its own session.
+	go func() {
+		f, err := sender.Session.Recv()
+		if err != nil {
+			return
+		}
+		if f.Type == transport.TypeControl {
+			_ = sender.HandleControl(f)
+		}
+	}()
+	anchor := geom.V3(0.1, 1.5, 0.2)
+	if err := receiver.ReportGaze(anchor); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if p.Dist(anchor) > 1e-12 {
+			t.Errorf("gaze anchor %v, want %v", p, anchor)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("gaze report never arrived")
+	}
+}
+
+func TestBandwidthReportingLoop(t *testing.T) {
+	enc := newKeypointEncoder(false)
+	dec := &KeypointDecoder{Model: testModel, Codec: compress.LZR()}
+	sender, receiver, link := startSession(t, netsim.LinkConfig{}, enc, dec)
+	defer link.Close()
+
+	bw := make(chan float64, 1)
+	sender.OnBandwidth = func(bps float64) { bw <- bps }
+	go func() {
+		for {
+			f, err := sender.Session.Recv()
+			if err != nil {
+				return
+			}
+			if f.Type == transport.TypeControl {
+				_ = sender.HandleControl(f)
+			}
+		}
+	}()
+	// Seed the estimator with synthetic arrivals, then report.
+	now := time.Now()
+	for i := 0; i < 100; i++ {
+		receiver.Estimator.Observe(now.Add(time.Duration(i)*10*time.Millisecond), 12500)
+	}
+	if err := receiver.ReportBandwidth(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case bps := <-bw:
+		if bps < 5e6 || bps > 20e6 {
+			t.Errorf("reported %.1f Mbps, want ≈ 10", bps/1e6)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("bandwidth report never arrived")
+	}
+}
+
+func TestSessionGracefulClose(t *testing.T) {
+	enc := newKeypointEncoder(false)
+	dec := &KeypointDecoder{Model: testModel, Codec: compress.LZR()}
+	sender, receiver, link := startSession(t, netsim.LinkConfig{}, enc, dec)
+	defer link.Close()
+	go sender.Session.Close()
+	_, err := receiver.NextFrame()
+	if err != ErrSessionClosed {
+		t.Errorf("err = %v, want ErrSessionClosed", err)
+	}
+}
+
+// Failure injection: a frame corrupted on the wire must surface as a
+// checksum error, not silently decode.
+func TestCorruptFrameDetected(t *testing.T) {
+	a, b, link := netsim.Pipe(netsim.LinkConfig{})
+	defer link.Close()
+	go func() {
+		// Serialize a valid frame, then corrupt it on the wire.
+		var buf corruptBuffer
+		fw := transport.NewFrameWriter(&buf)
+		params := (&body.Params{}).Marshal()
+		fw.WriteFrame(&transport.Frame{
+			Type:    transport.TypeSemantic,
+			Channel: ChanKeypointData,
+			Flags:   transport.FlagCompressed | transport.FlagEndOfFrame,
+			Payload: compress.LZR().Encode(params),
+		})
+		wire := buf.data
+		wire[len(wire)/2] ^= 0xFF
+		a.Write(wire)
+	}()
+	fr := transport.NewFrameReader(b)
+	if _, err := fr.ReadFrame(); err == nil {
+		t.Fatal("corrupted frame passed CRC")
+	}
+}
+
+type corruptBuffer struct{ data []byte }
+
+func (c *corruptBuffer) Write(p []byte) (int, error) {
+	c.data = append(c.data, p...)
+	return len(p), nil
+}

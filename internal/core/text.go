@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"semholo/internal/capture"
+	"semholo/internal/compress"
+	"semholo/internal/pointcloud"
+	"semholo/internal/textsem"
+	"semholo/internal/transport"
+)
+
+// TextEncoder implements text-based semantics (§3.3): fuse the RGB-D
+// views into a point cloud, caption it into per-cell text channels, and
+// ship deltas against the previous frame's document (keyframes
+// periodically for join/recovery).
+type TextEncoder struct {
+	Captioner textsem.Captioner
+	Codec     compress.Codec
+	// Fuse controls the capture-side point cloud synthesis.
+	Fuse pointcloud.FuseOptions
+	// KeyframeInterval forces a full document every n frames (default
+	// 30); deltas otherwise.
+	KeyframeInterval int
+	// Deadband suppresses caption changes below this many meters
+	// (default 0.015); sensor noise on quantization boundaries would
+	// otherwise churn every caption every frame.
+	Deadband float64
+
+	frameIdx int
+	// prevDoc mirrors the *receiver's* document (DPCM reference), not
+	// the latest local captioning.
+	prevDoc  textsem.Document
+	havePrev bool
+}
+
+// Mode implements Encoder.
+func (e *TextEncoder) Mode() Mode { return ModeText }
+
+// Encode implements Encoder.
+func (e *TextEncoder) Encode(c capture.Capture) (EncodedFrame, error) {
+	fuse := e.Fuse
+	if fuse.Stride == 0 {
+		fuse.Stride = 2
+	}
+	if fuse.Voxel == 0 {
+		fuse.Voxel = 0.02
+	}
+	cloud := pointcloud.Fuse(c.Views, fuse)
+	doc := e.Captioner.Caption(cloud)
+
+	interval := e.KeyframeInterval
+	if interval <= 0 {
+		interval = 30
+	}
+	keyframe := !e.havePrev || e.frameIdx%interval == 0
+	e.frameIdx++
+
+	deadband := e.Deadband
+	if deadband == 0 {
+		deadband = 0.015
+	}
+	var raw []byte
+	flags := transport.FlagEndOfFrame
+	if keyframe {
+		raw = doc.Marshal()
+		flags |= transport.FlagKeyframe
+		e.prevDoc = doc
+	} else {
+		u := textsem.StableDelta(e.prevDoc, doc, deadband)
+		raw = u.Marshal()
+		// Track what the receiver now holds, not the local captioning.
+		e.prevDoc = textsem.Apply(e.prevDoc, u)
+	}
+	e.havePrev = true
+
+	payload := raw
+	if e.Codec != nil {
+		payload = e.Codec.Encode(raw)
+		flags |= transport.FlagCompressed
+	}
+	return EncodedFrame{Channels: []ChannelPayload{{
+		Channel: ChanTextGlobal,
+		Flags:   flags,
+		Payload: payload,
+	}}}, nil
+}
+
+// TextDecoder reverses TextEncoder: maintain the document across deltas
+// and regenerate the point cloud each frame.
+type TextDecoder struct {
+	Codec     compress.Codec
+	Generator textsem.Generator
+
+	doc     textsem.Document
+	haveDoc bool
+}
+
+// Mode implements Decoder.
+func (d *TextDecoder) Mode() Mode { return ModeText }
+
+// Decode implements Decoder.
+func (d *TextDecoder) Decode(channels []transport.Frame) (FrameData, error) {
+	for _, f := range channels {
+		if f.Channel != ChanTextGlobal {
+			return FrameData{}, errUnexpectedChannel(ModeText, f.Channel)
+		}
+		raw := f.Payload
+		if f.Flags&transport.FlagCompressed != 0 {
+			if d.Codec == nil {
+				return FrameData{}, fmt.Errorf("core: compressed text payload but no codec")
+			}
+			dec, err := d.Codec.Decode(f.Payload)
+			if err != nil {
+				return FrameData{}, fmt.Errorf("core: text decompress: %w", err)
+			}
+			raw = dec
+		}
+		if f.Flags&transport.FlagKeyframe != 0 {
+			doc, err := textsem.UnmarshalDocument(raw)
+			if err != nil {
+				return FrameData{}, fmt.Errorf("core: text keyframe: %w", err)
+			}
+			d.doc = doc
+			d.haveDoc = true
+		} else {
+			if !d.haveDoc {
+				return FrameData{}, fmt.Errorf("core: text delta before keyframe")
+			}
+			u, err := textsem.UnmarshalUpdate(raw)
+			if err != nil {
+				return FrameData{}, fmt.Errorf("core: text delta: %w", err)
+			}
+			d.doc = textsem.Apply(d.doc, u)
+		}
+		cloud, err := d.Generator.Generate(d.doc)
+		if err != nil {
+			return FrameData{}, fmt.Errorf("core: text-to-3D: %w", err)
+		}
+		return FrameData{Cloud: cloud}, nil
+	}
+	return FrameData{}, fmt.Errorf("core: text decoder got no payload")
+}

@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ray is a half-line with origin O and (unit) direction D.
+type Ray struct {
+	O, D Vec3
+}
+
+// At returns the point O + t·D.
+func (r Ray) At(t float64) Vec3 { return r.O.Add(r.D.Scale(t)) }
+
+// Intrinsics is a pinhole camera model: focal lengths and principal point
+// in pixels over a W×H image, computer-vision convention (x right, y down,
+// z forward into the scene).
+type Intrinsics struct {
+	Width, Height int
+	Fx, Fy        float64 // focal length in pixels
+	Cx, Cy        float64 // principal point in pixels
+}
+
+// IntrinsicsFromFOV builds intrinsics from a horizontal field of view (in
+// radians) and image dimensions, with a centered principal point.
+func IntrinsicsFromFOV(width, height int, hfov float64) Intrinsics {
+	fx := float64(width) / (2 * math.Tan(hfov/2))
+	return Intrinsics{
+		Width: width, Height: height,
+		Fx: fx, Fy: fx,
+		Cx: float64(width) / 2, Cy: float64(height) / 2,
+	}
+}
+
+// Project maps a camera-space point to pixel coordinates and its depth.
+// ok is false when the point is behind the camera.
+func (in Intrinsics) Project(p Vec3) (px Vec2, depth float64, ok bool) {
+	if p.Z <= 1e-9 {
+		return Vec2{}, 0, false
+	}
+	return Vec2{
+		X: in.Fx*p.X/p.Z + in.Cx,
+		Y: in.Fy*p.Y/p.Z + in.Cy,
+	}, p.Z, true
+}
+
+// Unproject maps a pixel plus depth back to a camera-space point.
+func (in Intrinsics) Unproject(px Vec2, depth float64) Vec3 {
+	return Vec3{
+		X: (px.X - in.Cx) / in.Fx * depth,
+		Y: (px.Y - in.Cy) / in.Fy * depth,
+		Z: depth,
+	}
+}
+
+// PixelRay returns the camera-space ray through the given pixel center.
+func (in Intrinsics) PixelRay(px Vec2) Ray {
+	d := Vec3{
+		X: (px.X - in.Cx) / in.Fx,
+		Y: (px.Y - in.Cy) / in.Fy,
+		Z: 1,
+	}.Normalize()
+	return Ray{O: Vec3{}, D: d}
+}
+
+// InBounds reports whether the pixel lies inside the image.
+func (in Intrinsics) InBounds(px Vec2) bool {
+	return px.X >= 0 && px.X < float64(in.Width) && px.Y >= 0 && px.Y < float64(in.Height)
+}
+
+func (in Intrinsics) String() string {
+	return fmt.Sprintf("intrinsics{%dx%d f=(%.1f,%.1f) c=(%.1f,%.1f)}",
+		in.Width, in.Height, in.Fx, in.Fy, in.Cx, in.Cy)
+}
+
+// Camera is a posed pinhole camera. WorldToCam maps world coordinates to
+// camera coordinates; it must be a rigid transform.
+type Camera struct {
+	Intr       Intrinsics
+	WorldToCam Mat4
+}
+
+// NewLookAtCamera places a camera at eye looking toward target.
+func NewLookAtCamera(intr Intrinsics, eye, target, up Vec3) Camera {
+	return Camera{Intr: intr, WorldToCam: LookAt(eye, target, up)}
+}
+
+// CamToWorld returns the inverse pose.
+func (c Camera) CamToWorld() Mat4 { return c.WorldToCam.InverseRigid() }
+
+// Center returns the camera center in world coordinates.
+func (c Camera) Center() Vec3 { return c.CamToWorld().TranslationPart() }
+
+// ProjectWorld maps a world-space point to pixel coordinates and depth.
+func (c Camera) ProjectWorld(p Vec3) (px Vec2, depth float64, ok bool) {
+	return c.Intr.Project(c.WorldToCam.TransformPoint(p))
+}
+
+// UnprojectWorld maps a pixel plus depth back to a world-space point.
+func (c Camera) UnprojectWorld(px Vec2, depth float64) Vec3 {
+	return c.CamToWorld().TransformPoint(c.Intr.Unproject(px, depth))
+}
+
+// WorldRay returns the world-space viewing ray through the given pixel.
+func (c Camera) WorldRay(px Vec2) Ray {
+	r := c.Intr.PixelRay(px)
+	c2w := c.CamToWorld()
+	return Ray{
+		O: c2w.TranslationPart(),
+		D: c2w.TransformDir(r.D).Normalize(),
+	}
+}

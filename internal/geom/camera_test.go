@@ -1,0 +1,158 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testIntrinsics() Intrinsics {
+	return IntrinsicsFromFOV(640, 480, math.Pi/3)
+}
+
+func TestProjectUnprojectRoundTrip(t *testing.T) {
+	in := testIntrinsics()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		p := V3(rng.NormFloat64(), rng.NormFloat64(), 1+rng.Float64()*5)
+		px, depth, ok := in.Project(p)
+		if !ok {
+			t.Fatalf("point %v in front of camera failed to project", p)
+		}
+		back := in.Unproject(px, depth)
+		if !vecAlmostEq(back, p, 1e-9) {
+			t.Fatalf("round trip %v -> %v", p, back)
+		}
+	}
+}
+
+func TestProjectBehindCamera(t *testing.T) {
+	in := testIntrinsics()
+	if _, _, ok := in.Project(V3(0, 0, -1)); ok {
+		t.Error("point behind camera projected")
+	}
+	if _, _, ok := in.Project(V3(0, 0, 0)); ok {
+		t.Error("point at camera center projected")
+	}
+}
+
+func TestPrincipalPointProjectsToCenter(t *testing.T) {
+	in := testIntrinsics()
+	px, _, ok := in.Project(V3(0, 0, 2))
+	if !ok {
+		t.Fatal("projection failed")
+	}
+	if !almostEq(px.X, 320, eps) || !almostEq(px.Y, 240, eps) {
+		t.Errorf("optical axis projects to %v, want image center", px)
+	}
+}
+
+func TestPixelRayHitsPixel(t *testing.T) {
+	in := testIntrinsics()
+	px := V2(123, 456)
+	r := in.PixelRay(px)
+	// Walk along the ray; reprojection must return the same pixel.
+	p := r.At(3.7)
+	got, _, ok := in.Project(p)
+	if !ok {
+		t.Fatal("ray point failed to project")
+	}
+	if !almostEq(got.X, px.X, 1e-6) || !almostEq(got.Y, px.Y, 1e-6) {
+		t.Errorf("reprojected to %v, want %v", got, px)
+	}
+}
+
+func TestCameraWorldRoundTrip(t *testing.T) {
+	cam := NewLookAtCamera(testIntrinsics(), V3(2, 1, -4), V3(0, 0, 0), V3(0, -1, 0))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		// Points near the origin are visible from the camera.
+		p := V3(rng.NormFloat64()*0.3, rng.NormFloat64()*0.3, rng.NormFloat64()*0.3)
+		px, depth, ok := cam.ProjectWorld(p)
+		if !ok {
+			continue
+		}
+		back := cam.UnprojectWorld(px, depth)
+		if !vecAlmostEq(back, p, 1e-8) {
+			t.Fatalf("world round trip %v -> %v", p, back)
+		}
+	}
+}
+
+func TestCameraCenter(t *testing.T) {
+	eye := V3(3, -2, 5)
+	cam := NewLookAtCamera(testIntrinsics(), eye, V3(0, 0, 0), V3(0, -1, 0))
+	if got := cam.Center(); !vecAlmostEq(got, eye, 1e-9) {
+		t.Errorf("Center = %v, want %v", got, eye)
+	}
+}
+
+func TestWorldRayPassesThroughScene(t *testing.T) {
+	cam := NewLookAtCamera(testIntrinsics(), V3(0, 0, -5), V3(0, 0, 0), V3(0, -1, 0))
+	// Ray through the image center must pass through the origin.
+	r := cam.WorldRay(V2(320, 240))
+	if !vecAlmostEq(r.O, V3(0, 0, -5), eps) {
+		t.Errorf("ray origin = %v", r.O)
+	}
+	// Closest approach of the ray to origin should be ~0.
+	tClosest := r.D.Dot(r.O.Neg())
+	d := r.At(tClosest).Len()
+	if d > 1e-9 {
+		t.Errorf("central ray misses origin by %v", d)
+	}
+}
+
+func TestAABBBasics(t *testing.T) {
+	b := EmptyAABB()
+	if !b.IsEmpty() {
+		t.Error("EmptyAABB not empty")
+	}
+	b = b.Extend(V3(1, 2, 3)).Extend(V3(-1, 0, 5))
+	if b.IsEmpty() {
+		t.Error("extended box still empty")
+	}
+	if b.Min != V3(-1, 0, 3) || b.Max != V3(1, 2, 5) {
+		t.Errorf("box = %+v", b)
+	}
+	if !b.Contains(V3(0, 1, 4)) {
+		t.Error("Contains failed for inner point")
+	}
+	if b.Contains(V3(0, 1, 6)) {
+		t.Error("Contains true for outer point")
+	}
+	if got := b.Center(); got != V3(0, 1, 4) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := b.Size(); got != V3(2, 2, 2) {
+		t.Errorf("Size = %v", got)
+	}
+}
+
+func TestAABBUnionIntersects(t *testing.T) {
+	a := NewAABB(V3(0, 0, 0), V3(1, 1, 1))
+	b := NewAABB(V3(2, 2, 2), V3(3, 3, 3))
+	if a.Intersects(b) {
+		t.Error("disjoint boxes intersect")
+	}
+	u := a.Union(b)
+	if u.Min != V3(0, 0, 0) || u.Max != V3(3, 3, 3) {
+		t.Errorf("Union = %+v", u)
+	}
+	c := NewAABB(V3(0.5, 0.5, 0.5), V3(2.5, 2.5, 2.5))
+	if !a.Intersects(c) || !b.Intersects(c) {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	if got := a.Union(EmptyAABB()); got != a {
+		t.Errorf("union with empty = %+v", got)
+	}
+}
+
+func TestAABBDistSq(t *testing.T) {
+	b := NewAABB(V3(0, 0, 0), V3(1, 1, 1))
+	if got := b.DistSq(V3(0.5, 0.5, 0.5)); got != 0 {
+		t.Errorf("inner DistSq = %v", got)
+	}
+	if got := b.DistSq(V3(2, 0.5, 0.5)); !almostEq(got, 1, eps) {
+		t.Errorf("outer DistSq = %v, want 1", got)
+	}
+}

@@ -1,0 +1,130 @@
+package geom
+
+import "math"
+
+// Quat is a rotation quaternion (W + Xi + Yj + Zk). The identity rotation
+// is Quat{W: 1}. Pose parameters in the body model are stored as axis-angle
+// vectors and converted through quaternions for interpolation and blending.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QuatIdentity returns the identity rotation.
+func QuatIdentity() Quat { return Quat{W: 1} }
+
+// QuatFromAxisAngle builds the quaternion rotating by angle radians about
+// the given axis (need not be normalized).
+func QuatFromAxisAngle(axis Vec3, angle float64) Quat {
+	a := axis.Normalize()
+	s, c := math.Sin(angle/2), math.Cos(angle/2)
+	return Quat{W: c, X: a.X * s, Y: a.Y * s, Z: a.Z * s}
+}
+
+// QuatFromRotationVector builds the quaternion from an axis-angle rotation
+// vector whose direction is the axis and whose magnitude is the angle.
+// This is the pose parameterization used by the body model (as in SMPL-X).
+func QuatFromRotationVector(rv Vec3) Quat {
+	angle := rv.Len()
+	if angle < 1e-12 {
+		// First-order expansion keeps the map smooth near zero.
+		return Quat{W: 1, X: rv.X / 2, Y: rv.Y / 2, Z: rv.Z / 2}.Normalize()
+	}
+	return QuatFromAxisAngle(rv, angle)
+}
+
+// RotationVector converts q back to an axis-angle rotation vector.
+func (q Quat) RotationVector() Vec3 {
+	q = q.Normalize()
+	if q.W < 0 { // canonical hemisphere: angle in [0, π]
+		q = Quat{-q.W, -q.X, -q.Y, -q.Z}
+	}
+	s := math.Sqrt(q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+	if s < 1e-12 {
+		return Vec3{2 * q.X, 2 * q.Y, 2 * q.Z}
+	}
+	angle := 2 * math.Atan2(s, q.W)
+	return Vec3{q.X / s, q.Y / s, q.Z / s}.Scale(angle)
+}
+
+// Mul returns the Hamilton product q × r (apply r first, then q).
+func (q Quat) Mul(r Quat) Quat {
+	return Quat{
+		W: q.W*r.W - q.X*r.X - q.Y*r.Y - q.Z*r.Z,
+		X: q.W*r.X + q.X*r.W + q.Y*r.Z - q.Z*r.Y,
+		Y: q.W*r.Y - q.X*r.Z + q.Y*r.W + q.Z*r.X,
+		Z: q.W*r.Z + q.X*r.Y - q.Y*r.X + q.Z*r.W,
+	}
+}
+
+// Conjugate returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conjugate() Quat { return Quat{q.W, -q.X, -q.Y, -q.Z} }
+
+// Norm returns the quaternion norm.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalize returns q scaled to unit norm; identity if q is ~zero.
+func (q Quat) Normalize() Quat {
+	n := q.Norm()
+	if n < 1e-300 {
+		return QuatIdentity()
+	}
+	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+}
+
+// Rotate applies the rotation q to vector v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// v' = q * (0,v) * q⁻¹, expanded to avoid quaternion multiplies.
+	u := Vec3{q.X, q.Y, q.Z}
+	s := q.W
+	return u.Scale(2 * u.Dot(v)).
+		Add(v.Scale(s*s - u.Dot(u))).
+		Add(u.Cross(v).Scale(2 * s))
+}
+
+// Mat3 converts the (unit) quaternion to a rotation matrix.
+func (q Quat) Mat3() Mat3 {
+	q = q.Normalize()
+	x, y, z, w := q.X, q.Y, q.Z, q.W
+	return Mat3{
+		1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y),
+		2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x),
+		2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y),
+	}
+}
+
+// Dot returns the 4D dot product of q and r.
+func (q Quat) Dot(r Quat) float64 {
+	return q.W*r.W + q.X*r.X + q.Y*r.Y + q.Z*r.Z
+}
+
+// Slerp spherically interpolates from q (t=0) to r (t=1), taking the
+// shortest arc.
+func (q Quat) Slerp(r Quat, t float64) Quat {
+	q, r = q.Normalize(), r.Normalize()
+	d := q.Dot(r)
+	if d < 0 { // shortest path
+		r = Quat{-r.W, -r.X, -r.Y, -r.Z}
+		d = -d
+	}
+	if d > 0.9995 {
+		// Nearly parallel: nlerp is numerically safer.
+		return Quat{
+			q.W + (r.W-q.W)*t,
+			q.X + (r.X-q.X)*t,
+			q.Y + (r.Y-q.Y)*t,
+			q.Z + (r.Z-q.Z)*t,
+		}.Normalize()
+	}
+	theta := math.Acos(clamp(d, -1, 1))
+	sin := math.Sin(theta)
+	wq := math.Sin((1-t)*theta) / sin
+	wr := math.Sin(t*theta) / sin
+	return Quat{
+		q.W*wq + r.W*wr,
+		q.X*wq + r.X*wr,
+		q.Y*wq + r.Y*wr,
+		q.Z*wq + r.Z*wr,
+	}.Normalize()
+}

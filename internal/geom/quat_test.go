@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuatIdentityRotate(t *testing.T) {
+	v := V3(1, 2, 3)
+	if got := QuatIdentity().Rotate(v); !vecAlmostEq(got, v, eps) {
+		t.Errorf("identity rotate = %v", got)
+	}
+}
+
+func TestQuatAxisAngle(t *testing.T) {
+	q := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/2)
+	got := q.Rotate(V3(1, 0, 0))
+	if !vecAlmostEq(got, V3(0, 1, 0), eps) {
+		t.Errorf("rotZ(90°)·x = %v, want +Y", got)
+	}
+}
+
+func TestQuatMat3Agree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		q := Quat{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}.Normalize()
+		v := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		a := q.Rotate(v)
+		b := q.Mat3().MulVec(v)
+		if !vecAlmostEq(a, b, 1e-9*(v.Len()+1)) {
+			t.Fatalf("Rotate=%v Mat3=%v", a, b)
+		}
+	}
+}
+
+func TestQuatRotationVectorRoundTrip(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		rv := V3(x, y, z)
+		if !rv.IsFinite() {
+			return true
+		}
+		// Keep the angle within (−π, π) so the representation is unique.
+		if l := rv.Len(); l > math.Pi-1e-3 {
+			if l == 0 {
+				return true
+			}
+			rv = rv.Scale((math.Pi - 1e-3) / l * rand.Float64())
+		}
+		back := QuatFromRotationVector(rv).RotationVector()
+		return vecAlmostEq(back, rv, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatRotatePreservesLength(t *testing.T) {
+	f := func(qw, qx, qy, qz, vx, vy, vz float64) bool {
+		q := Quat{qw, qx, qy, qz}
+		if q.Norm() < 1e-6 || q.Norm() > 1e6 {
+			return true
+		}
+		q = q.Normalize()
+		v := V3(vx, vy, vz)
+		if !v.IsFinite() || v.Len() > 1e6 {
+			return true
+		}
+		return almostEq(q.Rotate(v).Len(), v.Len(), 1e-8*(v.Len()+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	qa := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/2)
+	qb := QuatFromAxisAngle(V3(1, 0, 0), math.Pi/2)
+	v := V3(0, 1, 0)
+	// qa.Mul(qb) applies qb first.
+	got := qa.Mul(qb).Rotate(v)
+	want := qa.Rotate(qb.Rotate(v))
+	if !vecAlmostEq(got, want, eps) {
+		t.Errorf("composition: got %v want %v", got, want)
+	}
+}
+
+func TestQuatConjugateInverts(t *testing.T) {
+	q := QuatFromAxisAngle(V3(1, 2, -1), 0.8)
+	v := V3(0.3, -0.4, 0.5)
+	back := q.Conjugate().Rotate(q.Rotate(v))
+	if !vecAlmostEq(back, v, eps) {
+		t.Errorf("conj∘rot = %v, want %v", back, v)
+	}
+}
+
+func TestSlerpEndpointsAndMidpoint(t *testing.T) {
+	qa := QuatFromAxisAngle(V3(0, 1, 0), 0)
+	qb := QuatFromAxisAngle(V3(0, 1, 0), math.Pi/2)
+	if got := qa.Slerp(qb, 0); !almostEq(got.Dot(qa), 1, 1e-9) {
+		t.Error("Slerp(0) != qa")
+	}
+	if got := qa.Slerp(qb, 1); !almostEq(math.Abs(got.Dot(qb)), 1, 1e-9) {
+		t.Error("Slerp(1) != qb")
+	}
+	mid := qa.Slerp(qb, 0.5)
+	want := QuatFromAxisAngle(V3(0, 1, 0), math.Pi/4)
+	if !almostEq(math.Abs(mid.Dot(want)), 1, 1e-9) {
+		t.Errorf("Slerp midpoint = %+v, want 45° about Y", mid)
+	}
+}
+
+func TestSlerpShortestPath(t *testing.T) {
+	qa := QuatFromAxisAngle(V3(0, 0, 1), 0.1)
+	qb := QuatFromAxisAngle(V3(0, 0, 1), 0.3)
+	// Negate qb: same rotation, opposite sign; slerp must still take
+	// the short way.
+	qbNeg := Quat{-qb.W, -qb.X, -qb.Y, -qb.Z}
+	mid := qa.Slerp(qbNeg, 0.5)
+	want := QuatFromAxisAngle(V3(0, 0, 1), 0.2)
+	if !almostEq(math.Abs(mid.Dot(want)), 1, 1e-9) {
+		t.Errorf("slerp took the long way: %+v", mid)
+	}
+}
+
+func TestQuatNormalizeZero(t *testing.T) {
+	if got := (Quat{}).Normalize(); got != QuatIdentity() {
+		t.Errorf("Normalize(0) = %+v, want identity", got)
+	}
+}

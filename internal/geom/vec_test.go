@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVec3Basics(t *testing.T) {
+	a, b := V3(1, 2, 3), V3(4, -5, 6)
+	if got := a.Add(b); got != V3(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V3(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*-5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Scale(2); got != V3(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := V3(1, 0, 0).Cross(V3(0, 1, 0)); got != V3(0, 0, 1) {
+		t.Errorf("Cross = %v, want +Z", got)
+	}
+}
+
+func TestVec3NormalizeZero(t *testing.T) {
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize(0) = %v, want zero", got)
+	}
+}
+
+func TestVec3NormalizeUnitLength(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := V3(x, y, z)
+		if !v.IsFinite() || v.Len() < 1e-6 || v.Len() > 1e12 {
+			return true // skip degenerate input
+		}
+		return almostEq(v.Normalize().Len(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V3(ax, ay, az), V3(bx, by, bz)
+		if a.Len() > 1e6 || b.Len() > 1e6 {
+			return true
+		}
+		c := a.Cross(b)
+		scale := a.Len() * b.Len()
+		tol := 1e-9 * (scale + 1)
+		return almostEq(c.Dot(a), 0, tol) && almostEq(c.Dot(b), 0, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := V3(1, 2, 3), V3(-4, 5, 0.5)
+	if !vecAlmostEq(a.Lerp(b, 0), a, eps) {
+		t.Error("Lerp(0) != a")
+	}
+	if !vecAlmostEq(a.Lerp(b, 1), b, eps) {
+		t.Error("Lerp(1) != b")
+	}
+	if !vecAlmostEq(a.Lerp(b, 0.5), a.Add(b).Scale(0.5), eps) {
+		t.Error("Lerp(0.5) != midpoint")
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	a, b := V3(1, 5, -2), V3(3, 2, 0)
+	if got := a.Min(b); got != V3(1, 2, -2) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != V3(3, 5, 0) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Clamp(0, 2); got != V3(1, 2, 0) {
+		t.Errorf("Clamp = %v", got)
+	}
+}
+
+func TestVec4Dehomogenize(t *testing.T) {
+	if got := V4(2, 4, 6, 2).Dehomogenize(); got != V3(1, 2, 3) {
+		t.Errorf("Dehomogenize = %v", got)
+	}
+	if got := V4(1, 1, 1, 0).Dehomogenize(); got != (Vec3{}) {
+		t.Errorf("Dehomogenize(w=0) = %v, want zero", got)
+	}
+}
+
+func TestVec2Basics(t *testing.T) {
+	a, b := V2(3, 4), V2(1, -1)
+	if a.Len() != 5 {
+		t.Errorf("Len = %v", a.Len())
+	}
+	if got := a.Add(b); got != V2(4, 3) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Dot(b); got != -1 {
+		t.Errorf("Dot = %v", got)
+	}
+	if !almostEq(a.Normalize().Len(), 1, eps) {
+		t.Error("Normalize not unit")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V3(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V3(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V3(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}

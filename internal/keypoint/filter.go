@@ -1,0 +1,165 @@
+package keypoint
+
+import (
+	"math"
+
+	"semholo/internal/geom"
+)
+
+// Filter smooths a keypoint observation stream over time, concealing
+// detector noise and misses — addressing the temporal-discontinuity
+// problem the paper raises for single-frame methods (§3.1).
+type Filter interface {
+	// Step consumes one frame of observations at time t (seconds) and
+	// returns the filtered keypoint positions. Missed observations are
+	// replaced by predictions.
+	Step(t float64, obs []Observation) []geom.Vec3
+}
+
+// KalmanFilter runs an independent constant-velocity Kalman filter per
+// keypoint (per axis, since the model is isotropic).
+type KalmanFilter struct {
+	// ProcessNoise is the acceleration noise density (m/s²).
+	ProcessNoise float64
+	// MeasurementNoise is the detector noise σ (m).
+	MeasurementNoise float64
+
+	initialized bool
+	lastT       float64
+	pos, vel    []geom.Vec3
+	// Per-keypoint scalar covariance (shared across axes):
+	// [p_pp, p_pv, p_vv].
+	cov [][3]float64
+}
+
+// NewKalmanFilter builds a filter for the given noise characteristics.
+func NewKalmanFilter(processNoise, measurementNoise float64) *KalmanFilter {
+	return &KalmanFilter{ProcessNoise: processNoise, MeasurementNoise: measurementNoise}
+}
+
+// Step implements Filter.
+func (k *KalmanFilter) Step(t float64, obs []Observation) []geom.Vec3 {
+	n := len(obs)
+	if !k.initialized {
+		k.pos = make([]geom.Vec3, n)
+		k.vel = make([]geom.Vec3, n)
+		k.cov = make([][3]float64, n)
+		for i, o := range obs {
+			k.pos[i] = o.Pos
+			k.cov[i] = [3]float64{1, 0, 1}
+		}
+		k.initialized = true
+		k.lastT = t
+		out := make([]geom.Vec3, n)
+		copy(out, k.pos)
+		return out
+	}
+	dt := t - k.lastT
+	if dt < 0 {
+		dt = 0
+	}
+	k.lastT = t
+	q := k.ProcessNoise * k.ProcessNoise
+	r := k.MeasurementNoise * k.MeasurementNoise
+	out := make([]geom.Vec3, n)
+	for i := 0; i < n && i < len(k.pos); i++ {
+		// Predict.
+		k.pos[i] = k.pos[i].Add(k.vel[i].Scale(dt))
+		c := k.cov[i]
+		ppp := c[0] + 2*dt*c[1] + dt*dt*c[2] + q*dt*dt*dt*dt/4
+		ppv := c[1] + dt*c[2] + q*dt*dt*dt/2
+		pvv := c[2] + q*dt*dt
+		// Update.
+		if obs[i].Valid {
+			s := ppp + r
+			kp := ppp / s
+			kv := ppv / s
+			innov := obs[i].Pos.Sub(k.pos[i])
+			k.pos[i] = k.pos[i].Add(innov.Scale(kp))
+			k.vel[i] = k.vel[i].Add(innov.Scale(kv))
+			ppp2 := (1 - kp) * ppp
+			ppv2 := (1 - kp) * ppv
+			pvv2 := pvv - kv*ppv
+			ppp, ppv, pvv = ppp2, ppv2, pvv2
+		}
+		k.cov[i] = [3]float64{ppp, ppv, pvv}
+		out[i] = k.pos[i]
+	}
+	return out
+}
+
+// OneEuroFilter implements the One-Euro filter per keypoint: an
+// adaptive low-pass whose cutoff rises with speed, trading jitter
+// rejection at rest for low lag during fast motion — well suited to
+// gesture streams.
+type OneEuroFilter struct {
+	// MinCutoff is the baseline cutoff frequency (Hz).
+	MinCutoff float64
+	// Beta scales the cutoff with estimated speed.
+	Beta float64
+	// DerivCutoff low-passes the derivative estimate (Hz).
+	DerivCutoff float64
+
+	initialized bool
+	lastT       float64
+	prev        []geom.Vec3
+	dprev       []geom.Vec3
+}
+
+// NewOneEuroFilter builds a filter with standard defaults when zeros are
+// passed (minCutoff 1 Hz, beta 0.3, derivative cutoff 1 Hz).
+func NewOneEuroFilter(minCutoff, beta float64) *OneEuroFilter {
+	if minCutoff <= 0 {
+		minCutoff = 1.0
+	}
+	if beta <= 0 {
+		beta = 0.3
+	}
+	return &OneEuroFilter{MinCutoff: minCutoff, Beta: beta, DerivCutoff: 1.0}
+}
+
+func alpha(cutoff, dt float64) float64 {
+	tau := 1 / (2 * math.Pi * cutoff)
+	return 1 / (1 + tau/dt)
+}
+
+// Step implements Filter.
+func (f *OneEuroFilter) Step(t float64, obs []Observation) []geom.Vec3 {
+	n := len(obs)
+	if !f.initialized {
+		f.prev = make([]geom.Vec3, n)
+		f.dprev = make([]geom.Vec3, n)
+		for i, o := range obs {
+			f.prev[i] = o.Pos
+		}
+		f.initialized = true
+		f.lastT = t
+		out := make([]geom.Vec3, n)
+		copy(out, f.prev)
+		return out
+	}
+	dt := t - f.lastT
+	if dt <= 0 {
+		dt = 1e-3
+	}
+	f.lastT = t
+	out := make([]geom.Vec3, n)
+	for i := 0; i < n && i < len(f.prev); i++ {
+		if !obs[i].Valid {
+			// Hold the previous estimate on a miss.
+			out[i] = f.prev[i]
+			continue
+		}
+		x := obs[i].Pos
+		// Derivative estimate, low-passed.
+		dx := x.Sub(f.prev[i]).Scale(1 / dt)
+		ad := alpha(f.DerivCutoff, dt)
+		f.dprev[i] = f.dprev[i].Lerp(dx, ad)
+		speed := f.dprev[i].Len()
+		cutoff := f.MinCutoff + f.Beta*speed
+		a := alpha(cutoff, dt)
+		f.prev[i] = f.prev[i].Lerp(x, a)
+		out[i] = f.prev[i]
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package keypoint
+
+import (
+	"math"
+	"testing"
+
+	"semholo/internal/body"
+	"semholo/internal/capture"
+	"semholo/internal/geom"
+)
+
+// testScene renders one capture of the procedural human and returns the
+// views plus ground-truth keypoints.
+var testScene = func() struct {
+	views []capture.Capture
+	model *body.Model
+} {
+	model := body.NewModel(nil, body.ModelOptions{Detail: 1})
+	rig := capture.NewRing(4, 2.5, 1.0, geom.V3(0, 1.0, 0), 128, math.Pi/3, 7)
+	seq := &capture.Sequence{
+		Model:  model,
+		Motion: body.Talking(nil),
+		Rig:    rig,
+		FPS:    30,
+	}
+	views := make([]capture.Capture, 5)
+	for i := range views {
+		views[i] = seq.FrameAt(i)
+	}
+	return struct {
+		views []capture.Capture
+		model *body.Model
+	}{views, model}
+}()
+
+func TestDetectRGBDAccuracy(t *testing.T) {
+	det := NewDetector(DefaultDetector())
+	cap0 := testScene.views[0]
+	truth := testScene.model.Keypoints(cap0.Truth)
+	obs := det.DetectRGBD(cap0.Views, truth)
+	if len(obs) != len(truth) {
+		t.Fatalf("got %d observations", len(obs))
+	}
+	meanErr, missed := MeanError(obs, truth)
+	if math.IsNaN(meanErr) {
+		t.Fatal("no valid observations")
+	}
+	// Multi-view averaging should land near the single-view noise level.
+	if meanErr > 0.03 {
+		t.Errorf("RGB-D mean error %.3f m too high", meanErr)
+	}
+	if missed > len(truth)/3 {
+		t.Errorf("missed %d/%d keypoints", missed, len(truth))
+	}
+}
+
+func TestDetectLiftedNoisierThanRGBD(t *testing.T) {
+	cap0 := testScene.views[0]
+	truth := testScene.model.Keypoints(cap0.Truth)
+	// Same seed for comparable sampling.
+	rgbd := NewDetector(DefaultDetector()).DetectRGBD(cap0.Views, truth)
+	lifted := NewDetector(DefaultDetector()).DetectLifted(cap0.Views, truth)
+	eR, _ := MeanError(rgbd, truth)
+	eL, _ := MeanError(lifted, truth)
+	if math.IsNaN(eL) {
+		t.Fatal("lifting produced no observations")
+	}
+	// The taxonomy's claim: direct RGB-D is more accurate than 2D→3D
+	// lifting (§2.3).
+	if eL < eR {
+		t.Errorf("lifted error %.4f < RGB-D error %.4f, contradicting §2.3", eL, eR)
+	}
+	// But lifting must still be usable (<10 cm).
+	if eL > 0.1 {
+		t.Errorf("lifted error %.3f m unusable", eL)
+	}
+}
+
+func TestOcclusionReducesObservations(t *testing.T) {
+	// With only one camera, roughly half the body self-occludes.
+	cap0 := testScene.views[0]
+	truth := testScene.model.Keypoints(cap0.Truth)
+	oneView := cap0.Views[:1]
+	det := NewDetector(DetectorOptions{Noise3D: 0.01, OcclusionTolerance: 0.05, Seed: 3})
+	obs := det.DetectRGBD(oneView, truth)
+	valid := 0
+	for _, o := range obs {
+		if o.Valid {
+			valid++
+		}
+	}
+	if valid == len(truth) {
+		t.Error("single view saw every keypoint; occlusion test broken")
+	}
+	if valid == 0 {
+		t.Error("single view saw nothing")
+	}
+}
+
+func TestDetectMissRate(t *testing.T) {
+	cap0 := testScene.views[0]
+	truth := testScene.model.Keypoints(cap0.Truth)
+	det := NewDetector(DetectorOptions{Noise3D: 0.01, MissRate: 1.0, OcclusionTolerance: 0.12, Seed: 4})
+	obs := det.DetectRGBD(cap0.Views, truth)
+	for i, o := range obs {
+		if o.Valid {
+			t.Fatalf("keypoint %d observed at 100%% miss rate", i)
+		}
+	}
+}
+
+func filterError(t *testing.T, f Filter, noise, missRate float64) float64 {
+	t.Helper()
+	det := NewDetector(DetectorOptions{Noise3D: noise, MissRate: missRate, OcclusionTolerance: 0.12, Seed: 5})
+	var sum float64
+	var n int
+	for i, cap := range testScene.views {
+		truth := testScene.model.Keypoints(cap.Truth)
+		obs := det.DetectRGBD(cap.Views, truth)
+		est := f.Step(cap.Time, obs)
+		if i == 0 {
+			continue // initialization frame
+		}
+		for j := range est {
+			sum += est[j].Dist(truth[j])
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func TestKalmanSmoothsNoise(t *testing.T) {
+	raw := filterError(t, passthroughFilter{}, 0.03, 0)
+	kal := filterError(t, NewKalmanFilter(1.0, 0.03), 0.03, 0)
+	if kal >= raw {
+		t.Errorf("kalman error %.4f !< raw %.4f", kal, raw)
+	}
+}
+
+func TestOneEuroSmoothsNoise(t *testing.T) {
+	raw := filterError(t, passthroughFilter{}, 0.03, 0)
+	oe := filterError(t, NewOneEuroFilter(1.0, 0.3), 0.03, 0)
+	if oe >= raw {
+		t.Errorf("one-euro error %.4f !< raw %.4f", oe, raw)
+	}
+}
+
+func TestFiltersSurviveMisses(t *testing.T) {
+	for _, f := range []Filter{NewKalmanFilter(1.0, 0.02), NewOneEuroFilter(1.0, 0.3)} {
+		err := filterError(t, f, 0.01, 0.5)
+		if math.IsNaN(err) || err > 0.2 {
+			t.Errorf("%T error %.4f under 50%% misses", f, err)
+		}
+	}
+}
+
+// passthroughFilter returns raw observations (predictions = last value).
+type passthroughFilter struct{ last []geom.Vec3 }
+
+func (p passthroughFilter) Step(t float64, obs []Observation) []geom.Vec3 {
+	out := make([]geom.Vec3, len(obs))
+	for i, o := range obs {
+		out[i] = o.Pos
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOBJRoundTrip(t *testing.T) {
+	m := UnitSphere(2)
+	var buf bytes.Buffer
+	if err := WriteOBJ(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOBJ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vertices) != len(m.Vertices) || len(got.Faces) != len(m.Faces) {
+		t.Fatalf("sizes changed: %d/%d verts, %d/%d faces",
+			len(got.Vertices), len(m.Vertices), len(got.Faces), len(m.Faces))
+	}
+	if len(got.Normals) != len(m.Normals) {
+		t.Fatalf("normals: %d vs %d", len(got.Normals), len(m.Normals))
+	}
+	for i := range m.Vertices {
+		if got.Vertices[i].Dist(m.Vertices[i]) > 1e-12 {
+			t.Fatalf("vertex %d moved", i)
+		}
+	}
+	if got.Faces[7] != m.Faces[7] {
+		t.Error("face indices changed")
+	}
+}
+
+func TestReadOBJVariants(t *testing.T) {
+	src := `
+# comment
+v 0 0 0
+v 1 0 0
+v 0 1 0
+vt 0 0
+vt 1 0
+vt 0 1
+f 1/1 2/2 3/3
+`
+	m, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Vertices) != 3 || len(m.Faces) != 1 || len(m.UVs) != 3 {
+		t.Fatalf("parsed %d verts %d faces %d uvs", len(m.Vertices), len(m.Faces), len(m.UVs))
+	}
+}
+
+func TestReadOBJNegativeIndices(t *testing.T) {
+	src := "v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n"
+	m, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Faces[0] != (Face{0, 1, 2}) {
+		t.Errorf("face = %+v", m.Faces[0])
+	}
+}
+
+func TestReadOBJErrors(t *testing.T) {
+	cases := []string{
+		"v 1 2\n",              // too few coords
+		"v a b c\n",            // non-numeric
+		"v 0 0 0\nf 1 2 5\n",   // out of range
+		"v 0 0 0\nf 1 1 1 1\n", // quad
+	}
+	for _, src := range cases {
+		if _, err := ReadOBJ(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted malformed OBJ %q", src)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package mesh
+
+import (
+	"semholo/internal/geom"
+)
+
+// ScalarField is a signed scalar function over 3D space. By SDF
+// convention, negative values are inside the surface and positive values
+// outside; the isosurface is the zero level set.
+type ScalarField func(p geom.Vec3) float64
+
+// GridSpec describes the sampling lattice for isosurface extraction.
+// Resolution is the number of cells along the longest axis of Bounds —
+// this matches the paper's "output resolution" knob (128/256/512/1024
+// voxels per dimension) whose cost grows as O(Resolution³).
+type GridSpec struct {
+	Bounds     geom.AABB
+	Resolution int
+}
+
+// cellCounts returns the number of cells per axis so that cells are cubes
+// of equal size with Resolution cells along the longest axis.
+func (g GridSpec) cellCounts() (nx, ny, nz int, cell float64) {
+	size := g.Bounds.Size()
+	longest := size.MaxComponent()
+	if longest <= 0 || g.Resolution <= 0 {
+		return 0, 0, 0, 0
+	}
+	cell = longest / float64(g.Resolution)
+	dims := func(extent float64) int {
+		n := int(extent/cell + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return dims(size.X), dims(size.Y), dims(size.Z), cell
+}
+
+// ExtractIsosurface polygonizes the zero level set of field over the grid
+// using marching tetrahedra. The result shares interpolated vertices along
+// lattice edges, so the output is watertight wherever the surface does not
+// leave the grid bounds. Cost is Θ(nx·ny·nz) field evaluations — the
+// O(Resolution³) scaling that dominates the paper's Figure 4.
+func ExtractIsosurface(field ScalarField, grid GridSpec) *Mesh {
+	nx, ny, nz, cell := grid.cellCounts()
+	if nx == 0 {
+		return &Mesh{}
+	}
+	// Sample the field at lattice points, one z-slab pair at a time to
+	// bound memory at O(nx·ny) regardless of resolution.
+	vx, vy := nx+1, ny+1
+	origin := grid.Bounds.Min
+
+	latticePoint := func(i, j, k int) geom.Vec3 {
+		return geom.Vec3{
+			X: origin.X + float64(i)*cell,
+			Y: origin.Y + float64(j)*cell,
+			Z: origin.Z + float64(k)*cell,
+		}
+	}
+	sampleSlab := func(k int, dst []float64) {
+		for j := 0; j < vy; j++ {
+			for i := 0; i < vx; i++ {
+				dst[j*vx+i] = field(latticePoint(i, j, k))
+			}
+		}
+	}
+
+	slabA := make([]float64, vx*vy)
+	slabB := make([]float64, vx*vy)
+	sampleSlab(0, slabA)
+
+	out := &Mesh{}
+	// Shared interpolated vertices, keyed by the lattice edge they lie on.
+	// Lattice vertices are identified by a linear index over (vx,vy,nz+1).
+	type latticeEdge struct{ lo, hi int }
+	shared := make(map[latticeEdge]int)
+	lidx := func(i, j, k int) int { return (k*vy+j)*vx + i }
+
+	// corner offsets of a unit cube, in the conventional order
+	cubeOff := [8][3]int{
+		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+	}
+	// Six tetrahedra sharing the body diagonal (corner 0 → corner 6).
+	tets := [6][4]int{
+		{0, 5, 1, 6},
+		{0, 1, 2, 6},
+		{0, 2, 3, 6},
+		{0, 3, 7, 6},
+		{0, 7, 4, 6},
+		{0, 4, 5, 6},
+	}
+
+	edgeVertex := func(la, lb int, pa, pb geom.Vec3, va, vb float64) int {
+		key := latticeEdge{la, lb}
+		if la > lb {
+			key = latticeEdge{lb, la}
+		}
+		if idx, ok := shared[key]; ok {
+			return idx
+		}
+		t := 0.5
+		if d := va - vb; d != 0 {
+			t = va / d
+		}
+		t = geom.Clamp(t, 0, 1)
+		idx := len(out.Vertices)
+		out.Vertices = append(out.Vertices, pa.Lerp(pb, t))
+		shared[key] = idx
+		return idx
+	}
+
+	// emit adds a triangle oriented so its normal points from inside
+	// (negative field) toward outside (positive field).
+	emit := func(a, b, c int, outward geom.Vec3) {
+		pa, pb, pc := out.Vertices[a], out.Vertices[b], out.Vertices[c]
+		n := pb.Sub(pa).Cross(pc.Sub(pa))
+		if n.Dot(outward) < 0 {
+			b, c = c, b
+		}
+		if a == b || b == c || a == c {
+			return
+		}
+		out.Faces = append(out.Faces, Face{a, b, c})
+	}
+
+	cur, next := slabA, slabB
+	for k := 0; k < nz; k++ {
+		sampleSlab(k+1, next)
+		slabVal := func(i, j, dk int) float64 {
+			if dk == 0 {
+				return cur[j*vx+i]
+			}
+			return next[j*vx+i]
+		}
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				// Gather the cube's corner values; skip cubes the
+				// surface cannot cross.
+				var vals [8]float64
+				anyNeg, anyPos := false, false
+				for c, off := range cubeOff {
+					v := slabVal(i+off[0], j+off[1], off[2])
+					vals[c] = v
+					if v < 0 {
+						anyNeg = true
+					} else {
+						anyPos = true
+					}
+				}
+				if !anyNeg || !anyPos {
+					continue
+				}
+				for _, tet := range tets {
+					polygonizeTet(out, tet, vals, i, j, k, cubeOff, latticePoint, lidx, edgeVertex, emit)
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return out
+}
+
+// polygonizeTet emits 0–2 triangles for one tetrahedron of a cube.
+func polygonizeTet(
+	out *Mesh,
+	tet [4]int,
+	vals [8]float64,
+	ci, cj, ck int,
+	cubeOff [8][3]int,
+	latticePoint func(i, j, k int) geom.Vec3,
+	lidx func(i, j, k int) int,
+	edgeVertex func(la, lb int, pa, pb geom.Vec3, va, vb float64) int,
+	emit func(a, b, c int, outward geom.Vec3),
+) {
+	var inside, outside []int
+	for _, c := range tet {
+		if vals[c] < 0 {
+			inside = append(inside, c)
+		} else {
+			outside = append(outside, c)
+		}
+	}
+	if len(inside) == 0 || len(inside) == 4 {
+		return
+	}
+	corner := func(c int) (int, geom.Vec3) {
+		off := cubeOff[c]
+		i, j, k := ci+off[0], cj+off[1], ck+off[2]
+		return lidx(i, j, k), latticePoint(i, j, k)
+	}
+	cut := func(a, b int) int {
+		la, pa := corner(a)
+		lb, pb := corner(b)
+		return edgeVertex(la, lb, pa, pb, vals[a], vals[b])
+	}
+	centroidOf := func(ids ...int) geom.Vec3 {
+		var s geom.Vec3
+		for _, id := range ids {
+			s = s.Add(out.Vertices[id])
+		}
+		return s.Scale(1 / float64(len(ids)))
+	}
+	switch len(inside) {
+	case 1:
+		in := inside[0]
+		a := cut(in, outside[0])
+		b := cut(in, outside[1])
+		c := cut(in, outside[2])
+		_, pin := corner(in)
+		emit(a, b, c, centroidOf(a, b, c).Sub(pin))
+	case 3:
+		outv := outside[0]
+		a := cut(inside[0], outv)
+		b := cut(inside[1], outv)
+		c := cut(inside[2], outv)
+		_, pout := corner(outv)
+		emit(a, b, c, pout.Sub(centroidOf(a, b, c)))
+	case 2:
+		i0, i1 := inside[0], inside[1]
+		o0, o1 := outside[0], outside[1]
+		a := cut(i0, o0)
+		b := cut(i0, o1)
+		c := cut(i1, o1)
+		d := cut(i1, o0)
+		_, p0 := corner(i0)
+		_, p1 := corner(i1)
+		insideMid := p0.Lerp(p1, 0.5)
+		emit(a, b, c, centroidOf(a, b, c).Sub(insideMid))
+		emit(a, c, d, centroidOf(a, c, d).Sub(insideMid))
+	}
+}

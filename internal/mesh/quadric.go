@@ -1,0 +1,261 @@
+package mesh
+
+import (
+	"container/heap"
+	"math"
+
+	"semholo/internal/geom"
+)
+
+// quadric is a symmetric 4×4 error quadric stored as its 10 unique
+// coefficients: [a² ab ac ad b² bc bd c² cd d²].
+type quadric [10]float64
+
+func (q *quadric) add(o *quadric) {
+	for i := range q {
+		q[i] += o[i]
+	}
+}
+
+// planeQuadric builds the fundamental quadric of the plane through a
+// face with unit normal n and point p, weighted by the face area.
+func planeQuadric(n geom.Vec3, p geom.Vec3, area float64) quadric {
+	d := -n.Dot(p)
+	return quadric{
+		area * n.X * n.X, area * n.X * n.Y, area * n.X * n.Z, area * n.X * d,
+		area * n.Y * n.Y, area * n.Y * n.Z, area * n.Y * d,
+		area * n.Z * n.Z, area * n.Z * d,
+		area * d * d,
+	}
+}
+
+// eval returns vᵀQv.
+func (q *quadric) eval(v geom.Vec3) float64 {
+	return q[0]*v.X*v.X + 2*q[1]*v.X*v.Y + 2*q[2]*v.X*v.Z + 2*q[3]*v.X +
+		q[4]*v.Y*v.Y + 2*q[5]*v.Y*v.Z + 2*q[6]*v.Y +
+		q[7]*v.Z*v.Z + 2*q[8]*v.Z +
+		q[9]
+}
+
+// optimal solves ∇(vᵀQv)=0 for the minimizing position; ok=false when
+// the quadric is (near-)singular.
+func (q *quadric) optimal() (geom.Vec3, bool) {
+	m := geom.Mat3{
+		q[0], q[1], q[2],
+		q[1], q[4], q[5],
+		q[2], q[5], q[7],
+	}
+	inv, ok := m.Inverse()
+	if !ok {
+		return geom.Vec3{}, false
+	}
+	// Guard against numerically awful inverses.
+	for _, v := range inv {
+		if math.Abs(v) > 1e12 {
+			return geom.Vec3{}, false
+		}
+	}
+	return inv.MulVec(geom.V3(-q[3], -q[6], -q[8])), true
+}
+
+// collapse candidate for the priority queue.
+type collapseCand struct {
+	cost     float64
+	u, v     int // collapse u into v (merged position replaces v)
+	pos      geom.Vec3
+	versionU int
+	versionV int
+	index    int // heap bookkeeping
+}
+
+type collapseHeap []*collapseCand
+
+func (h collapseHeap) Len() int           { return len(h) }
+func (h collapseHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h collapseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *collapseHeap) Push(x interface{}) {
+	c := x.(*collapseCand)
+	c.index = len(*h)
+	*h = append(*h, c)
+}
+func (h *collapseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// SimplifyQuadric decimates the mesh to approximately targetFaces using
+// quadric-error-metric edge collapses (Garland–Heckbert). It preserves
+// overall shape far better than vertex clustering at equal budgets, and
+// provides the level-of-detail rungs for the traditional pipeline's rate
+// ladder and the hybrid scheme's peripheral meshes.
+func SimplifyQuadric(m *Mesh, targetFaces int) *Mesh {
+	if targetFaces <= 0 || len(m.Faces) <= targetFaces {
+		out := m.Clone()
+		out.Normals = nil
+		out.UVs = nil
+		return out
+	}
+	nv := len(m.Vertices)
+	pos := append([]geom.Vec3(nil), m.Vertices...)
+	alive := make([]bool, nv)
+	version := make([]int, nv)
+	quadrics := make([]quadric, nv)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	// Face set with liveness; vertex→face adjacency.
+	faces := append([]Face(nil), m.Faces...)
+	faceAlive := make([]bool, len(faces))
+	vertFaces := make([][]int, nv)
+	for fi, f := range faces {
+		faceAlive[fi] = true
+		vertFaces[f.A] = append(vertFaces[f.A], fi)
+		vertFaces[f.B] = append(vertFaces[f.B], fi)
+		vertFaces[f.C] = append(vertFaces[f.C], fi)
+	}
+	liveFaces := len(faces)
+
+	// Initial quadrics.
+	for fi, f := range faces {
+		a, b, c := pos[f.A], pos[f.B], pos[f.C]
+		cr := b.Sub(a).Cross(c.Sub(a))
+		area := cr.Len() / 2
+		if area < 1e-18 {
+			continue
+		}
+		n := cr.Normalize()
+		pq := planeQuadric(n, a, area)
+		quadrics[f.A].add(&pq)
+		quadrics[f.B].add(&pq)
+		quadrics[f.C].add(&pq)
+		_ = fi
+	}
+
+	h := &collapseHeap{}
+	heap.Init(h)
+	pushEdge := func(u, v int) {
+		if u == v || !alive[u] || !alive[v] {
+			return
+		}
+		var q quadric
+		q = quadrics[u]
+		q.add(&quadrics[v])
+		best, ok := q.optimal()
+		if !ok || !best.IsFinite() {
+			best = pos[u].Lerp(pos[v], 0.5)
+		}
+		heap.Push(h, &collapseCand{
+			cost:     q.eval(best),
+			u:        u,
+			v:        v,
+			pos:      best,
+			versionU: version[u],
+			versionV: version[v],
+		})
+	}
+	seedEdges := func(fi int) {
+		f := faces[fi]
+		pushEdge(minI(f.A, f.B), maxI(f.A, f.B))
+		pushEdge(minI(f.B, f.C), maxI(f.B, f.C))
+		pushEdge(minI(f.C, f.A), maxI(f.C, f.A))
+	}
+	for fi := range faces {
+		seedEdges(fi)
+	}
+
+	for liveFaces > targetFaces && h.Len() > 0 {
+		cand := heap.Pop(h).(*collapseCand)
+		u, v := cand.u, cand.v
+		// Stale entry: a participant moved or died since scheduling.
+		if !alive[u] || !alive[v] ||
+			cand.versionU != version[u] || cand.versionV != version[v] {
+			continue
+		}
+		// Collapse u into v at the optimal position.
+		alive[u] = false
+		pos[v] = cand.pos
+		version[v]++
+		quadrics[v].add(&quadrics[u])
+
+		// Remap u's faces; kill degenerates.
+		for _, fi := range vertFaces[u] {
+			if !faceAlive[fi] {
+				continue
+			}
+			f := &faces[fi]
+			if f.A == u {
+				f.A = v
+			}
+			if f.B == u {
+				f.B = v
+			}
+			if f.C == u {
+				f.C = v
+			}
+			if f.A == f.B || f.B == f.C || f.A == f.C {
+				faceAlive[fi] = false
+				liveFaces--
+			} else {
+				vertFaces[v] = append(vertFaces[v], fi)
+			}
+		}
+		vertFaces[u] = nil
+
+		// Reschedule v's incident edges.
+		seen := map[int]bool{}
+		for _, fi := range vertFaces[v] {
+			if !faceAlive[fi] {
+				continue
+			}
+			f := faces[fi]
+			for _, w := range [3]int{f.A, f.B, f.C} {
+				if w != v && !seen[w] {
+					seen[w] = true
+					pushEdge(minI(v, w), maxI(v, w))
+				}
+			}
+		}
+	}
+
+	// Compact the result.
+	out := &Mesh{}
+	remap := make([]int, nv)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for fi, live := range faceAlive {
+		if !live {
+			continue
+		}
+		f := faces[fi]
+		var nf Face
+		ids := [3]*int{&nf.A, &nf.B, &nf.C}
+		for k, vi := range [3]int{f.A, f.B, f.C} {
+			if remap[vi] < 0 {
+				remap[vi] = len(out.Vertices)
+				out.Vertices = append(out.Vertices, pos[vi])
+			}
+			*ids[k] = remap[vi]
+		}
+		out.Faces = append(out.Faces, nf)
+	}
+	return out
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"semholo/internal/geom"
+)
+
+func TestQuadricSimplifyReachesTarget(t *testing.T) {
+	m := UnitSphere(4) // 5120 faces
+	s := SimplifyQuadric(m, 500)
+	if len(s.Faces) > 520 {
+		t.Errorf("simplified to %d faces, want ≤ ~500", len(s.Faces))
+	}
+	if len(s.Faces) < 100 {
+		t.Errorf("over-collapsed to %d faces", len(s.Faces))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestQuadricPreservesShape(t *testing.T) {
+	m := UnitSphere(4)
+	s := SimplifyQuadric(m, 400)
+	// All vertices near the unit sphere (QEM keeps them on the surface's
+	// tangent planes).
+	for _, v := range s.Vertices {
+		if math.Abs(v.Len()-1) > 0.08 {
+			t.Fatalf("vertex %v at radius %v", v, v.Len())
+		}
+	}
+	// Volume within 10% of the sphere.
+	if vol := s.Volume(); math.Abs(vol-4*math.Pi/3)/(4*math.Pi/3) > 0.12 {
+		t.Errorf("volume %v vs sphere %v", vol, 4*math.Pi/3)
+	}
+}
+
+func TestQuadricBeatsClusteringAtEqualBudget(t *testing.T) {
+	m := UnitSphere(4)
+	target := 300
+	q := SimplifyQuadric(m, target)
+	// Clustering with a grid tuned to land near the same face count.
+	c := SimplifyClustering(m, 9)
+	// Normalize comparison: mean radial error, same metric for both.
+	radErr := func(mm *Mesh) float64 {
+		var s float64
+		for _, p := range mm.SamplePoints(3000) {
+			s += math.Abs(p.Len() - 1)
+		}
+		return s / 3000
+	}
+	qe, ce := radErr(q), radErr(c)
+	if qe >= ce {
+		t.Errorf("QEM error %.5f not better than clustering %.5f (faces %d vs %d)",
+			qe, ce, len(q.Faces), len(c.Faces))
+	}
+}
+
+func TestQuadricNoOpWhenSmall(t *testing.T) {
+	m := UnitSphere(1)
+	s := SimplifyQuadric(m, 10000)
+	if len(s.Faces) != len(m.Faces) {
+		t.Error("target above face count should clone")
+	}
+}
+
+func TestQuadricHandlesDegenerateInput(t *testing.T) {
+	// A mesh with a zero-area face must not panic.
+	m := &Mesh{
+		Vertices: []geom.Vec3{{}, {X: 1}, {X: 2}, {Y: 1}},
+		Faces:    []Face{{0, 1, 2}, {0, 1, 3}},
+	}
+	s := SimplifyQuadric(m, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid output: %v", err)
+	}
+}
+
+func TestQuadricLODLadder(t *testing.T) {
+	// Decreasing budgets give decreasing face counts and growing error —
+	// a usable rate ladder.
+	m := UnitSphere(4)
+	prevFaces := len(m.Faces) + 1
+	prevErr := -1.0
+	for _, target := range []int{2000, 800, 200} {
+		s := SimplifyQuadric(m, target)
+		if len(s.Faces) >= prevFaces {
+			t.Errorf("faces did not shrink at target %d", target)
+		}
+		prevFaces = len(s.Faces)
+		var e float64
+		for _, p := range s.SamplePoints(2000) {
+			e += math.Abs(p.Len() - 1)
+		}
+		e /= 2000
+		if prevErr >= 0 && e < prevErr/2 {
+			t.Errorf("error unexpectedly improved at coarser LOD: %v -> %v", prevErr, e)
+		}
+		prevErr = e
+	}
+}
+
+func BenchmarkQuadricSimplify(b *testing.B) {
+	m := UnitSphere(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SimplifyQuadric(m, 500)
+	}
+}

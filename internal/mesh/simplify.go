@@ -1,0 +1,107 @@
+package mesh
+
+import (
+	"semholo/internal/geom"
+)
+
+// SimplifyClustering reduces the mesh by clustering vertices on a uniform
+// grid with the given number of cells along the longest bounding-box axis
+// and merging each cluster to its centroid. Faces collapsing to fewer than
+// three distinct clusters are dropped. This is the decimation used to
+// produce the reduced-quality peripheral meshes in the foveated hybrid
+// scheme (§3.1) and the level-of-detail rungs for rate adaptation.
+func SimplifyClustering(m *Mesh, cells int) *Mesh {
+	if cells < 1 || len(m.Vertices) == 0 {
+		return m.Clone()
+	}
+	b := m.Bounds()
+	longest := b.Size().MaxComponent()
+	if longest <= 0 {
+		return m.Clone()
+	}
+	cell := longest / float64(cells)
+
+	type cellKey struct{ x, y, z int32 }
+	keyOf := func(v geom.Vec3) cellKey {
+		d := v.Sub(b.Min)
+		return cellKey{int32(d.X / cell), int32(d.Y / cell), int32(d.Z / cell)}
+	}
+
+	clusterIdx := make(map[cellKey]int)
+	var sums []geom.Vec3
+	var counts []int
+	remap := make([]int, len(m.Vertices))
+	for i, v := range m.Vertices {
+		k := keyOf(v)
+		idx, ok := clusterIdx[k]
+		if !ok {
+			idx = len(sums)
+			clusterIdx[k] = idx
+			sums = append(sums, geom.Vec3{})
+			counts = append(counts, 0)
+		}
+		sums[idx] = sums[idx].Add(v)
+		counts[idx]++
+		remap[i] = idx
+	}
+
+	out := &Mesh{Vertices: make([]geom.Vec3, len(sums))}
+	for i := range sums {
+		out.Vertices[i] = sums[i].Scale(1 / float64(counts[i]))
+	}
+	seen := make(map[Face]struct{}, len(m.Faces))
+	for _, f := range m.Faces {
+		nf := Face{remap[f.A], remap[f.B], remap[f.C]}
+		if nf.A == nf.B || nf.B == nf.C || nf.A == nf.C {
+			continue
+		}
+		// Deduplicate faces that collapse onto each other (canonical
+		// rotation keeps orientation).
+		canon := nf
+		if canon.B < canon.A && canon.B < canon.C {
+			canon = Face{nf.B, nf.C, nf.A}
+		} else if canon.C < canon.A && canon.C < canon.B {
+			canon = Face{nf.C, nf.A, nf.B}
+		}
+		if _, dup := seen[canon]; dup {
+			continue
+		}
+		seen[canon] = struct{}{}
+		out.Faces = append(out.Faces, nf)
+	}
+	return out
+}
+
+// CompactVertices removes vertices not referenced by any face, remapping
+// face indices. Attribute arrays are compacted in parallel.
+func (m *Mesh) CompactVertices() {
+	used := make([]bool, len(m.Vertices))
+	for _, f := range m.Faces {
+		used[f.A], used[f.B], used[f.C] = true, true, true
+	}
+	remap := make([]int, len(m.Vertices))
+	next := 0
+	for i, u := range used {
+		if u {
+			remap[i] = next
+			m.Vertices[next] = m.Vertices[i]
+			if m.Normals != nil {
+				m.Normals[next] = m.Normals[i]
+			}
+			if m.UVs != nil {
+				m.UVs[next] = m.UVs[i]
+			}
+			next++
+		}
+	}
+	m.Vertices = m.Vertices[:next]
+	if m.Normals != nil {
+		m.Normals = m.Normals[:next]
+	}
+	if m.UVs != nil {
+		m.UVs = m.UVs[:next]
+	}
+	for i, f := range m.Faces {
+		m.Faces[i] = Face{remap[f.A], remap[f.B], remap[f.C]}
+	}
+}

@@ -1,0 +1,150 @@
+package mesh
+
+import (
+	"semholo/internal/geom"
+)
+
+// ExtractIsosurfaceSparse polygonizes the zero level set like
+// ExtractIsosurface but visits only lattice cubes near the surface: it
+// seeds from the given surface points and flood-fills across
+// sign-crossing cubes (6-adjacency). Field evaluations are cached per
+// lattice vertex, so cost scales with surface area (O(R²)) instead of
+// volume (O(R³)).
+//
+// Every connected surface component must contain at least one seed point
+// (within one cell of the surface); components with no seed are silently
+// missed. The avatar reconstructor seeds from its bone capsules, covering
+// every component by construction.
+func ExtractIsosurfaceSparse(field ScalarField, grid GridSpec, seeds []geom.Vec3) *Mesh {
+	nx, ny, nz, cell := grid.cellCounts()
+	if nx == 0 || len(seeds) == 0 {
+		return &Mesh{}
+	}
+	vx, vy := nx+1, ny+1
+	origin := grid.Bounds.Min
+
+	latticePoint := func(i, j, k int) geom.Vec3 {
+		return geom.Vec3{
+			X: origin.X + float64(i)*cell,
+			Y: origin.Y + float64(j)*cell,
+			Z: origin.Z + float64(k)*cell,
+		}
+	}
+	lidx := func(i, j, k int) int { return (k*vy+j)*vx + i }
+
+	// Cached field samples per lattice vertex.
+	values := make(map[int]float64)
+	sample := func(i, j, k int) float64 {
+		id := lidx(i, j, k)
+		if v, ok := values[id]; ok {
+			return v
+		}
+		v := field(latticePoint(i, j, k))
+		values[id] = v
+		return v
+	}
+
+	cubeOff := [8][3]int{
+		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+	}
+	tets := [6][4]int{
+		{0, 5, 1, 6}, {0, 1, 2, 6}, {0, 2, 3, 6},
+		{0, 3, 7, 6}, {0, 7, 4, 6}, {0, 4, 5, 6},
+	}
+
+	out := &Mesh{}
+	type latticeEdge struct{ lo, hi int }
+	shared := make(map[latticeEdge]int)
+	edgeVertex := func(la, lb int, pa, pb geom.Vec3, va, vb float64) int {
+		key := latticeEdge{la, lb}
+		if la > lb {
+			key = latticeEdge{lb, la}
+		}
+		if idx, ok := shared[key]; ok {
+			return idx
+		}
+		t := 0.5
+		if d := va - vb; d != 0 {
+			t = va / d
+		}
+		t = geom.Clamp(t, 0, 1)
+		idx := len(out.Vertices)
+		out.Vertices = append(out.Vertices, pa.Lerp(pb, t))
+		shared[key] = idx
+		return idx
+	}
+	emit := func(a, b, c int, outward geom.Vec3) {
+		pa, pb, pc := out.Vertices[a], out.Vertices[b], out.Vertices[c]
+		n := pb.Sub(pa).Cross(pc.Sub(pa))
+		if n.Dot(outward) < 0 {
+			b, c = c, b
+		}
+		if a == b || b == c || a == c {
+			return
+		}
+		out.Faces = append(out.Faces, Face{a, b, c})
+	}
+
+	type cellID struct{ i, j, k int }
+	visited := make(map[cellID]bool)
+	var queue []cellID
+
+	enqueue := func(c cellID) {
+		if c.i < 0 || c.j < 0 || c.k < 0 || c.i >= nx || c.j >= ny || c.k >= nz {
+			return
+		}
+		if visited[c] {
+			return
+		}
+		visited[c] = true
+		queue = append(queue, c)
+	}
+	cellOf := func(p geom.Vec3) cellID {
+		d := p.Sub(origin)
+		return cellID{int(d.X / cell), int(d.Y / cell), int(d.Z / cell)}
+	}
+	for _, s := range seeds {
+		c := cellOf(s)
+		// Seed a small neighborhood to tolerate seeds slightly off the
+		// surface.
+		for dk := -1; dk <= 1; dk++ {
+			for dj := -1; dj <= 1; dj++ {
+				for di := -1; di <= 1; di++ {
+					enqueue(cellID{c.i + di, c.j + dj, c.k + dk})
+				}
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		var vals [8]float64
+		anyNeg, anyPos := false, false
+		for ci, off := range cubeOff {
+			v := sample(c.i+off[0], c.j+off[1], c.k+off[2])
+			vals[ci] = v
+			if v < 0 {
+				anyNeg = true
+			} else {
+				anyPos = true
+			}
+		}
+		if !anyNeg || !anyPos {
+			continue
+		}
+		for _, tet := range tets {
+			polygonizeTet(out, tet, vals, c.i, c.j, c.k, cubeOff, latticePoint, lidx, edgeVertex, emit)
+		}
+		// The surface continues into face neighbors.
+		enqueue(cellID{c.i + 1, c.j, c.k})
+		enqueue(cellID{c.i - 1, c.j, c.k})
+		enqueue(cellID{c.i, c.j + 1, c.k})
+		enqueue(cellID{c.i, c.j - 1, c.k})
+		enqueue(cellID{c.i, c.j, c.k + 1})
+		enqueue(cellID{c.i, c.j, c.k - 1})
+	}
+	return out
+}

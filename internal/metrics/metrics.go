@@ -1,0 +1,216 @@
+// Package metrics implements the objective quality measures used to
+// regenerate the paper's figures: PSNR and SSIM over rendered views
+// (Figure 3's texture comparison), chamfer distance / Hausdorff distance
+// / F-score over geometry (Figure 2's resolution sweep), and a composite
+// QoE score combining quality with delivery latency.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+	"semholo/internal/pointcloud"
+)
+
+// MSE returns the mean squared error between two equal-length color
+// buffers (averaged over all channels).
+func MSE(a, b []pointcloud.Color) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		dr := a[i].R - b[i].R
+		dg := a[i].G - b[i].G
+		db := a[i].B - b[i].B
+		s += dr*dr + dg*dg + db*db
+	}
+	return s / float64(3*len(a))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB for colors in [0,1].
+// Identical buffers return +Inf.
+func PSNR(a, b []pointcloud.Color) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(1/mse)
+}
+
+func luminance(c pointcloud.Color) float64 {
+	return 0.299*c.R + 0.587*c.G + 0.114*c.B
+}
+
+// SSIM computes the mean structural similarity index over 8×8 luminance
+// windows of two images with the given width. Constants follow the
+// standard SSIM formulation for dynamic range 1.
+func SSIM(a, b []pointcloud.Color, width int) float64 {
+	if len(a) != len(b) || width <= 0 || len(a)%width != 0 {
+		return math.NaN()
+	}
+	height := len(a) / width
+	const win = 8
+	const c1 = 0.01 * 0.01
+	const c2 = 0.03 * 0.03
+	var total float64
+	var windows int
+	for wy := 0; wy+win <= height; wy += win {
+		for wx := 0; wx+win <= width; wx += win {
+			var ma, mb float64
+			for y := 0; y < win; y++ {
+				for x := 0; x < win; x++ {
+					i := (wy+y)*width + wx + x
+					ma += luminance(a[i])
+					mb += luminance(b[i])
+				}
+			}
+			n := float64(win * win)
+			ma /= n
+			mb /= n
+			var va, vb, cov float64
+			for y := 0; y < win; y++ {
+				for x := 0; x < win; x++ {
+					i := (wy+y)*width + wx + x
+					da := luminance(a[i]) - ma
+					db := luminance(b[i]) - mb
+					va += da * da
+					vb += db * db
+					cov += da * db
+				}
+			}
+			va /= n - 1
+			vb /= n - 1
+			cov /= n - 1
+			ssim := ((2*ma*mb + c1) * (2*cov + c2)) /
+				((ma*ma + mb*mb + c1) * (va + vb + c2))
+			total += ssim
+			windows++
+		}
+	}
+	if windows == 0 {
+		return math.NaN()
+	}
+	return total / float64(windows)
+}
+
+// GeometryReport summarizes point-set distance metrics.
+type GeometryReport struct {
+	// Chamfer is the symmetric mean nearest-neighbor distance.
+	Chamfer float64
+	// Hausdorff is the maximum nearest-neighbor distance (both ways).
+	Hausdorff float64
+	// Hausdorff95 is the robust 95th-percentile variant.
+	Hausdorff95 float64
+	// FScore is the harmonic mean of precision/recall at the threshold
+	// passed to CompareClouds.
+	FScore float64
+}
+
+// CompareClouds computes geometry metrics between a reconstruction and a
+// reference point set. tau is the F-score distance threshold.
+func CompareClouds(recon, ref []geom.Vec3, tau float64) GeometryReport {
+	if len(recon) == 0 || len(ref) == 0 {
+		return GeometryReport{
+			Chamfer:     math.NaN(),
+			Hausdorff:   math.NaN(),
+			Hausdorff95: math.NaN(),
+		}
+	}
+	refTree := pointcloud.NewKDTree(ref)
+	reconTree := pointcloud.NewKDTree(recon)
+
+	dists := func(from []geom.Vec3, tree *pointcloud.KDTree) []float64 {
+		out := make([]float64, len(from))
+		for i, p := range from {
+			nb, _ := tree.Nearest(p)
+			out[i] = math.Sqrt(nb.DistSq)
+		}
+		return out
+	}
+	dRecon := dists(recon, refTree) // precision distances
+	dRef := dists(ref, reconTree)   // recall distances
+
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	maxOf := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	pct := func(xs []float64, q float64) float64 {
+		c := append([]float64(nil), xs...)
+		sort.Float64s(c)
+		i := int(q * float64(len(c)-1))
+		return c[i]
+	}
+	frac := func(xs []float64) float64 {
+		n := 0
+		for _, x := range xs {
+			if x <= tau {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+
+	rep := GeometryReport{
+		Chamfer:   (mean(dRecon) + mean(dRef)) / 2,
+		Hausdorff: math.Max(maxOf(dRecon), maxOf(dRef)),
+	}
+	rep.Hausdorff95 = math.Max(pct(dRecon, 0.95), pct(dRef, 0.95))
+	if tau > 0 {
+		precision, recall := frac(dRecon), frac(dRef)
+		if precision+recall > 0 {
+			rep.FScore = 2 * precision * recall / (precision + recall)
+		}
+	}
+	return rep
+}
+
+// CompareMeshes samples both meshes uniformly (n points each) and
+// compares the samples — the standard protocol for mesh-to-mesh quality
+// (Figure 2's resolution sweep).
+func CompareMeshes(recon, ref *mesh.Mesh, n int, tau float64) GeometryReport {
+	return CompareClouds(recon.SamplePoints(n), ref.SamplePoints(n), tau)
+}
+
+// QoEWeights parameterizes the composite experience score.
+type QoEWeights struct {
+	// LatencyBudget is the end-to-end latency (seconds) considered
+	// acceptable; the paper cites <100 ms for interactivity (§1).
+	LatencyBudget float64
+	// MinFPS is the frame rate considered fluid (30 in §4.2).
+	MinFPS float64
+}
+
+// DefaultQoE returns the paper's interactivity targets.
+func DefaultQoE() QoEWeights { return QoEWeights{LatencyBudget: 0.100, MinFPS: 30} }
+
+// Score combines visual quality (SSIM-like, in [0,1]), end-to-end
+// latency, and delivered frame rate into a [0,1] composite: quality
+// scaled by soft penalties for blowing the latency budget or dropping
+// below the fluid frame rate.
+func (w QoEWeights) Score(quality, latencySec, fps float64) float64 {
+	q := geom.Clamp(quality, 0, 1)
+	latPenalty := 1.0
+	if latencySec > w.LatencyBudget {
+		latPenalty = w.LatencyBudget / latencySec
+	}
+	fpsPenalty := 1.0
+	if fps < w.MinFPS {
+		fpsPenalty = fps / w.MinFPS
+	}
+	return q * latPenalty * fpsPenalty
+}

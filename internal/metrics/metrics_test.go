@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+	"semholo/internal/pointcloud"
+)
+
+func solidImage(n int, c pointcloud.Color) []pointcloud.Color {
+	img := make([]pointcloud.Color, n)
+	for i := range img {
+		img[i] = c
+	}
+	return img
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	a := solidImage(64*64, pointcloud.Color{R: 0.5, G: 0.5, B: 0.5})
+	if p := PSNR(a, a); !math.IsInf(p, 1) {
+		t.Errorf("identical PSNR = %v", p)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := solidImage(100, pointcloud.Color{})
+	b := solidImage(100, pointcloud.Color{R: 0.1, G: 0.1, B: 0.1})
+	// MSE = 0.01 → PSNR = 20 dB.
+	if p := PSNR(a, b); math.Abs(p-20) > 1e-9 {
+		t.Errorf("PSNR = %v, want 20", p)
+	}
+}
+
+func TestPSNRMonotonic(t *testing.T) {
+	a := solidImage(100, pointcloud.Color{})
+	small := solidImage(100, pointcloud.Color{R: 0.05})
+	big := solidImage(100, pointcloud.Color{R: 0.3})
+	if PSNR(a, small) <= PSNR(a, big) {
+		t.Error("PSNR not monotonic in error")
+	}
+}
+
+func TestMSEMismatchedSizes(t *testing.T) {
+	if !math.IsNaN(MSE(solidImage(4, pointcloud.Color{}), solidImage(5, pointcloud.Color{}))) {
+		t.Error("size mismatch not NaN")
+	}
+}
+
+func TestSSIMIdenticalAndNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := 64
+	img := make([]pointcloud.Color, w*w)
+	for i := range img {
+		v := rng.Float64()
+		img[i] = pointcloud.Color{R: v, G: v, B: v}
+	}
+	if s := SSIM(img, img, w); math.Abs(s-1) > 1e-9 {
+		t.Errorf("SSIM(x,x) = %v", s)
+	}
+	noisy := append([]pointcloud.Color(nil), img...)
+	for i := range noisy {
+		d := rng.NormFloat64() * 0.2
+		noisy[i] = pointcloud.Color{
+			R: geom.Clamp(noisy[i].R+d, 0, 1),
+			G: geom.Clamp(noisy[i].G+d, 0, 1),
+			B: geom.Clamp(noisy[i].B+d, 0, 1),
+		}
+	}
+	s := SSIM(img, noisy, w)
+	if s >= 0.99 || s < 0 {
+		t.Errorf("SSIM of noisy image = %v", s)
+	}
+}
+
+func TestChamferZeroForIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Vec3, 200)
+	for i := range pts {
+		pts[i] = geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	}
+	rep := CompareClouds(pts, pts, 0.01)
+	if rep.Chamfer != 0 || rep.Hausdorff != 0 {
+		t.Errorf("identical clouds: chamfer %v hausdorff %v", rep.Chamfer, rep.Hausdorff)
+	}
+	if rep.FScore != 1 {
+		t.Errorf("identical clouds F-score %v", rep.FScore)
+	}
+}
+
+func TestChamferKnownOffset(t *testing.T) {
+	a := []geom.Vec3{{X: 0}, {X: 1}, {X: 2}}
+	b := []geom.Vec3{{X: 0.1}, {X: 1.1}, {X: 2.1}}
+	rep := CompareClouds(a, b, 0.2)
+	if math.Abs(rep.Chamfer-0.1) > 1e-9 {
+		t.Errorf("chamfer = %v, want 0.1", rep.Chamfer)
+	}
+	if math.Abs(rep.Hausdorff-0.1) > 1e-9 {
+		t.Errorf("hausdorff = %v, want 0.1", rep.Hausdorff)
+	}
+	if rep.FScore != 1 {
+		t.Errorf("F-score = %v at generous threshold", rep.FScore)
+	}
+}
+
+func TestHausdorffCatchesOutlier(t *testing.T) {
+	base := make([]geom.Vec3, 100)
+	for i := range base {
+		base[i] = geom.V3(float64(i)*0.01, 0, 0)
+	}
+	withOutlier := append(append([]geom.Vec3(nil), base...), geom.V3(0, 5, 0))
+	rep := CompareClouds(withOutlier, base, 0.05)
+	if rep.Hausdorff < 4.9 {
+		t.Errorf("hausdorff %v missed the outlier", rep.Hausdorff)
+	}
+	// The robust variant must ignore it.
+	if rep.Hausdorff95 > 0.1 {
+		t.Errorf("hausdorff95 %v dominated by single outlier", rep.Hausdorff95)
+	}
+	// Chamfer barely moves.
+	if rep.Chamfer > 0.1 {
+		t.Errorf("chamfer %v oversensitive to one outlier", rep.Chamfer)
+	}
+}
+
+func TestCompareMeshesResolutionOrdering(t *testing.T) {
+	// A finer sphere should match the reference sphere better than a
+	// coarse one — the property behind Figure 2.
+	ref := mesh.UnitSphere(4)
+	coarse := CompareMeshes(mesh.UnitSphere(1), ref, 2000, 0.01)
+	fine := CompareMeshes(mesh.UnitSphere(3), ref, 2000, 0.01)
+	if fine.Chamfer >= coarse.Chamfer {
+		t.Errorf("chamfer fine %v !< coarse %v", fine.Chamfer, coarse.Chamfer)
+	}
+	if fine.FScore <= coarse.FScore {
+		t.Errorf("fscore fine %v !> coarse %v", fine.FScore, coarse.FScore)
+	}
+}
+
+func TestCompareCloudsEmpty(t *testing.T) {
+	rep := CompareClouds(nil, []geom.Vec3{{}}, 0.1)
+	if !math.IsNaN(rep.Chamfer) {
+		t.Error("empty cloud should give NaN")
+	}
+}
+
+func TestQoEScore(t *testing.T) {
+	w := DefaultQoE()
+	// Perfect delivery: score = quality.
+	if s := w.Score(0.9, 0.05, 60); math.Abs(s-0.9) > 1e-9 {
+		t.Errorf("unpenalized score %v", s)
+	}
+	// Latency blowout halves at 200 ms.
+	if s := w.Score(1.0, 0.2, 60); math.Abs(s-0.5) > 1e-9 {
+		t.Errorf("latency-penalized score %v", s)
+	}
+	// Low FPS penalized: the paper's keypoint PoC at <1 FPS must score
+	// terribly despite decent geometry (§4.2 discussion).
+	if s := w.Score(0.8, 0.05, 0.5); s > 0.05 {
+		t.Errorf("sub-FPS score %v not punished", s)
+	}
+	// Clamping.
+	if s := w.Score(1.5, 0.01, 60); s > 1 {
+		t.Errorf("score %v exceeds 1", s)
+	}
+}

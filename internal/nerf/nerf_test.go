@@ -1,0 +1,258 @@
+package nerf
+
+import (
+	"math"
+	"testing"
+
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+	"semholo/internal/metrics"
+	"semholo/internal/pointcloud"
+	"semholo/internal/render"
+)
+
+// testSceneSpec returns the shared toy scene: a colored sphere rendered
+// from a ring of cameras at low resolution.
+func testSceneSpec() Scene {
+	return Scene{
+		Bounds:  geom.NewAABB(geom.V3(-1.3, -1.3, -1.3), geom.V3(1.3, 1.3, 1.3)),
+		Near:    1.0,
+		Far:     5.0,
+		Samples: 24,
+	}
+}
+
+func sphereFrames(res int, nviews int) []*render.Frame {
+	m := mesh.UnitSphere(3)
+	frames := make([]*render.Frame, 0, nviews)
+	for i := 0; i < nviews; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(nviews)
+		eye := geom.V3(3*math.Cos(ang), 0.3, 3*math.Sin(ang))
+		cam := geom.NewLookAtCamera(geom.IntrinsicsFromFOV(res, res, math.Pi/3), eye, geom.Vec3{}, geom.V3(0, -1, 0))
+		f := render.NewFrame(cam)
+		render.RenderMesh(f, m, render.MeshOptions{Albedo: pointcloud.Color{R: 0.9, G: 0.3, B: 0.2}})
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+func TestEncodeDimensions(t *testing.T) {
+	dst := make([]float64, InputDim)
+	Encode(0.5, -0.25, 1, dst)
+	if dst[0] != 0.5 || dst[1] != -0.25 || dst[2] != 1 {
+		t.Error("raw coords not passed through")
+	}
+	for i, v := range dst {
+		if math.IsNaN(v) || v < -1 || v > 1 {
+			t.Errorf("encoded dim %d = %v out of range", i, v)
+		}
+	}
+}
+
+func TestNewNetValidation(t *testing.T) {
+	if _, err := NewNet(nil, 1); err == nil {
+		t.Error("empty widths accepted")
+	}
+	if _, err := NewNet([]int{8, 8}, 1); err == nil {
+		t.Error("non-ascending widths accepted")
+	}
+	if _, err := NewNet([]int{1}, 1); err == nil {
+		t.Error("width 1 accepted")
+	}
+}
+
+func TestParamCountGrowsWithWidth(t *testing.T) {
+	n, err := NewNet([]int{8, 16, 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ParamCount(8) >= n.ParamCount(16) || n.ParamCount(16) >= n.ParamCount(32) {
+		t.Error("parameter count not monotone in width")
+	}
+}
+
+func TestGradientsMatchFiniteDifference(t *testing.T) {
+	// Core correctness of backprop through volume rendering: analytic
+	// gradient ≈ finite difference on a handful of parameters.
+	n, _ := NewNet([]int{8}, 3)
+	sc := testSceneSpec()
+	ray := geom.Ray{O: geom.V3(0, 0, -3), D: geom.V3(0, 0, 1)}
+	target := pointcloud.Color{R: 0.7, G: 0.2, B: 0.4}
+	scratch := make([]sampleState, sc.Samples)
+
+	lossAt := func() float64 {
+		c := n.RenderRay(sc, ray, 8, scratch)
+		dr, dg, db := c.R-target.R, c.G-target.G, c.B-target.B
+		return dr*dr + dg*dg + db*db
+	}
+	g := n.newGrads()
+	n.rayGrad(sc, ray, target, 8, scratch, g)
+
+	check := func(name string, params, grad []float64, idx int) {
+		t.Helper()
+		const h = 1e-6
+		orig := params[idx]
+		params[idx] = orig + h
+		lp := lossAt()
+		params[idx] = orig - h
+		lm := lossAt()
+		params[idx] = orig
+		fd := (lp - lm) / (2 * h)
+		if math.Abs(fd-grad[idx]) > 1e-4*(math.Abs(fd)+math.Abs(grad[idx])+1e-3) {
+			t.Errorf("%s[%d]: analytic %v vs finite-diff %v", name, idx, grad[idx], fd)
+		}
+	}
+	check("w1", n.w1, g.w1, 5)
+	check("w1", n.w1, g.w1, 40)
+	check("b1", n.b1, g.b1, 2)
+	check("w2", n.w2, g.w2, 3)
+	check("wo", n.wo, g.wo, 7)
+	check("bo", n.bo, g.bo, 3) // density bias
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	frames := sphereFrames(20, 4)
+	var rays []TrainRay
+	for _, f := range frames {
+		rays = append(rays, RaysFromFrame(f, 1)...)
+	}
+	n, _ := NewNet([]int{16}, 5)
+	tr := NewTrainer(n, testSceneSpec(), 6)
+	before := tr.Loss(rays, 16)
+	tr.Steps(rays, 150, 16)
+	after := tr.Loss(rays, 16)
+	if after >= before*0.5 {
+		t.Errorf("training barely helped: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestSlimmableWidthsAllRender(t *testing.T) {
+	frames := sphereFrames(16, 4)
+	var rays []TrainRay
+	for _, f := range frames {
+		rays = append(rays, RaysFromFrame(f, 1)...)
+	}
+	n, _ := NewNet([]int{8, 16}, 7)
+	tr := NewTrainer(n, testSceneSpec(), 8)
+	tr.StepsSlimmable(rays, 120)
+	lossNarrow := tr.Loss(rays, 8)
+	lossWide := tr.Loss(rays, 16)
+	// Both operating points must have learned the scene.
+	untrained, _ := NewNet([]int{8, 16}, 9)
+	trU := NewTrainer(untrained, testSceneSpec(), 10)
+	base := trU.Loss(rays, 16)
+	if lossNarrow >= base || lossWide >= base {
+		t.Errorf("slimmable widths did not both learn: narrow %.4f wide %.4f base %.4f",
+			lossNarrow, lossWide, base)
+	}
+	// The wide path should be at least as good as the narrow one.
+	if lossWide > lossNarrow*1.5 {
+		t.Errorf("wide sub-network (%.4f) much worse than narrow (%.4f)", lossWide, lossNarrow)
+	}
+}
+
+func TestChangedRaysSelectsMotion(t *testing.T) {
+	frames0 := sphereFrames(24, 1)
+	// Second frame: sphere moved.
+	m := mesh.UnitSphere(3)
+	m.Transform(geom.Translation(geom.V3(0.4, 0, 0)))
+	f1 := render.NewFrame(frames0[0].Camera)
+	render.RenderMesh(f1, m, render.MeshOptions{Albedo: pointcloud.Color{R: 0.9, G: 0.3, B: 0.2}})
+
+	changed := ChangedRays(frames0[0], f1, 0.05, 1)
+	all := RaysFromFrame(f1, 1)
+	if len(changed) == 0 {
+		t.Fatal("no changed rays for a moved object")
+	}
+	if len(changed) >= len(all)/2 {
+		t.Errorf("changed set %d not sparse vs %d total", len(changed), len(all))
+	}
+	same := ChangedRays(frames0[0], frames0[0], 0.05, 1)
+	if len(same) != 0 {
+		t.Errorf("%d changed rays for identical frames", len(same))
+	}
+}
+
+func TestFineTuneCheaperThanRetrain(t *testing.T) {
+	// §3.2's claim: after a cold start, adapting to a small scene change
+	// via changed-pixel fine-tuning reaches good loss with far fewer
+	// ray-gradient evaluations than retraining from scratch.
+	sc := testSceneSpec()
+	frames := sphereFrames(20, 4)
+	var rays0 []TrainRay
+	for _, f := range frames {
+		rays0 = append(rays0, RaysFromFrame(f, 1)...)
+	}
+	// Cold start.
+	n, _ := NewNet([]int{16}, 11)
+	tr := NewTrainer(n, sc, 12)
+	tr.Steps(rays0, 200, 16)
+
+	// Scene changes slightly: sphere shifts.
+	m := mesh.UnitSphere(3)
+	m.Transform(geom.Translation(geom.V3(0.15, 0, 0)))
+	var frames1 []*render.Frame
+	var rays1 []TrainRay
+	for _, f0 := range frames {
+		f1 := render.NewFrame(f0.Camera)
+		render.RenderMesh(f1, m, render.MeshOptions{Albedo: pointcloud.Color{R: 0.9, G: 0.3, B: 0.2}})
+		frames1 = append(frames1, f1)
+		rays1 = append(rays1, RaysFromFrame(f1, 1)...)
+	}
+	var changed []TrainRay
+	for i := range frames {
+		changed = append(changed, ChangedRays(frames[i], frames1[i], 0.05, 1)...)
+	}
+	// Fine-tune on changed rays only, few steps.
+	tr.Steps(changed, 40, 16)
+	ftLoss := tr.Loss(rays1, 16)
+
+	// Retrain from scratch with the same small step budget.
+	n2, _ := NewNet([]int{16}, 13)
+	tr2 := NewTrainer(n2, sc, 14)
+	tr2.Steps(rays1, 40, 16)
+	scratchLoss := tr2.Loss(rays1, 16)
+
+	if ftLoss >= scratchLoss {
+		t.Errorf("fine-tune loss %.4f not better than scratch %.4f at equal budget", ftLoss, scratchLoss)
+	}
+}
+
+func TestRenderViewProducesRecognizableImage(t *testing.T) {
+	frames := sphereFrames(20, 6)
+	var rays []TrainRay
+	for _, f := range frames {
+		rays = append(rays, RaysFromFrame(f, 1)...)
+	}
+	n, _ := NewNet([]int{16}, 15)
+	tr := NewTrainer(n, testSceneSpec(), 16)
+	tr.Steps(rays, 250, 16)
+
+	// Render a held-out view between training cameras.
+	eye := geom.V3(3*math.Cos(0.4), 0.3, 3*math.Sin(0.4))
+	cam := geom.NewLookAtCamera(geom.IntrinsicsFromFOV(20, 20, math.Pi/3), eye, geom.Vec3{}, geom.V3(0, -1, 0))
+	gt := render.NewFrame(cam)
+	render.RenderMesh(gt, mesh.UnitSphere(3), render.MeshOptions{Albedo: pointcloud.Color{R: 0.9, G: 0.3, B: 0.2}})
+	nv := n.RenderView(testSceneSpec(), cam, 16)
+	psnr := metrics.PSNR(nv.Color, gt.Color)
+	if psnr < 12 {
+		t.Errorf("novel view PSNR %.1f dB too low", psnr)
+	}
+}
+
+func BenchmarkRenderRay(b *testing.B) {
+	n, _ := NewNet([]int{8, 16, 32}, 1)
+	sc := testSceneSpec()
+	scratch := make([]sampleState, sc.Samples)
+	ray := geom.Ray{O: geom.V3(0, 0, -3), D: geom.V3(0, 0, 1)}
+	b.Run("width8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n.RenderRay(sc, ray, 8, scratch)
+		}
+	})
+	b.Run("width32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n.RenderRay(sc, ray, 32, scratch)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package nerf
+
+import (
+	"math/rand"
+
+	"semholo/internal/geom"
+	"semholo/internal/pointcloud"
+	"semholo/internal/render"
+)
+
+// TrainRay is one supervised ray: camera ray plus observed pixel color.
+type TrainRay struct {
+	Ray    geom.Ray
+	Target pointcloud.Color
+}
+
+// RaysFromFrame converts a rendered/captured frame into supervision rays,
+// subsampling by stride.
+func RaysFromFrame(f *render.Frame, stride int) []TrainRay {
+	if stride < 1 {
+		stride = 1
+	}
+	w, h := f.Camera.Intr.Width, f.Camera.Intr.Height
+	out := make([]TrainRay, 0, w*h/(stride*stride))
+	for y := 0; y < h; y += stride {
+		for x := 0; x < w; x += stride {
+			px := geom.V2(float64(x)+0.5, float64(y)+0.5)
+			out = append(out, TrainRay{
+				Ray:    f.Camera.WorldRay(px),
+				Target: f.Color[y*w+x],
+			})
+		}
+	}
+	return out
+}
+
+// ChangedRays selects supervision rays only where the pixel changed by
+// more than thresh between two frames from the same camera — the
+// "features extracted from the changed pixels" fine-tuning set of §3.2.
+func ChangedRays(prev, cur *render.Frame, thresh float64, stride int) []TrainRay {
+	if stride < 1 {
+		stride = 1
+	}
+	w, h := cur.Camera.Intr.Width, cur.Camera.Intr.Height
+	var out []TrainRay
+	for y := 0; y < h; y += stride {
+		for x := 0; x < w; x += stride {
+			i := y*w + x
+			if prev.Color[i].Dist(cur.Color[i]) < thresh {
+				continue
+			}
+			px := geom.V2(float64(x)+0.5, float64(y)+0.5)
+			out = append(out, TrainRay{Ray: cur.Camera.WorldRay(px), Target: cur.Color[i]})
+		}
+	}
+	return out
+}
+
+// Trainer drives gradient training of a Net over a ray dataset.
+type Trainer struct {
+	Net   *Net
+	Scene Scene
+	// LR is the Adam learning rate (default 5e-3).
+	LR float64
+	// Batch is rays per optimizer step (default 32).
+	Batch int
+
+	rng     *rand.Rand
+	scratch []sampleState
+}
+
+// NewTrainer builds a trainer.
+func NewTrainer(n *Net, sc Scene, seed int64) *Trainer {
+	return &Trainer{
+		Net:     n,
+		Scene:   sc,
+		LR:      5e-3,
+		Batch:   32,
+		rng:     rand.New(rand.NewSource(seed)),
+		scratch: make([]sampleState, sc.Samples),
+	}
+}
+
+// Steps runs the given number of optimizer steps at one width, sampling
+// batches randomly from rays. Returns the mean per-ray loss of the final
+// step.
+func (t *Trainer) Steps(rays []TrainRay, steps, width int) float64 {
+	if len(rays) == 0 {
+		return 0
+	}
+	var last float64
+	for s := 0; s < steps; s++ {
+		g := t.Net.newGrads()
+		var loss float64
+		for b := 0; b < t.Batch; b++ {
+			r := rays[t.rng.Intn(len(rays))]
+			loss += t.Net.rayGrad(t.Scene, r.Ray, r.Target, width, t.scratch, g)
+		}
+		scaleGrads(g, 1/float64(t.Batch))
+		t.Net.step(g, t.LR)
+		last = loss / float64(t.Batch)
+	}
+	return last
+}
+
+// StepsSlimmable trains all operating widths jointly: every optimizer
+// step accumulates gradients from the full-width network and each
+// sub-width on the same batch (the slimmable "sandwich" rule), so any
+// prefix width renders sensibly at inference time.
+func (t *Trainer) StepsSlimmable(rays []TrainRay, steps int) float64 {
+	if len(rays) == 0 {
+		return 0
+	}
+	widths := t.Net.Widths
+	var last float64
+	for s := 0; s < steps; s++ {
+		g := t.Net.newGrads()
+		var loss float64
+		batch := make([]TrainRay, t.Batch)
+		for b := range batch {
+			batch[b] = rays[t.rng.Intn(len(rays))]
+		}
+		for _, w := range widths {
+			for _, r := range batch {
+				l := t.Net.rayGrad(t.Scene, r.Ray, r.Target, w, t.scratch, g)
+				if w == widths[len(widths)-1] {
+					loss += l
+				}
+			}
+		}
+		scaleGrads(g, 1/float64(t.Batch*len(widths)))
+		t.Net.step(g, t.LR)
+		last = loss / float64(t.Batch)
+	}
+	return last
+}
+
+// Loss evaluates the mean per-ray loss without updating parameters.
+func (t *Trainer) Loss(rays []TrainRay, width int) float64 {
+	if len(rays) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rays {
+		c := t.Net.RenderRay(t.Scene, r.Ray, width, t.scratch)
+		dr := c.R - r.Target.R
+		dg := c.G - r.Target.G
+		db := c.B - r.Target.B
+		sum += dr*dr + dg*dg + db*db
+	}
+	return sum / float64(len(rays))
+}
+
+func scaleGrads(g *grads, s float64) {
+	for _, arr := range [][]float64{g.w1, g.b1, g.w2, g.b2, g.wo, g.bo} {
+		for i := range arr {
+			arr[i] *= s
+		}
+	}
+}
+
+// RenderView renders a full frame from the given camera through the
+// width-w sub-network — the receiver-side "neural volume rendering"
+// stage of Figure 1.
+func (n *Net) RenderView(sc Scene, cam geom.Camera, w int) *render.Frame {
+	f := render.NewFrame(cam)
+	scratch := make([]sampleState, sc.Samples)
+	width, height := cam.Intr.Width, cam.Intr.Height
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			px := geom.V2(float64(x)+0.5, float64(y)+0.5)
+			f.Color[y*width+x] = n.RenderRay(sc, cam.WorldRay(px), w, scratch)
+		}
+	}
+	return f
+}

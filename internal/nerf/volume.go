@@ -1,0 +1,133 @@
+package nerf
+
+import (
+	"math"
+
+	"semholo/internal/geom"
+	"semholo/internal/pointcloud"
+)
+
+// Scene bounds normalization: NeRF inputs are scaled into [-1,1]³ over
+// this box.
+type Scene struct {
+	Bounds geom.AABB
+	// Near/Far clip the ray sampling interval (world units).
+	Near, Far float64
+	// Samples per ray.
+	Samples int
+}
+
+// normalize maps a world point into [-1,1]³ over the scene bounds.
+func (s Scene) normalize(p geom.Vec3) geom.Vec3 {
+	c := s.Bounds.Center()
+	half := s.Bounds.Size().Scale(0.5)
+	inv := func(v float64) float64 {
+		if v <= 0 {
+			return 0
+		}
+		return 1 / v
+	}
+	d := p.Sub(c)
+	return geom.V3(d.X*inv(half.X), d.Y*inv(half.Y), d.Z*inv(half.Z))
+}
+
+// RenderRay volume-renders one ray through the width-w sub-network,
+// reusing the provided scratch states (len ≥ Samples).
+func (n *Net) RenderRay(sc Scene, ray geom.Ray, w int, scratch []sampleState) pointcloud.Color {
+	k := sc.Samples
+	dt := (sc.Far - sc.Near) / float64(k)
+	var color [3]float64
+	transmittance := 1.0
+	for i := 0; i < k; i++ {
+		t := sc.Near + (float64(i)+0.5)*dt
+		p := sc.normalize(ray.At(t))
+		st := &scratch[i]
+		if st.x == nil {
+			st.x = make([]float64, InputDim)
+		}
+		Encode(p.X, p.Y, p.Z, st.x)
+		n.forward(st, w)
+		alpha := 1 - math.Exp(-st.sigma*dt)
+		wk := transmittance * alpha
+		for c := 0; c < 3; c++ {
+			color[c] += wk * st.rgb[c]
+		}
+		transmittance *= 1 - alpha
+		if transmittance < 1e-4 {
+			break
+		}
+	}
+	return pointcloud.Color{R: color[0], G: color[1], B: color[2]}
+}
+
+// rayGrad backpropagates one ray: forward with cached states, composite,
+// compare to target, accumulate parameter gradients. Returns the squared
+// error. Black background (matching the synthetic captures).
+func (n *Net) rayGrad(sc Scene, ray geom.Ray, target pointcloud.Color, w int, scratch []sampleState, g *grads) float64 {
+	k := sc.Samples
+	dt := (sc.Far - sc.Near) / float64(k)
+
+	alphas := make([]float64, k)
+	weights := make([]float64, k)
+	var color [3]float64
+	transmittance := 1.0
+	used := k
+	for i := 0; i < k; i++ {
+		t := sc.Near + (float64(i)+0.5)*dt
+		p := sc.normalize(ray.At(t))
+		st := &scratch[i]
+		if st.x == nil {
+			st.x = make([]float64, InputDim)
+		}
+		Encode(p.X, p.Y, p.Z, st.x)
+		n.forward(st, w)
+		alphas[i] = 1 - math.Exp(-st.sigma*dt)
+		weights[i] = transmittance * alphas[i]
+		for c := 0; c < 3; c++ {
+			color[c] += weights[i] * st.rgb[c]
+		}
+		transmittance *= 1 - alphas[i]
+	}
+
+	tgt := [3]float64{target.R, target.G, target.B}
+	var dC [3]float64
+	var loss float64
+	for c := 0; c < 3; c++ {
+		d := color[c] - tgt[c]
+		loss += d * d
+		dC[c] = 2 * d
+	}
+
+	// Suffix sums S_i = Σ_{j>i} w_j·rgb_j per channel, for the
+	// transmittance chain rule.
+	suffix := make([][3]float64, used+1)
+	for i := used - 1; i >= 0; i-- {
+		st := &scratch[i]
+		for c := 0; c < 3; c++ {
+			suffix[i][c] = suffix[i+1][c] + weights[i]*st.rgb[c]
+		}
+	}
+
+	tAcc := 1.0
+	for i := 0; i < used; i++ {
+		st := &scratch[i]
+		var dRGB [3]float64
+		for c := 0; c < 3; c++ {
+			dRGB[c] = dC[c] * weights[i]
+		}
+		// dC/dalpha_i = T_i·rgb_i − S_i/(1−alpha_i)
+		var dAlpha float64
+		om := 1 - alphas[i]
+		for c := 0; c < 3; c++ {
+			term := tAcc * st.rgb[c]
+			if om > 1e-9 {
+				term -= suffix[i+1][c] / om
+			}
+			dAlpha += dC[c] * term
+		}
+		dSigma := dAlpha * dt * math.Exp(-st.sigma*dt)
+		n.backward(st, w, dRGB, dSigma, g)
+		tAcc *= om
+	}
+	return loss
+}

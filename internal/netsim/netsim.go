@@ -1,0 +1,164 @@
+// Package netsim emulates wide-area network conditions over in-memory
+// connections: bandwidth (serialization pacing), propagation delay,
+// jitter, and byte-level statistics. Every SemHolo experiment runs its
+// wire protocol over these links, so bandwidth/latency numbers (Table 2,
+// the QoE scores) come from packets actually traversing a constrained
+// link rather than from arithmetic.
+package netsim
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LinkConfig describes one direction of an emulated link.
+type LinkConfig struct {
+	// Bandwidth in bits per second; 0 means unlimited.
+	Bandwidth float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds uniform random delay in [0, Jitter) per packet.
+	Jitter time.Duration
+	// MTU bounds the chunk size moved per scheduling decision (default
+	// 16 KiB; smaller values model finer-grained interleaving).
+	MTU int
+	// Seed makes jitter reproducible.
+	Seed int64
+}
+
+// Stats counts traffic through one direction of a link.
+type Stats struct {
+	bytes   atomic.Int64
+	packets atomic.Int64
+}
+
+// Bytes returns the total payload bytes delivered.
+func (s *Stats) Bytes() int64 { return s.bytes.Load() }
+
+// Packets returns the number of chunks delivered.
+func (s *Stats) Packets() int64 { return s.packets.Load() }
+
+// Link is a bidirectional emulated link between two net.Conn endpoints.
+type Link struct {
+	// AtoB and BtoA expose per-direction delivery statistics.
+	AtoB, BtoA *Stats
+
+	// Dynamic bandwidth (bits/s, stored as int64): 0 = unlimited. The
+	// pumps re-read these on every chunk, so congestion episodes can be
+	// injected mid-session.
+	bwAtoB, bwBtoA atomic.Int64
+
+	closeOnce sync.Once
+	closers   []func() error
+}
+
+// SetBandwidth changes both directions' bandwidth (bits per second; 0 =
+// unlimited) for traffic scheduled from now on.
+func (l *Link) SetBandwidth(bps float64) {
+	l.SetBandwidthAtoB(bps)
+	l.SetBandwidthBtoA(bps)
+}
+
+// SetBandwidthAtoB changes the a→b direction only.
+func (l *Link) SetBandwidthAtoB(bps float64) { l.bwAtoB.Store(int64(bps)) }
+
+// SetBandwidthBtoA changes the b→a direction only.
+func (l *Link) SetBandwidthBtoA(bps float64) { l.bwBtoA.Store(int64(bps)) }
+
+// Close tears down the link and both endpoints.
+func (l *Link) Close() {
+	l.closeOnce.Do(func() {
+		for _, c := range l.closers {
+			_ = c()
+		}
+	})
+}
+
+// Pipe returns two endpoints connected by an emulated link with the same
+// config in both directions.
+func Pipe(cfg LinkConfig) (a, b net.Conn, link *Link) {
+	return AsymmetricPipe(cfg, cfg)
+}
+
+// AsymmetricPipe builds a link with distinct uplink (a→b) and downlink
+// (b→a) characteristics.
+func AsymmetricPipe(aToB, bToA LinkConfig) (a, b net.Conn, link *Link) {
+	// Application-facing pipes; the pumps shuttle bytes between them.
+	appA, inA := net.Pipe()
+	appB, inB := net.Pipe()
+	link = &Link{AtoB: &Stats{}, BtoA: &Stats{}}
+	link.bwAtoB.Store(int64(aToB.Bandwidth))
+	link.bwBtoA.Store(int64(bToA.Bandwidth))
+	link.closers = append(link.closers, appA.Close, inA.Close, appB.Close, inB.Close)
+	go pump(inA, inB, aToB, &link.bwAtoB, link.AtoB)
+	go pump(inB, inA, bToA, &link.bwBtoA, link.BtoA)
+	return appA, appB, link
+}
+
+// pump moves bytes src→dst applying serialization pacing, propagation
+// delay, and jitter. Bandwidth is re-read from bw per chunk so it can
+// change mid-session. It exits when either side closes.
+func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats) {
+	mtu := cfg.MTU
+	if mtu <= 0 {
+		mtu = 16 * 1024
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	buf := make([]byte, mtu)
+	// txFree is when the link finishes serializing the previous chunk.
+	txFree := time.Now()
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			now := time.Now()
+			if txFree.Before(now) {
+				txFree = now
+			}
+			if bandwidth := float64(bw.Load()); bandwidth > 0 {
+				serialization := time.Duration(float64(n*8) / bandwidth * float64(time.Second))
+				txFree = txFree.Add(serialization)
+			}
+			deliverAt := txFree.Add(cfg.Delay)
+			if cfg.Jitter > 0 {
+				deliverAt = deliverAt.Add(time.Duration(rng.Int63n(int64(cfg.Jitter))))
+			}
+			if d := time.Until(deliverAt); d > 0 {
+				time.Sleep(d)
+			}
+			// Count before the (synchronous) pipe write so observers
+			// that already received the bytes see them counted.
+			stats.bytes.Add(int64(n))
+			stats.packets.Add(1)
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			// Propagate EOF/close to the other side.
+			_ = dst.Close()
+			return
+		}
+	}
+}
+
+// Profiles for common scenarios.
+
+// BroadbandUS returns the FCC-definition US broadband link the paper
+// cites as the deployment constraint (25 Mbps, §2.1 [59]), with a
+// 20 ms one-way delay.
+func BroadbandUS(seed int64) LinkConfig {
+	return LinkConfig{Bandwidth: 25e6, Delay: 20 * time.Millisecond, Jitter: 2 * time.Millisecond, Seed: seed}
+}
+
+// FiberLAN returns an edge-server-grade link (1 Gbps, 1 ms).
+func FiberLAN(seed int64) LinkConfig {
+	return LinkConfig{Bandwidth: 1e9, Delay: time.Millisecond, Seed: seed}
+}
+
+// Congested returns a degraded link (5 Mbps, 60 ms, 10 ms jitter).
+func Congested(seed int64) LinkConfig {
+	return LinkConfig{Bandwidth: 5e6, Delay: 60 * time.Millisecond, Jitter: 10 * time.Millisecond, Seed: seed}
+}

@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestPipeDeliversBytes(t *testing.T) {
+	a, b, link := Pipe(LinkConfig{})
+	defer link.Close()
+	msg := []byte("hello holographic world")
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+	if link.AtoB.Bytes() != int64(len(msg)) {
+		t.Errorf("stats counted %d bytes", link.AtoB.Bytes())
+	}
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	a, b, link := Pipe(LinkConfig{})
+	defer link.Close()
+	go func() { a.Write([]byte("ping")) }()
+	buf := make([]byte, 4)
+	io.ReadFull(b, buf)
+	go func() { b.Write([]byte("pong")) }()
+	if _, err := io.ReadFull(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestDelayApplied(t *testing.T) {
+	a, b, link := Pipe(LinkConfig{Delay: 50 * time.Millisecond})
+	defer link.Close()
+	start := time.Now()
+	go func() { a.Write([]byte("x")) }()
+	buf := make([]byte, 1)
+	io.ReadFull(b, buf)
+	elapsed := time.Since(start)
+	if elapsed < 45*time.Millisecond {
+		t.Errorf("delivered after %v, want ≥ ~50ms", elapsed)
+	}
+	if elapsed > 250*time.Millisecond {
+		t.Errorf("delivered after %v, far over delay", elapsed)
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	// 1 Mbit/s link: 25 KB takes ≈ 200 ms.
+	a, b, link := Pipe(LinkConfig{Bandwidth: 1e6, MTU: 4096})
+	defer link.Close()
+	payload := make([]byte, 25000)
+	go func() {
+		a.Write(payload)
+	}()
+	start := time.Now()
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond {
+		t.Errorf("25KB over 1Mbps arrived in %v, want ≈ 200ms", elapsed)
+	}
+	if elapsed > 600*time.Millisecond {
+		t.Errorf("took %v, far over expected 200ms", elapsed)
+	}
+}
+
+func TestAsymmetric(t *testing.T) {
+	fast := LinkConfig{}
+	slow := LinkConfig{Delay: 60 * time.Millisecond}
+	a, b, link := AsymmetricPipe(fast, slow)
+	defer link.Close()
+
+	// a→b fast.
+	go func() { a.Write([]byte("1")) }()
+	buf := make([]byte, 1)
+	start := time.Now()
+	io.ReadFull(b, buf)
+	if time.Since(start) > 40*time.Millisecond {
+		t.Error("uplink unexpectedly slow")
+	}
+	// b→a slow.
+	go func() { b.Write([]byte("2")) }()
+	start = time.Now()
+	io.ReadFull(a, buf)
+	if time.Since(start) < 45*time.Millisecond {
+		t.Error("downlink delay missing")
+	}
+}
+
+func TestCloseUnblocksPeer(t *testing.T) {
+	a, b, link := Pipe(LinkConfig{})
+	defer link.Close()
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := b.Read(buf)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read succeeded after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer read did not unblock on close")
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, cfg := range []LinkConfig{BroadbandUS(1), FiberLAN(2), Congested(3)} {
+		if cfg.Bandwidth <= 0 || cfg.Delay <= 0 {
+			t.Errorf("profile %+v incomplete", cfg)
+		}
+	}
+	if BroadbandUS(1).Bandwidth != 25e6 {
+		t.Error("US broadband should be the paper's 25 Mbps")
+	}
+}
+
+func TestSetBandwidthMidSession(t *testing.T) {
+	a, b, link := Pipe(LinkConfig{Bandwidth: 100e6, MTU: 4096})
+	defer link.Close()
+	payload := make([]byte, 25000)
+
+	timed := func() time.Duration {
+		go func() { a.Write(payload) }()
+		buf := make([]byte, len(payload))
+		start := time.Now()
+		if _, err := io.ReadFull(b, buf); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	fast := timed()
+	// Collapse to 1 Mbps: the same transfer must now take ≈ 200 ms.
+	link.SetBandwidth(1e6)
+	slow := timed()
+	if slow < 10*fast || slow < 100*time.Millisecond {
+		t.Errorf("bandwidth change had no effect: fast=%v slow=%v", fast, slow)
+	}
+	// And back up again.
+	link.SetBandwidth(0) // unlimited
+	recovered := timed()
+	if recovered > slow/2 {
+		t.Errorf("bandwidth recovery had no effect: slow=%v recovered=%v", slow, recovered)
+	}
+}

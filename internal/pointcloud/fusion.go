@@ -1,0 +1,78 @@
+package pointcloud
+
+import (
+	"semholo/internal/geom"
+)
+
+// DepthView is one calibrated RGB-D view: a depth buffer (meters, 0 = no
+// return) in row-major order with optional parallel colors, plus the
+// camera that captured it.
+type DepthView struct {
+	Camera geom.Camera
+	Depth  []float64 // len = Width*Height
+	Colors []Color   // nil or parallel to Depth
+}
+
+// Unproject converts the view to a world-space point cloud, skipping
+// pixels with no depth return. Stride subsamples the image (1 = every
+// pixel).
+func (v DepthView) Unproject(stride int) *Cloud {
+	if stride < 1 {
+		stride = 1
+	}
+	w, h := v.Camera.Intr.Width, v.Camera.Intr.Height
+	out := New(len(v.Depth) / (stride * stride))
+	if v.Colors != nil {
+		out.Colors = make([]Color, 0, cap(out.Points))
+	}
+	for y := 0; y < h; y += stride {
+		for x := 0; x < w; x += stride {
+			i := y*w + x
+			if i >= len(v.Depth) {
+				continue
+			}
+			d := v.Depth[i]
+			if d <= 0 {
+				continue
+			}
+			p := v.Camera.UnprojectWorld(geom.V2(float64(x), float64(y)), d)
+			out.Points = append(out.Points, p)
+			if v.Colors != nil {
+				out.Colors = append(out.Colors, v.Colors[i])
+			}
+		}
+	}
+	return out
+}
+
+// FuseOptions controls multi-view fusion.
+type FuseOptions struct {
+	Stride       int     // pixel subsampling per view (default 1)
+	Voxel        float64 // downsample voxel size; 0 disables
+	OutlierK     int     // statistical outlier neighbors; 0 disables
+	OutlierSigma float64 // outlier threshold in stddevs (default 2)
+}
+
+// Fuse merges multiple calibrated RGB-D views into a single filtered
+// world-space cloud — the capture-side "PtCl synthesis" stage of the
+// traditional pipeline in Figure 1.
+func Fuse(views []DepthView, opt FuseOptions) *Cloud {
+	if opt.Stride < 1 {
+		opt.Stride = 1
+	}
+	merged := New(0)
+	for _, v := range views {
+		merged.Merge(v.Unproject(opt.Stride))
+	}
+	if opt.Voxel > 0 {
+		merged = merged.VoxelDownsample(opt.Voxel)
+	}
+	if opt.OutlierK > 0 {
+		sigma := opt.OutlierSigma
+		if sigma <= 0 {
+			sigma = 2
+		}
+		merged = merged.RemoveStatisticalOutliers(opt.OutlierK, sigma)
+	}
+	return merged
+}

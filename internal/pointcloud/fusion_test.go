@@ -1,0 +1,108 @@
+package pointcloud
+
+import (
+	"math"
+	"testing"
+
+	"semholo/internal/geom"
+)
+
+// synthView renders a synthetic depth view of a unit sphere at the origin
+// by ray-casting analytically.
+func synthView(eye geom.Vec3) DepthView {
+	intr := geom.IntrinsicsFromFOV(64, 64, math.Pi/3)
+	cam := geom.NewLookAtCamera(intr, eye, geom.Vec3{}, geom.V3(0, -1, 0))
+	depth := make([]float64, 64*64)
+	colors := make([]Color, 64*64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			r := cam.WorldRay(geom.V2(float64(x), float64(y)))
+			// Ray-sphere intersection, unit sphere at origin.
+			b := r.O.Dot(r.D)
+			c := r.O.LenSq() - 1
+			disc := b*b - c
+			if disc < 0 {
+				continue
+			}
+			t := -b - math.Sqrt(disc)
+			if t <= 0 {
+				continue
+			}
+			hit := r.At(t)
+			// Depth buffer stores camera-space z, not ray length.
+			depth[y*64+x] = cam.WorldToCam.TransformPoint(hit).Z
+			colors[y*64+x] = Color{R: 0.5 + hit.X/2}
+		}
+	}
+	return DepthView{Camera: cam, Depth: depth, Colors: colors}
+}
+
+func TestUnprojectHitsSurface(t *testing.T) {
+	v := synthView(geom.V3(0, 0, -3))
+	c := v.Unproject(1)
+	if c.Len() == 0 {
+		t.Fatal("no points unprojected")
+	}
+	for _, p := range c.Points {
+		if math.Abs(p.Len()-1) > 1e-6 {
+			t.Fatalf("unprojected point %v off unit sphere (r=%v)", p, p.Len())
+		}
+	}
+	if c.Colors == nil || len(c.Colors) != c.Len() {
+		t.Error("colors not carried through")
+	}
+}
+
+func TestFuseMultiViewCoverage(t *testing.T) {
+	views := []DepthView{
+		synthView(geom.V3(0, 0, -3)),
+		synthView(geom.V3(0, 0, 3)),
+		synthView(geom.V3(3, 0, 0)),
+		synthView(geom.V3(-3, 0, 0)),
+	}
+	cloud := Fuse(views, FuseOptions{Stride: 2, Voxel: 0.05, OutlierK: 8})
+	if cloud.Len() < 500 {
+		t.Fatalf("fused cloud too sparse: %d points", cloud.Len())
+	}
+	// All fused points on the sphere.
+	for _, p := range cloud.Points {
+		if math.Abs(p.Len()-1) > 0.05 {
+			t.Fatalf("fused point %v off surface", p)
+		}
+	}
+	// Four views must cover most longitudes: check spread of azimuth.
+	minAz, maxAz := math.Inf(1), math.Inf(-1)
+	for _, p := range cloud.Points {
+		az := math.Atan2(p.Z, p.X)
+		minAz = math.Min(minAz, az)
+		maxAz = math.Max(maxAz, az)
+	}
+	if maxAz-minAz < math.Pi {
+		t.Errorf("azimuth coverage only %.2f rad", maxAz-minAz)
+	}
+}
+
+func TestFuseEmpty(t *testing.T) {
+	c := Fuse(nil, FuseOptions{})
+	if c.Len() != 0 {
+		t.Error("fusing nothing produced points")
+	}
+}
+
+func TestUnprojectSkipsHoles(t *testing.T) {
+	v := synthView(geom.V3(0, 0, -3))
+	// Count valid depths.
+	valid := 0
+	for _, d := range v.Depth {
+		if d > 0 {
+			valid++
+		}
+	}
+	c := v.Unproject(1)
+	if c.Len() != valid {
+		t.Errorf("unprojected %d points for %d valid depths", c.Len(), valid)
+	}
+	if valid == len(v.Depth) {
+		t.Error("expected background holes in the synthetic view")
+	}
+}

@@ -1,0 +1,174 @@
+package pointcloud
+
+import (
+	"math"
+
+	"semholo/internal/geom"
+)
+
+// ICPOptions controls iterative closest point registration.
+type ICPOptions struct {
+	// MaxIterations bounds the outer loop (default 50).
+	MaxIterations int
+	// Tolerance stops iteration when the RMS correspondence error
+	// improves by less than this fraction (default 1e-6).
+	Tolerance float64
+	// MaxCorrespondenceDist rejects pairs farther apart (meters);
+	// 0 accepts everything.
+	MaxCorrespondenceDist float64
+}
+
+// ICPResult reports registration quality.
+type ICPResult struct {
+	// Iterations actually run.
+	Iterations int
+	// RMS is the final root-mean-square correspondence distance.
+	RMS float64
+	// Matched is the number of inlier correspondences in the final
+	// iteration.
+	Matched int
+	// Converged reports whether the tolerance criterion was met before
+	// the iteration cap.
+	Converged bool
+}
+
+// ICP rigidly registers source onto target, returning the transform T
+// such that T·source ≈ target. This is the multi-camera calibration
+// refinement of §2.1 ("merging RGB-D images from multiple cameras via
+// synchronization, calibration, and filtering"): overlapping views are
+// registered to correct extrinsic drift before fusion.
+//
+// The rigid alignment inside each iteration uses Horn's closed-form
+// quaternion method (the dominant eigenvector of the 4×4 profile
+// matrix, found by shifted power iteration).
+func ICP(source, target []geom.Vec3, opt ICPOptions) (geom.Mat4, ICPResult) {
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 50
+	}
+	if opt.Tolerance <= 0 {
+		opt.Tolerance = 1e-6
+	}
+	res := ICPResult{}
+	transform := geom.Identity4()
+	if len(source) == 0 || len(target) == 0 {
+		return transform, res
+	}
+	tree := NewKDTree(target)
+	moved := append([]geom.Vec3(nil), source...)
+
+	prevRMS := math.Inf(1)
+	maxD2 := math.Inf(1)
+	if opt.MaxCorrespondenceDist > 0 {
+		maxD2 = opt.MaxCorrespondenceDist * opt.MaxCorrespondenceDist
+	}
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		// Correspondences: nearest target point per moved source point.
+		var srcPts, dstPts []geom.Vec3
+		var sse float64
+		for _, p := range moved {
+			nb, ok := tree.Nearest(p)
+			if !ok || nb.DistSq > maxD2 {
+				continue
+			}
+			srcPts = append(srcPts, p)
+			dstPts = append(dstPts, target[nb.Index])
+			sse += nb.DistSq
+		}
+		res.Matched = len(srcPts)
+		if len(srcPts) < 3 {
+			return transform, res
+		}
+		res.RMS = math.Sqrt(sse / float64(len(srcPts)))
+		if prevRMS-res.RMS < opt.Tolerance*math.Max(prevRMS, 1e-12) {
+			res.Converged = true
+			return transform, res
+		}
+		prevRMS = res.RMS
+
+		step := rigidAlign(srcPts, dstPts)
+		transform = step.Mul(transform)
+		for i, p := range moved {
+			moved[i] = step.TransformPoint(p)
+		}
+	}
+	return transform, res
+}
+
+// rigidAlign returns the rigid transform mapping src points onto dst in
+// the least-squares sense (Horn's quaternion method).
+func rigidAlign(src, dst []geom.Vec3) geom.Mat4 {
+	n := float64(len(src))
+	var cs, cd geom.Vec3
+	for i := range src {
+		cs = cs.Add(src[i])
+		cd = cd.Add(dst[i])
+	}
+	cs = cs.Scale(1 / n)
+	cd = cd.Scale(1 / n)
+
+	// Cross-covariance of the centered sets.
+	var sxx, sxy, sxz, syx, syy, syz, szx, szy, szz float64
+	for i := range src {
+		a := src[i].Sub(cs)
+		b := dst[i].Sub(cd)
+		sxx += a.X * b.X
+		sxy += a.X * b.Y
+		sxz += a.X * b.Z
+		syx += a.Y * b.X
+		syy += a.Y * b.Y
+		syz += a.Y * b.Z
+		szx += a.Z * b.X
+		szy += a.Z * b.Y
+		szz += a.Z * b.Z
+	}
+	// Horn's symmetric 4×4 profile matrix N.
+	nMat := [16]float64{
+		sxx + syy + szz, syz - szy, szx - sxz, sxy - syx,
+		syz - szy, sxx - syy - szz, sxy + syx, szx + sxz,
+		szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy,
+		sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz,
+	}
+	q := dominantEigenvector4(nMat)
+	rot := geom.Quat{W: q[0], X: q[1], Y: q[2], Z: q[3]}.Normalize()
+	r := rot.Mat3()
+	t := cd.Sub(r.MulVec(cs))
+	return geom.RigidTransform(r, t)
+}
+
+// dominantEigenvector4 finds the eigenvector of the symmetric 4×4 matrix
+// with the largest eigenvalue via shifted power iteration.
+func dominantEigenvector4(m [16]float64) [4]float64 {
+	// Shift so every eigenvalue is positive: Gershgorin row-sum bound.
+	shift := 0.0
+	for r := 0; r < 4; r++ {
+		var s float64
+		for c := 0; c < 4; c++ {
+			s += math.Abs(m[r*4+c])
+		}
+		if s > shift {
+			shift = s
+		}
+	}
+	for i := 0; i < 4; i++ {
+		m[i*4+i] += shift
+	}
+	v := [4]float64{0.5, 0.5, 0.5, 0.5}
+	for iter := 0; iter < 100; iter++ {
+		var nv [4]float64
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				nv[r] += m[r*4+c] * v[c]
+			}
+		}
+		norm := math.Sqrt(nv[0]*nv[0] + nv[1]*nv[1] + nv[2]*nv[2] + nv[3]*nv[3])
+		if norm < 1e-300 {
+			return [4]float64{1, 0, 0, 0}
+		}
+		for i := range nv {
+			nv[i] /= norm
+		}
+		v = nv
+	}
+	return v
+}

@@ -1,0 +1,163 @@
+package pointcloud
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"semholo/internal/geom"
+)
+
+// structured test cloud: a box surface so rotation is observable.
+func boxCloud(n int, seed int64) []geom.Vec3 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec3, 0, n)
+	for i := 0; i < n; i++ {
+		// A point on one of the box faces.
+		u, v := rng.Float64()*2-1, rng.Float64()*0.6-0.3
+		switch i % 3 {
+		case 0:
+			pts = append(pts, geom.V3(u, v, 0.5))
+		case 1:
+			pts = append(pts, geom.V3(0.7, u, v))
+		default:
+			pts = append(pts, geom.V3(v, 0.9, u))
+		}
+	}
+	return pts
+}
+
+func applyAll(pts []geom.Vec3, t geom.Mat4) []geom.Vec3 {
+	out := make([]geom.Vec3, len(pts))
+	for i, p := range pts {
+		out[i] = t.TransformPoint(p)
+	}
+	return out
+}
+
+func TestRigidAlignExact(t *testing.T) {
+	src := boxCloud(300, 1)
+	truth := geom.RigidTransform(geom.RotationY(0.4).Mul(geom.RotationX(-0.2)), geom.V3(0.3, -0.1, 0.25))
+	dst := applyAll(src, truth)
+	got := rigidAlign(src, dst)
+	// Same correspondences, so alignment must be near-exact.
+	for i, p := range src {
+		if got.TransformPoint(p).Dist(dst[i]) > 1e-9 {
+			t.Fatalf("point %d misaligned by %v", i, got.TransformPoint(p).Dist(dst[i]))
+		}
+	}
+}
+
+func TestICPRecoversSmallTransform(t *testing.T) {
+	target := boxCloud(800, 2)
+	// Perturb: 6° rotation + 6 cm translation — extrinsic-drift scale.
+	drift := geom.RigidTransform(geom.RotationY(0.1), geom.V3(0.05, 0.02, -0.03))
+	inv, _ := drift.Inverse()
+	source := applyAll(target, inv)
+
+	transform, res := ICP(source, target, ICPOptions{})
+	if !res.Converged {
+		t.Fatalf("ICP did not converge: %+v", res)
+	}
+	if res.RMS > 1e-4 {
+		t.Errorf("final RMS %v", res.RMS)
+	}
+	// The recovered transform must undo the drift.
+	for i := 0; i < 50; i++ {
+		p := source[i]
+		if transform.TransformPoint(p).Dist(target[i]) > 1e-3 {
+			t.Fatalf("point %d off by %v", i, transform.TransformPoint(p).Dist(target[i]))
+		}
+	}
+}
+
+func TestICPWithNoiseAndPartialOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	target := boxCloud(1000, 4)
+	drift := geom.RigidTransform(geom.RotationZ(0.08), geom.V3(-0.04, 0.03, 0.02))
+	inv, _ := drift.Inverse()
+	src := applyAll(target[:700], inv) // partial overlap
+	for i := range src {
+		src[i] = src[i].Add(geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.002))
+	}
+	transform, res := ICP(src, target, ICPOptions{MaxCorrespondenceDist: 0.3})
+	if res.Matched < 500 {
+		t.Fatalf("only %d matches", res.Matched)
+	}
+	// Residual should reach the noise floor.
+	if res.RMS > 0.01 {
+		t.Errorf("RMS %v above noise floor", res.RMS)
+	}
+	// Drift mostly removed.
+	var worst float64
+	for i := 0; i < 200; i++ {
+		d := transform.TransformPoint(src[i]).Dist(target[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("worst residual %v after registration", worst)
+	}
+}
+
+func TestICPIdentityForAlignedClouds(t *testing.T) {
+	pts := boxCloud(300, 5)
+	transform, res := ICP(pts, pts, ICPOptions{})
+	if !res.Converged {
+		t.Fatal("aligned clouds did not converge immediately")
+	}
+	p := geom.V3(0.2, 0.3, 0.4)
+	if transform.TransformPoint(p).Dist(p) > 1e-9 {
+		t.Error("transform not identity for aligned clouds")
+	}
+}
+
+func TestICPEmptyInputs(t *testing.T) {
+	_, res := ICP(nil, boxCloud(10, 6), ICPOptions{})
+	if res.Iterations != 0 {
+		t.Error("empty source iterated")
+	}
+	_, res = ICP(boxCloud(10, 7), nil, ICPOptions{})
+	if res.Iterations != 0 {
+		t.Error("empty target iterated")
+	}
+}
+
+func TestICPCalibrationScenario(t *testing.T) {
+	// The §2.1 use case: two capture views of the same surface, one with
+	// drifted extrinsics; registration recovers the drift before fusion.
+	views := []DepthView{synthView(geom.V3(0, 0, -3)), synthView(geom.V3(1.5, 0, -2.6))}
+	cloudA := views[0].Unproject(2)
+	cloudB := views[1].Unproject(2)
+	// Drift view B's cloud.
+	drift := geom.RigidTransform(geom.RotationY(0.05), geom.V3(0.03, -0.02, 0.01))
+	inv, _ := drift.Inverse()
+	drifted := applyAll(cloudB.Points, inv)
+
+	transform, res := ICP(drifted, cloudA.Points, ICPOptions{MaxCorrespondenceDist: 0.2})
+	if res.Matched < cloudB.Len()/3 {
+		t.Fatalf("matched only %d of %d", res.Matched, cloudB.Len())
+	}
+	// Registered points must land back on the unit sphere.
+	var offSurface int
+	for _, p := range drifted {
+		if d := math.Abs(transform.TransformPoint(p).Len() - 1); d > 0.02 {
+			offSurface++
+		}
+	}
+	if frac := float64(offSurface) / float64(len(drifted)); frac > 0.05 {
+		t.Errorf("%.1f%% of registered points off the surface", frac*100)
+	}
+}
+
+func BenchmarkICP(b *testing.B) {
+	target := boxCloud(2000, 8)
+	drift := geom.RigidTransform(geom.RotationY(0.08), geom.V3(0.04, 0, -0.02))
+	inv, _ := drift.Inverse()
+	source := applyAll(target, inv)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ICP(source, target, ICPOptions{})
+	}
+}

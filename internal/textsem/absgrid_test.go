@@ -1,0 +1,58 @@
+package textsem
+
+import (
+	"math/rand"
+	"testing"
+
+	"semholo/internal/geom"
+	"semholo/internal/metrics"
+	"semholo/internal/pointcloud"
+)
+
+func TestAbsoluteGridRoundTrip(t *testing.T) {
+	cloud := bodyCloud(0.6)
+	doc := Captioner{CellSize: 0.2, Precision: 2}.Caption(cloud)
+	recon, err := Generator{}.Generate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := metrics.CompareClouds(recon.Points, cloud.Points, 0.05)
+	if rep.Chamfer > 0.08 {
+		t.Errorf("absolute-grid chamfer %.3f", rep.Chamfer)
+	}
+}
+
+func TestAbsoluteGridDeltaStableUnderNoise(t *testing.T) {
+	// Same geometry, different sensor noise: most captions must survive
+	// unchanged, so the delta is much smaller than the full document.
+	base := bodyCloud(0.5)
+	cap := Captioner{CellSize: 0.25, Precision: 2}
+	noisy := func(seed int64) *pointcloud.Cloud {
+		rng := rand.New(rand.NewSource(seed))
+		c := base.Clone()
+		for i := range c.Points {
+			c.Points[i] = c.Points[i].Add(geom.V3(
+				rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(),
+			).Scale(0.001))
+		}
+		return c
+	}
+	a := cap.Caption(noisy(1))
+	b := cap.Caption(noisy(2))
+	u := Delta(a, b)
+	full := len(b.Marshal())
+	// Fresh per-point noise flips captions whose rounded moments sit on
+	// a quantization boundary; a majority of cells must still survive.
+	if u.Size() > full*7/10 {
+		t.Errorf("delta %d bytes vs full %d: captions unstable under mm noise", u.Size(), full)
+	}
+}
+
+func TestQuantizeCount(t *testing.T) {
+	cases := map[int]int{0: 0, 7: 7, 19: 19, 23: 23, 101: 100, 148: 150, 1523: 1500, 98765: 99000}
+	for in, want := range cases {
+		if got := quantizeCount(in); got != want {
+			t.Errorf("quantizeCount(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

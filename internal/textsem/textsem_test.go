@@ -1,0 +1,212 @@
+package textsem
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"semholo/internal/body"
+	"semholo/internal/geom"
+	"semholo/internal/metrics"
+	"semholo/internal/pointcloud"
+)
+
+var testModel = body.NewModel(nil, body.ModelOptions{Detail: 1})
+
+func bodyCloud(t float64) *pointcloud.Cloud {
+	m := testModel.Mesh(body.Talking(nil).At(t))
+	pts := m.SamplePoints(4000)
+	c := pointcloud.New(len(pts))
+	c.Points = pts
+	c.Colors = make([]pointcloud.Color, len(pts))
+	for i, p := range pts {
+		c.Colors[i] = pointcloud.Color{R: 0.5 + p.Y/4, G: 0.4, B: 0.3}
+	}
+	return c
+}
+
+func TestCaptionRoundTripGeometry(t *testing.T) {
+	cloud := bodyCloud(0.5)
+	cap := Captioner{CellsPerAxis: 8}
+	doc := cap.Caption(cloud)
+	if len(doc.Cells) == 0 {
+		t.Fatal("no cells captioned")
+	}
+	gen := Generator{}
+	recon, err := gen.Generate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recon.Len() < 1000 {
+		t.Fatalf("reconstructed only %d points", recon.Len())
+	}
+	rep := metrics.CompareClouds(recon.Points, cloud.Points, 0.05)
+	// Cell size ≈ body extent / 8 ≈ 0.25 m; moments recover structure
+	// well below that.
+	if rep.Chamfer > 0.08 {
+		t.Errorf("text round-trip chamfer %.3f m", rep.Chamfer)
+	}
+}
+
+func TestCaptionGranularityControlsQuality(t *testing.T) {
+	cloud := bodyCloud(0.2)
+	errAt := func(cells int) float64 {
+		doc := Captioner{CellsPerAxis: cells}.Caption(cloud)
+		recon, err := Generator{}.Generate(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.CompareClouds(recon.Points, cloud.Points, 0.05).Chamfer
+	}
+	coarse, fine := errAt(3), errAt(10)
+	if fine >= coarse {
+		t.Errorf("finer cells did not improve: %d cells %.3f vs %.3f", 10, fine, coarse)
+	}
+}
+
+func TestTextMuchSmallerThanCloud(t *testing.T) {
+	cloud := bodyCloud(0.8)
+	doc := Captioner{}.Caption(cloud)
+	rawCloud := cloud.Len() * 24
+	if doc.Size() > rawCloud/10 {
+		t.Errorf("text %d bytes not ≪ cloud %d bytes", doc.Size(), rawCloud)
+	}
+}
+
+func TestDocumentMarshalRoundTrip(t *testing.T) {
+	doc := Captioner{}.Caption(bodyCloud(0.3))
+	data := doc.Marshal()
+	back, err := UnmarshalDocument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Global != doc.Global {
+		t.Error("global channel changed")
+	}
+	if len(back.Cells) != len(doc.Cells) {
+		t.Fatalf("cells %d vs %d", len(back.Cells), len(doc.Cells))
+	}
+	for id, c := range doc.Cells {
+		if back.Cells[id] != c {
+			t.Fatalf("cell %v changed", id)
+		}
+	}
+}
+
+func TestGlobalMustComeFirst(t *testing.T) {
+	doc := Captioner{}.Caption(bodyCloud(0.3))
+	lines := strings.SplitAfter(string(doc.Marshal()), "\n")
+	// Move a cell line before the global line — the two-step ordering
+	// invariant must be enforced.
+	if len(lines) < 3 {
+		t.Skip("not enough lines")
+	}
+	swapped := lines[1] + lines[0] + strings.Join(lines[2:], "")
+	if _, err := UnmarshalDocument([]byte(swapped)); err == nil {
+		t.Error("cell-before-global accepted")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"X|what\n",
+		"C|region 1 2 3 holds x points\nG|g\n",
+		"G|ok\nC|not a caption\n",
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalDocument([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestDeltaEmptyForStillScene(t *testing.T) {
+	cloud := bodyCloud(0.5)
+	cap := Captioner{}
+	a := cap.Caption(cloud)
+	b := cap.Caption(cloud)
+	u := Delta(a, b)
+	if !u.Empty() {
+		t.Errorf("identical frames produced update of %d bytes", u.Size())
+	}
+}
+
+func TestDeltaSparseForSmallMotion(t *testing.T) {
+	cap := Captioner{CellsPerAxis: 8, Precision: 2}
+	// Two adjacent frames of talking motion: most cells static.
+	a := cap.Caption(bodyCloud(0.50))
+	b := cap.Caption(bodyCloud(0.53))
+	u := Delta(a, b)
+	full := b.Marshal()
+	if u.Size() >= len(full) {
+		t.Errorf("delta %d bytes not smaller than full %d bytes", u.Size(), len(full))
+	}
+}
+
+func TestDeltaApplyReconstructs(t *testing.T) {
+	cap := Captioner{CellsPerAxis: 6}
+	a := cap.Caption(bodyCloud(0.1))
+	b := cap.Caption(bodyCloud(0.9))
+	u := Delta(a, b)
+	got := Apply(a, u)
+	if got.Global != b.Global {
+		t.Error("global not updated")
+	}
+	if len(got.Cells) != len(b.Cells) {
+		t.Fatalf("cells %d vs %d", len(got.Cells), len(b.Cells))
+	}
+	for id, c := range b.Cells {
+		if got.Cells[id] != c {
+			t.Fatalf("cell %v differs after apply", id)
+		}
+	}
+}
+
+func TestUpdateMarshalRoundTrip(t *testing.T) {
+	cap := Captioner{CellsPerAxis: 6}
+	a := cap.Caption(bodyCloud(0.1))
+	b := cap.Caption(bodyCloud(1.4))
+	u := Delta(a, b)
+	back, err := UnmarshalUpdate(u.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Global != u.Global || len(back.Changed) != len(u.Changed) || len(back.Removed) != len(u.Removed) {
+		t.Errorf("update changed in transit: %d/%d changed, %d/%d removed",
+			len(back.Changed), len(u.Changed), len(back.Removed), len(u.Removed))
+	}
+	if Apply(a, back).Marshal() == nil {
+		t.Error("apply failed")
+	}
+}
+
+func TestEmptyCloud(t *testing.T) {
+	doc := Captioner{}.Caption(pointcloud.New(0))
+	if len(doc.Cells) != 0 {
+		t.Error("empty cloud produced cells")
+	}
+}
+
+func TestInvNormSymmetric(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.9} {
+		a, b := invNorm(p), invNorm(1-p)
+		if math.Abs(a+b) > 1e-6 {
+			t.Errorf("invNorm(%v)=%v, invNorm(%v)=%v not symmetric", p, a, 1-p, b)
+		}
+	}
+	if invNorm(0.5) != 0 {
+		t.Errorf("invNorm(0.5) = %v", invNorm(0.5))
+	}
+	// Standard normal quantile at 0.975 ≈ 1.96.
+	if q := invNorm(0.975); math.Abs(q-1.9599) > 0.001 {
+		t.Errorf("invNorm(0.975) = %v", q)
+	}
+}
+
+func TestPostureDescriptions(t *testing.T) {
+	standing := describePosture(globalStats{size: geom.V3(0.5, 1.8, 0.4)})
+	compact := describePosture(globalStats{size: geom.V3(1.0, 1.0, 1.0)})
+	if standing == compact {
+		t.Error("postures not distinguished")
+	}
+}

@@ -1,0 +1,214 @@
+package texture
+
+import (
+	"math"
+	"testing"
+
+	"semholo/internal/body"
+	"semholo/internal/capture"
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+	"semholo/internal/metrics"
+	"semholo/internal/pointcloud"
+	"semholo/internal/render"
+)
+
+func gradientImage(w, h int) []pointcloud.Color {
+	img := make([]pointcloud.Color, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img[y*w+x] = pointcloud.Color{
+				R: float64(x) / float64(w),
+				G: float64(y) / float64(h),
+				B: 0.5,
+			}
+		}
+	}
+	return img
+}
+
+func TestBTCRoundTripQuality(t *testing.T) {
+	w, h := 64, 48
+	img := gradientImage(w, h)
+	enc, err := CompressBTC(img, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, dw, dh, err := DecompressBTC(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw != w || dh != h {
+		t.Fatalf("dimensions %dx%d", dw, dh)
+	}
+	if psnr := metrics.PSNR(dec, img); psnr < 25 {
+		t.Errorf("BTC PSNR %.1f dB on smooth gradient", psnr)
+	}
+}
+
+func TestBTCCompressionRatio(t *testing.T) {
+	w, h := 128, 128
+	img := gradientImage(w, h)
+	enc, err := CompressBTC(img, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24-bit source → 3 bpp BTC ≈ 8× (paper cites texture compression's
+	// "high compression ratio", §3.1).
+	raw := w * h * 3
+	if ratio := float64(raw) / float64(len(enc)); ratio < 6 {
+		t.Errorf("BTC ratio %.1f too low", ratio)
+	}
+}
+
+func TestBTCSolidBlockExact(t *testing.T) {
+	w, h := 8, 8
+	img := make([]pointcloud.Color, w*h)
+	for i := range img {
+		img[i] = pointcloud.Color{R: 0.5, G: 0.25, B: 1}
+	}
+	enc, _ := CompressBTC(img, w, h)
+	dec, _, _, _ := DecompressBTC(enc)
+	for i := range img {
+		if dec[i].Dist(img[i]) > 0.03 { // 565 quantization only
+			t.Fatalf("pixel %d: %+v vs %+v", i, dec[i], img[i])
+		}
+	}
+}
+
+func TestBTCNonMultipleOf4(t *testing.T) {
+	w, h := 10, 7
+	img := gradientImage(w, h)
+	enc, err := CompressBTC(img, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, dw, dh, err := DecompressBTC(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw != w || dh != h || len(dec) != w*h {
+		t.Fatal("odd dimensions mangled")
+	}
+}
+
+func TestBTCRejectsGarbage(t *testing.T) {
+	if _, _, _, err := DecompressBTC([]byte("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	enc, _ := CompressBTC(gradientImage(16, 16), 16, 16)
+	if _, _, _, err := DecompressBTC(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated accepted")
+	}
+	if _, err := CompressBTC(make([]pointcloud.Color, 5), 4, 4); err == nil {
+		t.Error("wrong pixel count accepted")
+	}
+}
+
+func TestProjectionMappingRecoversTexture(t *testing.T) {
+	// Capture the textured human, then project the captured views onto
+	// the *same* geometry: recovered vertex colors must match the
+	// shader.
+	model := body.NewModel(nil, body.ModelOptions{Detail: 1})
+	params := body.Talking(nil).At(0.4)
+	m := model.Mesh(params)
+	rig := capture.NewRing(6, 2.5, 1.0, geom.V3(0, 1.0, 0), 160, math.Pi/3, 11)
+	views := rig.Capture(m, capture.SkinShader())
+
+	colors := ProjectOntoMesh(m, views, ProjectOptions{DepthTolerance: 0.05})
+	if len(colors) != len(m.Vertices) {
+		t.Fatalf("%d colors for %d vertices", len(colors), len(m.Vertices))
+	}
+	// Head vertices must be skin-toned (R>G>B), leg vertices dark.
+	shader := capture.SkinShader().Shader
+	agree, total := 0, 0
+	for vi, v := range m.Vertices {
+		want := shader(0, [3]float64{}, v, geom.Vec3{})
+		got := colors[vi]
+		if got == (pointcloud.Color{}) {
+			continue // unseen vertex
+		}
+		total++
+		if got.Dist(want) < 0.25 {
+			agree++
+		}
+	}
+	if total < len(m.Vertices)/2 {
+		t.Fatalf("only %d/%d vertices textured", total, len(m.Vertices))
+	}
+	if frac := float64(agree) / float64(total); frac < 0.8 {
+		t.Errorf("only %.0f%% of vertices close to true texture", frac*100)
+	}
+}
+
+func TestProjectionHandlesDeformedGeometry(t *testing.T) {
+	// Project views of the true mesh onto a *slightly different* mesh
+	// (the keypoint reconstruction case): the search window should still
+	// texture most vertices.
+	model := body.NewModel(nil, body.ModelOptions{Detail: 1})
+	params := body.Talking(nil).At(0.4)
+	m := model.Mesh(params)
+	rig := capture.NewRing(6, 2.5, 1.0, geom.V3(0, 1.0, 0), 160, math.Pi/3, 12)
+	views := rig.Capture(m, capture.SkinShader())
+
+	// Deform: inflate the mesh 1.5 cm along normals.
+	deformed := m.Clone()
+	deformed.ComputeNormals()
+	for i := range deformed.Vertices {
+		deformed.Vertices[i] = deformed.Vertices[i].Add(deformed.Normals[i].Scale(0.015))
+	}
+	strict := ProjectOntoMesh(deformed, views, ProjectOptions{DepthTolerance: 0.02, SearchRadius: 0})
+	relaxed := ProjectOntoMesh(deformed, views, ProjectOptions{DepthTolerance: 0.05, SearchRadius: 2})
+	count := func(cs []pointcloud.Color) int {
+		n := 0
+		for _, c := range cs {
+			if c != (pointcloud.Color{}) {
+				n++
+			}
+		}
+		return n
+	}
+	if count(relaxed) <= count(strict) {
+		t.Errorf("deformation search did not help: %d vs %d textured", count(relaxed), count(strict))
+	}
+}
+
+func TestVertexColorShaderInterpolates(t *testing.T) {
+	m := &mesh.Mesh{
+		Vertices: []geom.Vec3{{}, {X: 1}, {Y: 1}},
+		Faces:    []mesh.Face{{A: 0, B: 1, C: 2}},
+	}
+	colors := []pointcloud.Color{{R: 1}, {G: 1}, {B: 1}}
+	sh := VertexColorShader(m, colors)
+	// Pure vertex weights return the vertex colors.
+	if got := sh(0, [3]float64{1, 0, 0}, geom.Vec3{}, geom.Vec3{}); got != colors[0] {
+		t.Errorf("vertex A color %+v", got)
+	}
+	// Centroid mixes equally.
+	mid := sh(0, [3]float64{1. / 3, 1. / 3, 1. / 3}, geom.Vec3{}, geom.Vec3{})
+	if math.Abs(mid.R-1./3) > 1e-9 || math.Abs(mid.G-1./3) > 1e-9 || math.Abs(mid.B-1./3) > 1e-9 {
+		t.Errorf("centroid color %+v", mid)
+	}
+}
+
+func TestProjectedTextureRendersCloseToOriginal(t *testing.T) {
+	// Figure 3's protocol in miniature: render ground truth with its
+	// texture vs. render the reconstruction textured by projection
+	// mapping, and compare views.
+	model := body.NewModel(nil, body.ModelOptions{Detail: 1})
+	params := body.Talking(nil).At(0.7)
+	m := model.Mesh(params)
+	rig := capture.NewRing(6, 2.5, 1.0, geom.V3(0, 1.0, 0), 160, math.Pi/3, 13)
+	views := rig.Capture(m, capture.SkinShader())
+	colors := ProjectOntoMesh(m, views, ProjectOptions{DepthTolerance: 0.05, SearchRadius: 1})
+
+	cam := rig.Cameras[0]
+	gt := render.NewFrame(cam)
+	render.RenderMesh(gt, m, capture.SkinShader())
+	recon := render.NewFrame(cam)
+	render.RenderMesh(recon, m, render.MeshOptions{Shader: VertexColorShader(m, colors)})
+	psnr := metrics.PSNR(recon.Color, gt.Color)
+	if psnr < 18 {
+		t.Errorf("projected-texture render PSNR %.1f dB", psnr)
+	}
+}

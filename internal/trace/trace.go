@@ -1,0 +1,116 @@
+// Package trace provides per-stage pipeline timing: each pipeline stage
+// (capture, extract, compress, transmit, reconstruct, render) records
+// spans into a Tracer, and experiment harnesses report per-stage
+// percentiles — how the <100 ms end-to-end budget (§1) is spent.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer accumulates named duration samples. Safe for concurrent use;
+// the zero value is ready to use.
+type Tracer struct {
+	mu    sync.Mutex
+	spans map[string][]time.Duration
+	order []string
+}
+
+// New returns an empty tracer.
+func New() *Tracer {
+	return &Tracer{spans: map[string][]time.Duration{}}
+}
+
+// Record adds one sample to a stage.
+func (t *Tracer) Record(stage string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spans == nil {
+		t.spans = map[string][]time.Duration{}
+	}
+	if _, ok := t.spans[stage]; !ok {
+		t.order = append(t.order, stage)
+	}
+	t.spans[stage] = append(t.spans[stage], d)
+}
+
+// Start begins a span; call the returned func to record it.
+func (t *Tracer) Start(stage string) func() {
+	begin := time.Now()
+	return func() { t.Record(stage, time.Since(begin)) }
+}
+
+// Stats summarizes one stage.
+type Stats struct {
+	Count         int
+	Total, Mean   time.Duration
+	P50, P95, Max time.Duration
+}
+
+// Snapshot returns per-stage statistics.
+func (t *Tracer) Snapshot() map[string]Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]Stats, len(t.spans))
+	for stage, ds := range t.spans {
+		out[stage] = computeStats(ds)
+	}
+	return out
+}
+
+func computeStats(ds []time.Duration) Stats {
+	if len(ds) == 0 {
+		return Stats{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	pct := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return Stats{
+		Count: len(sorted),
+		Total: total,
+		Mean:  total / time.Duration(len(sorted)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Report renders a fixed-width table of all stages in first-seen order.
+func (t *Tracer) Report() string {
+	t.mu.Lock()
+	order := append([]string(nil), t.order...)
+	snap := make(map[string]Stats, len(t.spans))
+	for stage, ds := range t.spans {
+		snap[stage] = computeStats(ds)
+	}
+	t.mu.Unlock()
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %8s %12s %12s %12s %12s\n", "stage", "count", "mean", "p50", "p95", "max")
+	for _, stage := range order {
+		s := snap[stage]
+		fmt.Fprintf(&sb, "%-24s %8d %12v %12v %12v %12v\n",
+			stage, s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+			s.P95.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Reset clears all samples.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = map[string][]time.Duration{}
+	t.order = nil
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndSnapshot(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 10; i++ {
+		tr.Record("extract", time.Duration(i)*time.Millisecond)
+	}
+	s := tr.Snapshot()["extract"]
+	if s.Count != 10 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Mean != 5500*time.Microsecond {
+		t.Errorf("mean %v", s.Mean)
+	}
+	if s.Max != 10*time.Millisecond {
+		t.Errorf("max %v", s.Max)
+	}
+	if s.P50 < 5*time.Millisecond || s.P50 > 6*time.Millisecond {
+		t.Errorf("p50 %v", s.P50)
+	}
+	if s.P95 < 9*time.Millisecond {
+		t.Errorf("p95 %v", s.P95)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	tr := New()
+	stop := tr.Start("render")
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	s := tr.Snapshot()["render"]
+	if s.Count != 1 || s.Mean < 4*time.Millisecond {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record("stage", time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Snapshot()["stage"].Count; got != 800 {
+		t.Errorf("count %d", got)
+	}
+}
+
+func TestReportOrderAndReset(t *testing.T) {
+	tr := New()
+	tr.Record("capture", time.Millisecond)
+	tr.Record("transmit", 2*time.Millisecond)
+	tr.Record("capture", time.Millisecond)
+	rep := tr.Report()
+	ci := strings.Index(rep, "capture")
+	ti := strings.Index(rep, "transmit")
+	if ci < 0 || ti < 0 || ci > ti {
+		t.Errorf("report order wrong:\n%s", rep)
+	}
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	tr := New()
+	if len(tr.Snapshot()) != 0 {
+		t.Error("fresh tracer has stages")
+	}
+	if rep := tr.Report(); !strings.Contains(rep, "stage") {
+		t.Error("header missing from empty report")
+	}
+}

@@ -1,0 +1,201 @@
+// Package transport implements SemHolo's wire protocol: length-prefixed,
+// CRC-protected frames multiplexing semantic channels over any net.Conn
+// (Figure 1's "Internet" hop). The design follows the preallocated-decode
+// philosophy of high-throughput packet libraries: a FrameReader decodes
+// into reusable buffers with no per-frame allocation on the hot path, and
+// a FrameWriter serializes through a single scratch buffer.
+//
+// Frame layout (big-endian):
+//
+//	magic(2)=0x5348 version(1) type(1) channel(2) flags(2)
+//	seq(4) timestamp(8, µs) length(4) payload CRC32(4, IEEE, header+payload)
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Protocol constants.
+const (
+	Magic      uint16 = 0x5348 // "SH"
+	Version    byte   = 1
+	headerLen         = 2 + 1 + 1 + 2 + 2 + 4 + 8 + 4
+	trailerLen        = 4
+	// MaxPayload bounds a frame payload (16 MiB).
+	MaxPayload = 16 << 20
+)
+
+// FrameType discriminates protocol frames.
+type FrameType byte
+
+// Frame types.
+const (
+	TypeInvalid FrameType = iota
+	TypeHandshake
+	TypeHandshakeAck
+	TypeSemantic
+	TypeControl
+	TypePing
+	TypePong
+	TypeClose
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case TypeHandshake:
+		return "handshake"
+	case TypeHandshakeAck:
+		return "handshake-ack"
+	case TypeSemantic:
+		return "semantic"
+	case TypeControl:
+		return "control"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
+	case TypeClose:
+		return "close"
+	default:
+		return fmt.Sprintf("invalid(%d)", byte(t))
+	}
+}
+
+// Flag bits.
+const (
+	// FlagKeyframe marks self-contained frames (vs deltas).
+	FlagKeyframe uint16 = 1 << 0
+	// FlagCompressed marks lzr-compressed payloads.
+	FlagCompressed uint16 = 1 << 1
+	// FlagEndOfFrame marks the last channel frame of a media frame.
+	FlagEndOfFrame uint16 = 1 << 2
+)
+
+// Well-known channels. Semantic payload channels start at ChannelData.
+const (
+	ChannelControl uint16 = 0
+	ChannelData    uint16 = 1
+)
+
+// Frame is one protocol data unit.
+type Frame struct {
+	Type      FrameType
+	Channel   uint16
+	Flags     uint16
+	Seq       uint32
+	Timestamp uint64 // sender clock, microseconds
+	Payload   []byte
+}
+
+// Errors.
+var (
+	ErrBadMagic  = errors.New("transport: bad magic")
+	ErrBadCRC    = errors.New("transport: checksum mismatch")
+	ErrTooLarge  = errors.New("transport: frame exceeds MaxPayload")
+	ErrBadHeader = errors.New("transport: malformed header")
+)
+
+// FrameWriter serializes frames to an io.Writer through one reusable
+// buffer. Not safe for concurrent use; Session serializes access.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewFrameWriter wraps w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// WriteFrame serializes and writes one frame.
+func (fw *FrameWriter) WriteFrame(f *Frame) error {
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f.Payload))
+	}
+	need := headerLen + len(f.Payload) + trailerLen
+	if cap(fw.buf) < need {
+		fw.buf = make([]byte, 0, need)
+	}
+	b := fw.buf[:0]
+	b = binary.BigEndian.AppendUint16(b, Magic)
+	b = append(b, Version, byte(f.Type))
+	b = binary.BigEndian.AppendUint16(b, f.Channel)
+	b = binary.BigEndian.AppendUint16(b, f.Flags)
+	b = binary.BigEndian.AppendUint32(b, f.Seq)
+	b = binary.BigEndian.AppendUint64(b, f.Timestamp)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(f.Payload)))
+	b = append(b, f.Payload...)
+	crc := crc32.ChecksumIEEE(b)
+	b = binary.BigEndian.AppendUint32(b, crc)
+	fw.buf = b[:0]
+	_, err := fw.w.Write(b)
+	return err
+}
+
+// FrameReader decodes frames from an io.Reader. The returned Frame's
+// Payload aliases an internal buffer that is overwritten by the next
+// ReadFrame (zero-copy decoding); callers that retain payloads must copy.
+type FrameReader struct {
+	r       io.Reader
+	header  [headerLen]byte
+	payload []byte
+	trailer [trailerLen]byte
+}
+
+// NewFrameReader wraps r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, payload: make([]byte, 0, 4096)}
+}
+
+// ReadFrame reads and validates the next frame.
+func (fr *FrameReader) ReadFrame() (Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.header[:]); err != nil {
+		return Frame{}, err
+	}
+	h := fr.header[:]
+	if binary.BigEndian.Uint16(h) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if h[2] != Version {
+		return Frame{}, fmt.Errorf("%w: version %d", ErrBadHeader, h[2])
+	}
+	f := Frame{
+		Type:      FrameType(h[3]),
+		Channel:   binary.BigEndian.Uint16(h[4:]),
+		Flags:     binary.BigEndian.Uint16(h[6:]),
+		Seq:       binary.BigEndian.Uint32(h[8:]),
+		Timestamp: binary.BigEndian.Uint64(h[12:]),
+	}
+	n := binary.BigEndian.Uint32(h[20:])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if cap(fr.payload) < int(n) {
+		fr.payload = make([]byte, n)
+	}
+	fr.payload = fr.payload[:n]
+	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
+		return Frame{}, fmt.Errorf("transport: truncated payload: %w", err)
+	}
+	if _, err := io.ReadFull(fr.r, fr.trailer[:]); err != nil {
+		return Frame{}, fmt.Errorf("transport: truncated trailer: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(h)
+	crc = crc32.Update(crc, crc32.IEEETable, fr.payload)
+	if crc != binary.BigEndian.Uint32(fr.trailer[:]) {
+		return Frame{}, ErrBadCRC
+	}
+	f.Payload = fr.payload
+	return f, nil
+}
+
+// Clone returns a frame with an owned copy of the payload.
+func (f Frame) Clone() Frame {
+	c := f
+	c.Payload = append([]byte(nil), f.Payload...)
+	return c
+}

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// BandwidthEstimator estimates delivered throughput from byte-arrival
+// events using an exponentially weighted moving average over fixed
+// windows — the receiver-side signal driving rate adaptation (§3.2).
+type BandwidthEstimator struct {
+	// Window is the measurement interval (default 250 ms).
+	Window time.Duration
+	// Alpha is the EWMA weight for the newest window (default 0.3).
+	Alpha float64
+
+	mu         sync.Mutex
+	windowOpen time.Time
+	bytes      int64
+	estimate   float64 // bits per second
+	hasSample  bool
+}
+
+// NewBandwidthEstimator returns an estimator with defaults.
+func NewBandwidthEstimator() *BandwidthEstimator {
+	return &BandwidthEstimator{Window: 250 * time.Millisecond, Alpha: 0.3}
+}
+
+// Observe records n payload bytes arriving at time now.
+func (e *BandwidthEstimator) Observe(now time.Time, n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.windowOpen.IsZero() {
+		e.windowOpen = now
+	}
+	e.bytes += int64(n)
+	if elapsed := now.Sub(e.windowOpen); elapsed >= e.Window {
+		bps := float64(e.bytes*8) / elapsed.Seconds()
+		if e.hasSample {
+			e.estimate = e.Alpha*bps + (1-e.Alpha)*e.estimate
+		} else {
+			e.estimate = bps
+			e.hasSample = true
+		}
+		e.windowOpen = now
+		e.bytes = 0
+	}
+}
+
+// Estimate returns the current estimate in bits per second (0 before the
+// first full window).
+func (e *BandwidthEstimator) Estimate() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.estimate
+}
+
+// RateLevel is one operating point of the adaptive pipeline, ordered
+// from cheapest to most expensive.
+type RateLevel struct {
+	// Name identifies the level ("text", "keypoint", "keypoint+texture",
+	// "image-w16", "traditional", …).
+	Name string
+	// Bitrate is the level's expected demand in bits per second.
+	Bitrate float64
+}
+
+// RateController picks the best level sustainable at the estimated
+// bandwidth, with hysteresis so the choice doesn't flap: switching up
+// requires headroom, switching down happens as soon as demand exceeds
+// the estimate.
+type RateController struct {
+	// Levels must be ordered by ascending bitrate.
+	Levels []RateLevel
+	// Headroom is the up-switch safety factor (default 1.25: the next
+	// level must fit in estimate/1.25).
+	Headroom float64
+
+	mu      sync.Mutex
+	current int
+}
+
+// NewRateController builds a controller starting at the cheapest level.
+func NewRateController(levels []RateLevel) *RateController {
+	return &RateController{Levels: levels, Headroom: 1.25}
+}
+
+// Update feeds a bandwidth estimate (bits/s) and returns the chosen
+// level.
+func (c *RateController) Update(estimate float64) RateLevel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.Levels) == 0 {
+		return RateLevel{}
+	}
+	head := c.Headroom
+	if head <= 0 {
+		head = 1.25
+	}
+	// Downgrade while the current level does not fit.
+	for c.current > 0 && c.Levels[c.current].Bitrate > estimate {
+		c.current--
+	}
+	// Upgrade while the next level fits with headroom.
+	for c.current+1 < len(c.Levels) &&
+		c.Levels[c.current+1].Bitrate*head <= estimate {
+		c.current++
+	}
+	return c.Levels[c.current]
+}
+
+// Current returns the active level without updating.
+func (c *RateController) Current() RateLevel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.Levels) == 0 {
+		return RateLevel{}
+	}
+	return c.Levels[c.current]
+}
+
+// JitterBuffer smooths frame delivery for playout: frames are pushed as
+// they arrive (with their sender timestamps) and popped when their
+// playout deadline — arrival of the first frame plus Depth plus the
+// frame's sender-relative offset — has passed. It reorders by sequence
+// within a channel, concealing network jitter at the cost of Depth added
+// latency (the standard latency/smoothness trade-off).
+type JitterBuffer struct {
+	// Depth is the target buffering delay.
+	Depth time.Duration
+
+	mu       sync.Mutex
+	baseWall time.Time // arrival of first frame
+	baseTS   uint64    // sender timestamp of first frame (µs)
+	queue    []Frame   // sorted by Timestamp
+	started  bool
+}
+
+// Push inserts an owned frame (payload must not alias reader buffers).
+func (j *JitterBuffer) Push(now time.Time, f Frame) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.started {
+		j.started = true
+		j.baseWall = now
+		j.baseTS = f.Timestamp
+	}
+	// Insert sorted by sender timestamp (stable for equal stamps).
+	i := len(j.queue)
+	for i > 0 && j.queue[i-1].Timestamp > f.Timestamp {
+		i--
+	}
+	j.queue = append(j.queue, Frame{})
+	copy(j.queue[i+1:], j.queue[i:])
+	j.queue[i] = f
+}
+
+// Pop returns all frames whose playout time has arrived.
+func (j *JitterBuffer) Pop(now time.Time) []Frame {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.started {
+		return nil
+	}
+	var out []Frame
+	for len(j.queue) > 0 {
+		f := j.queue[0]
+		var rel time.Duration
+		if f.Timestamp >= j.baseTS {
+			rel = time.Duration(f.Timestamp-j.baseTS) * time.Microsecond
+		}
+		playAt := j.baseWall.Add(j.Depth + rel)
+		if now.Before(playAt) {
+			break
+		}
+		out = append(out, f)
+		j.queue = j.queue[1:]
+	}
+	return out
+}
+
+// Len returns the number of buffered frames.
+func (j *JitterBuffer) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.queue)
+}
+
+// Occupancy returns the buffered duration (sender-time span).
+func (j *JitterBuffer) Occupancy() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.queue) < 2 {
+		return 0
+	}
+	span := j.queue[len(j.queue)-1].Timestamp - j.queue[0].Timestamp
+	return time.Duration(math.Min(float64(span), 1e12)) * time.Microsecond
+}

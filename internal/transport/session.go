@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Hello is the handshake payload exchanged at session start. It carries
+// the control-plane metadata that is static per session: the semantics
+// mode and the participant's body shape (identity is fitted once, not
+// per frame — §3.1).
+type Hello struct {
+	// Peer is a human-readable participant name.
+	Peer string `json:"peer"`
+	// Mode names the semantics pipeline ("keypoint", "image", "text",
+	// "traditional", "hybrid").
+	Mode string `json:"mode"`
+	// Shape carries the body shape coefficients.
+	Shape []float64 `json:"shape,omitempty"`
+	// FPS is the sender's capture rate.
+	FPS float64 `json:"fps,omitempty"`
+}
+
+// Session is a framed, multiplexed connection between two telepresence
+// sites. Writes are serialized internally; one goroutine should own
+// Recv.
+type Session struct {
+	conn net.Conn
+
+	wmu   sync.Mutex
+	fw    *FrameWriter
+	seq   map[uint16]uint32
+	fr    *FrameReader
+	t0    time.Time
+	stats SessionStats
+
+	pingMu   sync.Mutex
+	pingSent map[uint32]time.Time
+	lastRTT  time.Duration
+}
+
+// SessionStats counts session traffic.
+type SessionStats struct {
+	mu             sync.Mutex
+	BytesSent      int64
+	BytesReceived  int64
+	FramesSent     int64
+	FramesReceived int64
+}
+
+func newSession(conn net.Conn) *Session {
+	return &Session{
+		conn:     conn,
+		fw:       NewFrameWriter(conn),
+		fr:       NewFrameReader(conn),
+		seq:      map[uint16]uint32{},
+		t0:       time.Now(),
+		pingSent: map[uint32]time.Time{},
+	}
+}
+
+// Dial performs the client side of the handshake over an established
+// connection.
+func Dial(conn net.Conn, hello Hello) (*Session, Hello, error) {
+	s := newSession(conn)
+	payload, err := json.Marshal(hello)
+	if err != nil {
+		return nil, Hello{}, fmt.Errorf("transport: marshal hello: %w", err)
+	}
+	if err := s.send(&Frame{Type: TypeHandshake, Channel: ChannelControl, Payload: payload}); err != nil {
+		return nil, Hello{}, err
+	}
+	f, err := s.fr.ReadFrame()
+	if err != nil {
+		return nil, Hello{}, fmt.Errorf("transport: awaiting handshake ack: %w", err)
+	}
+	if f.Type != TypeHandshakeAck {
+		return nil, Hello{}, fmt.Errorf("transport: expected handshake ack, got %v", f.Type)
+	}
+	var peer Hello
+	if err := json.Unmarshal(f.Payload, &peer); err != nil {
+		return nil, Hello{}, fmt.Errorf("transport: bad handshake ack: %w", err)
+	}
+	return s, peer, nil
+}
+
+// Accept performs the server side of the handshake.
+func Accept(conn net.Conn, hello Hello) (*Session, Hello, error) {
+	s := newSession(conn)
+	f, err := s.fr.ReadFrame()
+	if err != nil {
+		return nil, Hello{}, fmt.Errorf("transport: awaiting handshake: %w", err)
+	}
+	if f.Type != TypeHandshake {
+		return nil, Hello{}, fmt.Errorf("transport: expected handshake, got %v", f.Type)
+	}
+	var peer Hello
+	if err := json.Unmarshal(f.Payload, &peer); err != nil {
+		return nil, Hello{}, fmt.Errorf("transport: bad handshake: %w", err)
+	}
+	payload, err := json.Marshal(hello)
+	if err != nil {
+		return nil, Hello{}, fmt.Errorf("transport: marshal hello: %w", err)
+	}
+	if err := s.send(&Frame{Type: TypeHandshakeAck, Channel: ChannelControl, Payload: payload}); err != nil {
+		return nil, Hello{}, err
+	}
+	return s, peer, nil
+}
+
+// send stamps sequence and timestamp and writes the frame.
+func (s *Session) send(f *Frame) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	f.Seq = s.seq[f.Channel]
+	s.seq[f.Channel]++
+	f.Timestamp = uint64(time.Since(s.t0).Microseconds())
+	if err := s.fw.WriteFrame(f); err != nil {
+		return err
+	}
+	s.stats.mu.Lock()
+	s.stats.BytesSent += int64(headerLen + len(f.Payload) + trailerLen)
+	s.stats.FramesSent++
+	s.stats.mu.Unlock()
+	return nil
+}
+
+// Send transmits a semantic payload on a channel.
+func (s *Session) Send(channel uint16, flags uint16, payload []byte) error {
+	return s.send(&Frame{Type: TypeSemantic, Channel: channel, Flags: flags, Payload: payload})
+}
+
+// SendControl transmits a control payload.
+func (s *Session) SendControl(payload []byte) error {
+	return s.send(&Frame{Type: TypeControl, Channel: ChannelControl, Payload: payload})
+}
+
+// Recv reads the next frame, transparently answering pings and
+// surfacing everything else. The returned payload is only valid until
+// the next Recv (zero-copy); Clone to retain. Returns a TypeClose frame
+// when the peer closed gracefully.
+func (s *Session) Recv() (Frame, error) {
+	for {
+		f, err := s.fr.ReadFrame()
+		if err != nil {
+			return Frame{}, err
+		}
+		s.stats.mu.Lock()
+		s.stats.BytesReceived += int64(headerLen + len(f.Payload) + trailerLen)
+		s.stats.FramesReceived++
+		s.stats.mu.Unlock()
+		switch f.Type {
+		case TypePing:
+			// Echo the ping seq back.
+			if err := s.send(&Frame{Type: TypePong, Channel: ChannelControl, Payload: append([]byte(nil), f.Payload...)}); err != nil {
+				return Frame{}, err
+			}
+		case TypePong:
+			s.handlePong(f)
+		default:
+			return f, nil
+		}
+	}
+}
+
+// Ping sends a ping; the RTT becomes observable via RTT after the pong
+// arrives (during a Recv call).
+func (s *Session) Ping() error {
+	s.pingMu.Lock()
+	id := uint32(len(s.pingSent) + 1)
+	s.pingSent[id] = time.Now()
+	s.pingMu.Unlock()
+	var payload [4]byte
+	payload[0] = byte(id >> 24)
+	payload[1] = byte(id >> 16)
+	payload[2] = byte(id >> 8)
+	payload[3] = byte(id)
+	return s.send(&Frame{Type: TypePing, Channel: ChannelControl, Payload: payload[:]})
+}
+
+func (s *Session) handlePong(f Frame) {
+	if len(f.Payload) != 4 {
+		return
+	}
+	id := uint32(f.Payload[0])<<24 | uint32(f.Payload[1])<<16 | uint32(f.Payload[2])<<8 | uint32(f.Payload[3])
+	s.pingMu.Lock()
+	if sent, ok := s.pingSent[id]; ok {
+		s.lastRTT = time.Since(sent)
+		delete(s.pingSent, id)
+	}
+	s.pingMu.Unlock()
+}
+
+// RTT returns the most recent measured round-trip time (0 before the
+// first pong).
+func (s *Session) RTT() time.Duration {
+	s.pingMu.Lock()
+	defer s.pingMu.Unlock()
+	return s.lastRTT
+}
+
+// Stats returns a copy of the session counters.
+func (s *Session) Stats() (sent, received, framesSent, framesReceived int64) {
+	s.stats.mu.Lock()
+	defer s.stats.mu.Unlock()
+	return s.stats.BytesSent, s.stats.BytesReceived, s.stats.FramesSent, s.stats.FramesReceived
+}
+
+// Close sends a close frame and closes the connection.
+func (s *Session) Close() error {
+	_ = s.send(&Frame{Type: TypeClose, Channel: ChannelControl})
+	return s.conn.Close()
+}

@@ -1,0 +1,420 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"semholo/internal/netsim"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	frames := []Frame{
+		{Type: TypeSemantic, Channel: 3, Flags: FlagKeyframe, Seq: 7, Timestamp: 123456, Payload: []byte("pose data")},
+		{Type: TypeControl, Channel: 0, Payload: nil},
+		{Type: TypePing, Channel: 0, Payload: []byte{1, 2, 3, 4}},
+	}
+	for i := range frames {
+		if err := fw.WriteFrame(&frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for i, want := range frames {
+		got, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Channel != want.Channel || got.Flags != want.Flags ||
+			got.Seq != want.Seq || got.Timestamp != want.Timestamp {
+			t.Fatalf("frame %d header mismatch: %+v vs %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(typ byte, channel, flags uint16, seq uint32, ts uint64, payload []byte) bool {
+		in := Frame{Type: FrameType(typ), Channel: channel, Flags: flags, Seq: seq, Timestamp: ts, Payload: payload}
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		if err := fw.WriteFrame(&in); err != nil {
+			return false
+		}
+		out, err := NewFrameReader(&buf).ReadFrame()
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.Channel == in.Channel && out.Flags == in.Flags &&
+			out.Seq == in.Seq && out.Timestamp == in.Timestamp && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(&Frame{Type: TypeSemantic, Channel: 1, Payload: []byte("payload bytes here")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip a payload bit: CRC must catch it.
+	mut := append([]byte(nil), raw...)
+	mut[headerLen+3] ^= 0x10
+	if _, err := NewFrameReader(bytes.NewReader(mut)).ReadFrame(); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("payload corruption: err = %v, want ErrBadCRC", err)
+	}
+	// Break the magic.
+	mut = append([]byte(nil), raw...)
+	mut[0] = 0xFF
+	if _, err := NewFrameReader(bytes.NewReader(mut)).ReadFrame(); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	// Truncate mid-payload.
+	if _, err := NewFrameReader(bytes.NewReader(raw[:headerLen+2])).ReadFrame(); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	big := make([]byte, MaxPayload+1)
+	if err := fw.WriteFrame(&Frame{Type: TypeSemantic, Payload: big}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize write: %v", err)
+	}
+}
+
+func TestFrameZeroCopySemantics(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.WriteFrame(&Frame{Type: TypeSemantic, Payload: []byte("first")})
+	fw.WriteFrame(&Frame{Type: TypeSemantic, Payload: []byte("xxxxx")})
+	fr := NewFrameReader(&buf)
+	f1, _ := fr.ReadFrame()
+	keep := f1.Clone()
+	fr.ReadFrame() // overwrites f1.Payload's backing array
+	if string(keep.Payload) != "first" {
+		t.Error("Clone did not detach payload")
+	}
+}
+
+func sessionPair(t *testing.T, cfg netsim.LinkConfig) (*Session, *Session, *netsim.Link) {
+	t.Helper()
+	a, b, link := netsim.Pipe(cfg)
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, _, err := Accept(b, Hello{Peer: "B", Mode: "keypoint"})
+		ch <- res{s, err}
+	}()
+	sa, peer, err := Dial(a, Hello{Peer: "A", Mode: "keypoint", Shape: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer.Peer != "B" {
+		t.Fatalf("peer hello %+v", peer)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return sa, r.s, link
+}
+
+func TestSessionHandshakeAndData(t *testing.T) {
+	sa, sb, link := sessionPair(t, netsim.LinkConfig{})
+	defer link.Close()
+	defer sa.Close()
+
+	go func() {
+		sa.Send(ChannelData, FlagKeyframe, []byte("frame-0"))
+		sa.Send(ChannelData, 0, []byte("frame-1"))
+	}()
+	f0, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Seq != 0 || string(f0.Payload) != "frame-0" || f0.Flags&FlagKeyframe == 0 {
+		t.Errorf("frame 0: %+v", f0)
+	}
+	f1, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Seq != 1 || string(f1.Payload) != "frame-1" {
+		t.Errorf("frame 1: %+v", f1)
+	}
+	sent, _, framesSent, _ := sa.Stats()
+	if framesSent < 2 || sent == 0 {
+		t.Error("sender stats not counting")
+	}
+}
+
+func TestSessionPingRTT(t *testing.T) {
+	sa, sb, link := sessionPair(t, netsim.LinkConfig{Delay: 20 * time.Millisecond})
+	defer link.Close()
+	defer sa.Close()
+
+	// B echoes pings inside Recv; unblock it with a data frame after.
+	done := make(chan struct{})
+	go func() {
+		sb.Recv() // consumes ping (auto-answered), then waits for data
+		close(done)
+	}()
+	if err := sa.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// A must Recv to process the pong.
+	go sa.Send(ChannelData, 0, []byte("unblock-b"))
+	recvDone := make(chan struct{})
+	go func() {
+		sa.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		sa.Recv() // will process pong then block; deadline unblocks
+		close(recvDone)
+	}()
+	<-done
+	deadline := time.Now().Add(2 * time.Second)
+	for sa.RTT() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	rtt := sa.RTT()
+	if rtt < 35*time.Millisecond {
+		t.Errorf("RTT %v, want ≥ ~40ms on a 20ms-each-way link", rtt)
+	}
+}
+
+func TestSessionOverConstrainedLink(t *testing.T) {
+	// A 2 Mbps link: 100 KB takes ≈ 400 ms end to end.
+	sa, sb, link := sessionPair(t, netsim.LinkConfig{Bandwidth: 2e6, MTU: 8192})
+	defer link.Close()
+	defer sa.Close()
+	payload := make([]byte, 100*1024)
+	start := time.Now()
+	go sa.Send(ChannelData, 0, payload)
+	f, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(f.Payload) != len(payload) {
+		t.Fatalf("payload truncated: %d", len(f.Payload))
+	}
+	if elapsed < 300*time.Millisecond {
+		t.Errorf("100KB over 2Mbps in %v — pacing broken", elapsed)
+	}
+}
+
+func TestBandwidthEstimatorConverges(t *testing.T) {
+	e := NewBandwidthEstimator()
+	now := time.Now()
+	// 1 MB/s = 8 Mbps fed in 10 ms ticks for 2 s.
+	for i := 0; i < 200; i++ {
+		e.Observe(now.Add(time.Duration(i)*10*time.Millisecond), 10000)
+	}
+	got := e.Estimate()
+	if got < 6e6 || got > 10e6 {
+		t.Errorf("estimate %.1f Mbps, want ≈ 8", got/1e6)
+	}
+}
+
+func TestRateControllerHysteresis(t *testing.T) {
+	levels := []RateLevel{
+		{Name: "text", Bitrate: 0.1e6},
+		{Name: "keypoint", Bitrate: 0.5e6},
+		{Name: "image", Bitrate: 10e6},
+		{Name: "traditional", Bitrate: 100e6},
+	}
+	c := NewRateController(levels)
+	if got := c.Update(30e6); got.Name != "image" {
+		t.Errorf("30 Mbps picked %s", got.Name)
+	}
+	// 11 Mbps: image fits but without 1.25× headroom from below... we
+	// are already at image; stays (no downgrade needed).
+	if got := c.Update(11e6); got.Name != "image" {
+		t.Errorf("11 Mbps picked %s", got.Name)
+	}
+	// Collapse to 0.4 Mbps: must fall to keypoint... 0.5 doesn't fit;
+	// falls to text.
+	if got := c.Update(0.4e6); got.Name != "text" {
+		t.Errorf("0.4 Mbps picked %s", got.Name)
+	}
+	// Recovery to 0.7 Mbps: keypoint fits with headroom (0.5*1.25=0.625).
+	if got := c.Update(0.7e6); got.Name != "keypoint" {
+		t.Errorf("0.7 Mbps picked %s", got.Name)
+	}
+	// 0.55 Mbps: keypoint still fits (no headroom needed to stay).
+	if got := c.Update(0.55e6); got.Name != "keypoint" {
+		t.Errorf("0.55 Mbps picked %s", got.Name)
+	}
+}
+
+func TestJitterBufferReordersAndDelays(t *testing.T) {
+	jb := &JitterBuffer{Depth: 50 * time.Millisecond}
+	base := time.Now()
+	// Frames sent at 0, 33, 66 ms sender time, arriving out of order.
+	mk := func(seq uint32, tsMicro uint64) Frame {
+		return Frame{Type: TypeSemantic, Seq: seq, Timestamp: tsMicro, Payload: []byte{byte(seq)}}
+	}
+	jb.Push(base, mk(0, 0))
+	jb.Push(base.Add(5*time.Millisecond), mk(2, 66000))
+	jb.Push(base.Add(8*time.Millisecond), mk(1, 33000))
+
+	if got := jb.Pop(base.Add(10 * time.Millisecond)); len(got) != 0 {
+		t.Errorf("%d frames before depth elapsed", len(got))
+	}
+	got := jb.Pop(base.Add(55 * time.Millisecond))
+	if len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("at 55ms got %d frames", len(got))
+	}
+	got = jb.Pop(base.Add(125 * time.Millisecond))
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("remaining frames wrong: %+v", got)
+	}
+	if jb.Len() != 0 {
+		t.Error("buffer not drained")
+	}
+}
+
+func TestFrameTypeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ft := range []FrameType{TypeHandshake, TypeHandshakeAck, TypeSemantic, TypeControl, TypePing, TypePong, TypeClose} {
+		s := ft.String()
+		if s == "" || strings.HasPrefix(s, "invalid") || seen[s] {
+			t.Errorf("bad string for %d: %q", ft, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSessionOverTCP(t *testing.T) {
+	// The protocol must work over a real TCP loopback socket, not just
+	// in-memory pipes.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback TCP available: %v", err)
+	}
+	defer ln.Close()
+	type res struct {
+		f   Frame
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			ch <- res{err: err}
+			return
+		}
+		s, _, err := Accept(conn, Hello{Peer: "server"})
+		if err != nil {
+			ch <- res{err: err}
+			return
+		}
+		f, err := s.Recv()
+		ch <- res{f.Clone(), err}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, peer, err := Dial(conn, Hello{Peer: "client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if peer.Peer != "server" {
+		t.Errorf("peer = %+v", peer)
+	}
+	if err := s.Send(ChannelData, FlagKeyframe, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if string(r.f.Payload) != "over tcp" {
+		t.Errorf("payload %q", r.f.Payload)
+	}
+}
+
+func BenchmarkFrameWriteRead(b *testing.B) {
+	payload := make([]byte, 1500)
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fr := NewFrameReader(&buf)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := fw.WriteFrame(&Frame{Type: TypeSemantic, Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fr.ReadFrame(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentSendsAreSerialized(t *testing.T) {
+	sa, sb, link := sessionPair(t, netsim.LinkConfig{})
+	defer link.Close()
+	defer sa.Close()
+
+	const senders = 8
+	const perSender = 20
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(g)}, 100+g)
+			for i := 0; i < perSender; i++ {
+				if err := sa.Send(ChannelData+uint16(g), 0, payload); err != nil {
+					t.Errorf("sender %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// All frames must arrive intact (CRC catches torn writes) with
+	// per-channel sequence numbers dense.
+	seqs := map[uint16][]uint32{}
+	for i := 0; i < senders*perSender; i++ {
+		f, err := sb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(f.Payload[0]) != int(f.Channel-ChannelData) {
+			t.Fatalf("channel %d carries foreign payload %d", f.Channel, f.Payload[0])
+		}
+		seqs[f.Channel] = append(seqs[f.Channel], f.Seq)
+	}
+	wg.Wait()
+	for ch, got := range seqs {
+		if len(got) != perSender {
+			t.Errorf("channel %d: %d frames", ch, len(got))
+		}
+		for i, s := range got {
+			if int(s) != i {
+				t.Errorf("channel %d: seq %d at position %d", ch, s, i)
+				break
+			}
+		}
+	}
+}
