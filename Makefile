@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: verify fmt-check vet build test race bench bench-parallel
+
+## verify: the full pre-commit gate — formatting, vet, build, tests.
+verify: fmt-check vet build test
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the concurrency gate; -short keeps it fast on slow machines
+## while still exercising every parallel kernel.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+## bench-parallel: the worker-pool kernels, serial vs GOMAXPROCS.
+bench-parallel:
+	$(GO) test -run xxx -bench 'Parallel' -benchmem .

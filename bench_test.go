@@ -7,9 +7,16 @@ package semholo
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"testing"
 
+	"semholo/internal/avatar"
 	"semholo/internal/experiments"
+	"semholo/internal/geom"
+	"semholo/internal/nerf"
+	"semholo/internal/pointcloud"
+	"semholo/internal/render"
 )
 
 // benchEnv is shared across benchmarks (construction renders the rig).
@@ -21,6 +28,7 @@ func BenchmarkTable1Keypoint(b *testing.B) {
 	world := NewWorld(WorldOptions{Seed: 3})
 	enc, dec := NewKeypointPipeline(world, KeypointOptions{Resolution: 48})
 	c := world.FrameAt(0)
+	var frames []WireFrame
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -28,12 +36,7 @@ func BenchmarkTable1Keypoint(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		frames := make([]WireFrame, 0, len(ef.Channels))
-		for _, ch := range ef.Channels {
-			frames = append(frames, WireFrame{
-				Type: FrameTypeSemantic, Channel: ch.Channel, Flags: ch.Flags, Payload: ch.Payload,
-			})
-		}
+		frames = AppendWireFrames(frames[:0], ef)
 		if _, err := dec.Decode(frames); err != nil {
 			b.Fatal(err)
 		}
@@ -46,6 +49,7 @@ func BenchmarkTable1Text(b *testing.B) {
 	world := NewWorld(WorldOptions{Seed: 4})
 	enc, dec := NewTextPipeline(TextOptions{})
 	c := world.FrameAt(0)
+	var frames []WireFrame
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -53,12 +57,7 @@ func BenchmarkTable1Text(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		frames := make([]WireFrame, 0, len(ef.Channels))
-		for _, ch := range ef.Channels {
-			frames = append(frames, WireFrame{
-				Type: FrameTypeSemantic, Channel: ch.Channel, Flags: ch.Flags, Payload: ch.Payload,
-			})
-		}
+		frames = AppendWireFrames(frames[:0], ef)
 		if _, err := dec.Decode(frames); err != nil {
 			b.Fatal(err)
 		}
@@ -71,6 +70,7 @@ func BenchmarkTable1Traditional(b *testing.B) {
 	world := NewWorld(WorldOptions{Seed: 5})
 	enc, dec := NewTraditionalPipeline()
 	c := world.FrameAt(0)
+	var frames []WireFrame
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -78,12 +78,7 @@ func BenchmarkTable1Traditional(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		frames := make([]WireFrame, 0, len(ef.Channels))
-		for _, ch := range ef.Channels {
-			frames = append(frames, WireFrame{
-				Type: FrameTypeSemantic, Channel: ch.Channel, Flags: ch.Flags, Payload: ch.Payload,
-			})
-		}
+		frames = AppendWireFrames(frames[:0], ef)
 		if _, err := dec.Decode(frames); err != nil {
 			b.Fatal(err)
 		}
@@ -128,18 +123,99 @@ func BenchmarkFig4Reconstruct(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			frames := make([]WireFrame, 0, len(ef.Channels))
-			for _, ch := range ef.Channels {
-				frames = append(frames, WireFrame{
-					Type: FrameTypeSemantic, Channel: ch.Channel, Flags: ch.Flags, Payload: ch.Payload,
-				})
-			}
+			frames := AppendWireFrames(nil, ef)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := dec.Decode(frames); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// benchWorkerCounts returns the worker sweep for the parallel-kernel
+// benchmarks: serial plus GOMAXPROCS (deduplicated on 1-CPU machines).
+func benchWorkerCounts() []int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+// BenchmarkReconstructParallel times narrow-band isosurface extraction
+// across worker counts; the mesh is identical at every count, so the
+// ratio of the workers1 and workersN lines is the Figure 4 speedup.
+func BenchmarkReconstructParallel(b *testing.B) {
+	fitted := benchEnv.Seq.Motion.At(0.5)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			rec := &avatar.Reconstructor{Model: benchEnv.Model, Resolution: 128, Workers: w}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.Reconstruct(fitted)
+			}
+		})
+	}
+}
+
+// BenchmarkRenderMeshParallel times the banded software rasterizer
+// across worker counts at probe-camera resolution.
+func BenchmarkRenderMeshParallel(b *testing.B) {
+	m := benchEnv.Model.Mesh(benchEnv.Seq.Motion.At(0.5))
+	m.ComputeNormals()
+	cam := geom.NewLookAtCamera(
+		geom.IntrinsicsFromFOV(256, 256, math.Pi/3),
+		geom.V3(0, 1.0, 2.5), geom.V3(0, 1.0, 0), geom.V3(0, 1, 0))
+	shader := func(fi int, bary [3]float64, pos, normal geom.Vec3) pointcloud.Color {
+		return pointcloud.Color{R: 0.5 + 0.5*normal.X, G: 0.5 + 0.5*normal.Y, B: 0.5 + 0.5*normal.Z}
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := render.NewFrame(cam)
+				render.RenderMesh(f, m, render.MeshOptions{Shader: shader, Workers: w})
+			}
+		})
+	}
+}
+
+// BenchmarkNerfStepsParallel times NeRF optimizer steps across worker
+// counts (per-ray gradients computed concurrently, merged in ray order).
+func BenchmarkNerfStepsParallel(b *testing.B) {
+	cam := geom.NewLookAtCamera(
+		geom.IntrinsicsFromFOV(48, 48, math.Pi/3),
+		geom.V3(0, 1.0, 2.5), geom.V3(0, 1.0, 0), geom.V3(0, 1, 0))
+	f := render.NewFrame(cam)
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 48; x++ {
+			f.Color[y*48+x] = pointcloud.Color{R: float64(x) / 48, G: float64(y) / 48, B: 0.4}
+		}
+	}
+	rays := nerf.RaysFromFrame(f, 1)
+	scene := nerf.Scene{
+		Bounds:  geom.NewAABB(geom.V3(-1, -0.2, -1), geom.V3(1, 2.1, 1)),
+		Near:    1.2,
+		Far:     4.2,
+		Samples: 16,
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			net, err := nerf.NewNet([]int{8, 16}, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr := nerf.NewTrainer(net, scene, 11)
+			tr.Workers = w
+			tr.Batch = 64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Steps(rays, 1, 16)
 			}
 		})
 	}

@@ -27,10 +27,12 @@ func main() {
 		frames = flag.Int("frames", 5, "frames per measurement")
 		full   = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
 		seed   = flag.Int64("seed", 1, "experiment seed")
+		par    = flag.Int("par", 0, "worker goroutines per kernel (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
 	flag.Parse()
 
-	env := experiments.NewEnv(experiments.EnvOptions{Seed: *seed})
+	env := experiments.NewEnv(experiments.EnvOptions{Seed: *seed, Parallelism: *par})
+	fmt.Printf("parallelism: %d workers\n", env.Parallelism)
 
 	resolutions := parseResolutions(*resArg, *full)
 
@@ -135,13 +137,20 @@ func printFig3(env *experiments.Env) {
 
 func printFig4(env *experiments.Env, resolutions []int) {
 	fmt.Println("Reconstruction rate vs resolution (paper Figure 4: <3 FPS at 128 even on an A100).")
-	fmt.Printf("%10s %14s %10s %18s\n", "resolution", "sec/frame", "FPS", "dense sec/frame")
+	fmt.Printf("%10s %14s %10s %14s %10s %10s %18s\n",
+		"resolution", "sec/frame", "FPS", "par sec/frame", "par FPS", "speedup", "dense sec/frame")
 	for _, p := range experiments.Fig4(env, resolutions, true, 128) {
-		dense := "-"
+		dense, parSec, parFPS, speedup := "-", "-", "-", "-"
 		if p.DenseSecondsPerFrame > 0 {
 			dense = fmt.Sprintf("%.3f", p.DenseSecondsPerFrame)
 		}
-		fmt.Printf("%10d %14.3f %10.2f %18s\n", p.Resolution, p.SecondsPerFrame, p.FPS, dense)
+		if p.ParSecondsPerFrame > 0 {
+			parSec = fmt.Sprintf("%.3f", p.ParSecondsPerFrame)
+			parFPS = fmt.Sprintf("%.2f", p.ParFPS)
+			speedup = fmt.Sprintf("%.2fx@%d", p.SecondsPerFrame/p.ParSecondsPerFrame, p.Workers)
+		}
+		fmt.Printf("%10d %14.3f %10.2f %14s %10s %10s %18s\n",
+			p.Resolution, p.SecondsPerFrame, p.FPS, parSec, parFPS, speedup, dense)
 	}
 }
 

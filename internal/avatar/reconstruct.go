@@ -25,6 +25,10 @@ type Reconstructor struct {
 	// the narrow-band sparse extraction (O(R²)); used by the ablation
 	// bench to show why narrow-band evaluation is mandatory at high R.
 	Dense bool
+	// Workers bounds extraction parallelism: 0 uses GOMAXPROCS, 1 forces
+	// the serial path. Output is byte-identical for every worker count
+	// (the field is pure, and the extractors merge deterministically).
+	Workers int
 }
 
 // smoothMin blends two distances with blending radius k (polynomial
@@ -140,8 +144,8 @@ func (r *Reconstructor) Reconstruct(p *body.Params) *mesh.Mesh {
 	field := r.Field(p)
 	grid := r.grid(p)
 	if r.Dense {
-		return mesh.ExtractIsosurface(field, grid)
+		return mesh.ExtractIsosurfaceParallel(field, grid, r.Workers)
 	}
 	cell := grid.Bounds.Size().MaxComponent() / float64(r.Resolution)
-	return mesh.ExtractIsosurfaceSparse(field, grid, r.seeds(p, field, cell))
+	return mesh.ExtractIsosurfaceSparseParallel(field, grid, r.seeds(p, field, cell), r.Workers)
 }

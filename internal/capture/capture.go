@@ -15,6 +15,7 @@ import (
 	"semholo/internal/body"
 	"semholo/internal/geom"
 	"semholo/internal/mesh"
+	"semholo/internal/par"
 	"semholo/internal/pointcloud"
 	"semholo/internal/render"
 )
@@ -40,6 +41,12 @@ func KinectLike() NoiseModel {
 type Rig struct {
 	Cameras []geom.Camera
 	Noise   NoiseModel
+	// Workers bounds capture parallelism: cameras render concurrently, up
+	// to Workers goroutines (0 = GOMAXPROCS, 1 = serial). Sensor noise is
+	// applied serially in camera order afterwards, so the rng stream —
+	// and therefore every captured view — is byte-identical for any
+	// worker count.
+	Workers int
 	rng     *rand.Rand
 }
 
@@ -59,29 +66,51 @@ func NewRing(n int, radius, height float64, target geom.Vec3, res int, hfov floa
 }
 
 // Capture renders the mesh from every camera and applies sensor noise,
-// returning one RGB-D view per camera.
+// returning one RGB-D view per camera. Cameras render concurrently (see
+// Rig.Workers); the rng-driven noise pass stays serial and in camera
+// order to keep output deterministic.
 func (r *Rig) Capture(m *mesh.Mesh, opt render.MeshOptions) []pointcloud.DepthView {
-	views := make([]pointcloud.DepthView, 0, len(r.Cameras))
-	for _, cam := range r.Cameras {
-		f := render.NewFrame(cam)
-		render.RenderMesh(f, m, opt)
-		v := f.DepthView()
-		r.applyNoise(&v)
-		views = append(views, v)
+	views := make([]pointcloud.DepthView, len(r.Cameras))
+	inner := r.innerOptions(opt)
+	par.For(r.Workers, len(r.Cameras), func(i int) {
+		f := render.NewFrame(r.Cameras[i])
+		render.RenderMesh(f, m, inner)
+		views[i] = f.DepthView()
+	})
+	for i := range views {
+		r.applyNoise(&views[i])
 	}
 	return views
 }
 
 // CaptureFrames renders without converting to depth views (for
-// image-based semantics, which consume the 2D frames directly).
+// image-based semantics, which consume the 2D frames directly). Cameras
+// render concurrently up to Rig.Workers.
 func (r *Rig) CaptureFrames(m *mesh.Mesh, opt render.MeshOptions) []*render.Frame {
-	frames := make([]*render.Frame, 0, len(r.Cameras))
-	for _, cam := range r.Cameras {
-		f := render.NewFrame(cam)
-		render.RenderMesh(f, m, opt)
-		frames = append(frames, f)
-	}
+	frames := make([]*render.Frame, len(r.Cameras))
+	inner := r.innerOptions(opt)
+	par.For(r.Workers, len(r.Cameras), func(i int) {
+		f := render.NewFrame(r.Cameras[i])
+		render.RenderMesh(f, m, inner)
+		frames[i] = f
+	})
 	return frames
+}
+
+// innerOptions splits the rig's worker budget between the camera level
+// and the per-frame rasterizer bands, so parallel captures don't fan out
+// to cameras × GOMAXPROCS goroutines. Worker counts never change pixel
+// output, so this is purely a scheduling decision.
+func (r *Rig) innerOptions(opt render.MeshOptions) render.MeshOptions {
+	workers := par.Resolve(r.Workers)
+	if workers > 1 && len(r.Cameras) > 0 {
+		per := workers / len(r.Cameras)
+		if per < 1 {
+			per = 1
+		}
+		opt.Workers = per
+	}
+	return opt
 }
 
 func (r *Rig) applyNoise(v *pointcloud.DepthView) {

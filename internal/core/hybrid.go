@@ -104,6 +104,9 @@ type HybridDecoder struct {
 	// the periphery (deliberately low; that is the point of the hybrid).
 	PeripheralResolution int
 	Selector             gaze.FovealSelector
+	// Workers bounds peripheral-reconstruction parallelism (0 =
+	// GOMAXPROCS, 1 = serial); output is identical at any setting.
+	Workers int
 
 	anchor    geom.Vec3
 	hasAnchor bool
@@ -163,7 +166,7 @@ func (d *HybridDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 	if res <= 0 {
 		res = 48
 	}
-	rec := &avatar.Reconstructor{Model: d.Model, Resolution: res}
+	rec := &avatar.Reconstructor{Model: d.Model, Resolution: res, Workers: d.Workers}
 	peripheral := rec.Reconstruct(params)
 
 	merged := peripheral

@@ -141,6 +141,11 @@ type ImageDecoder struct {
 	ViewCamera *geom.Camera
 	// Seed makes training reproducible.
 	Seed int64
+	// Workers bounds NeRF training/rendering parallelism (0 =
+	// GOMAXPROCS, 1 = serial). Training trajectories match the serial
+	// path to floating-point reassociation; rendered views are
+	// byte-identical.
+	Workers int
 
 	header  *imageHeader
 	net     *nerf.Net
@@ -195,6 +200,7 @@ func (d *ImageDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 			}
 			d.net = net
 			d.trainer = nerf.NewTrainer(net, d.scene, d.Seed+2)
+			d.trainer.Workers = d.Workers
 		case f.Channel >= ChanImageView:
 			if d.header == nil {
 				return FrameData{}, fmt.Errorf("core: image view before header")
@@ -254,7 +260,7 @@ func (d *ImageDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 
 	out := FrameData{}
 	if d.ViewCamera != nil {
-		out.NovelView = d.net.RenderView(d.scene, *d.ViewCamera, width)
+		out.NovelView = d.net.RenderViewParallel(d.scene, *d.ViewCamera, width, d.Workers)
 	}
 	return out, nil
 }
@@ -267,7 +273,7 @@ func (d *ImageDecoder) RenderNovelView(cam geom.Camera, width int) (*render.Fram
 	if width == 0 {
 		width = d.net.Widths[len(d.net.Widths)-1]
 	}
-	return d.net.RenderView(d.scene, cam, width), nil
+	return d.net.RenderViewParallel(d.scene, cam, width, d.Workers), nil
 }
 
 // SetWidth switches the slimmable operating point (rate adaptation).

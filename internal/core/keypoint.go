@@ -39,6 +39,10 @@ type KeypointEncoder struct {
 	UseLifting bool
 
 	lastFit *body.Params
+	// chanScratch is the EncodedFrame.Channels backing array, reused
+	// across frames — senders consume the slice before the next Encode,
+	// so steady-state encoding allocates no per-frame channel slice.
+	chanScratch []ChannelPayload
 }
 
 // Mode implements Encoder.
@@ -90,7 +94,7 @@ func (e *KeypointEncoder) Encode(c capture.Capture) (EncodedFrame, error) {
 		payload = e.Codec.Encode(raw)
 		flags |= transport.FlagCompressed
 	}
-	out := EncodedFrame{}
+	out := EncodedFrame{Channels: e.chanScratch[:0]}
 	if e.SendTexture && len(c.Views) > 0 && c.Views[0].Colors != nil {
 		intr := c.Views[0].Camera.Intr
 		tex, err := texture.CompressBTC(c.Views[0].Colors, intr.Width, intr.Height)
@@ -110,6 +114,7 @@ func (e *KeypointEncoder) Encode(c capture.Capture) (EncodedFrame, error) {
 		Flags:   flags,
 		Payload: payload,
 	})
+	e.chanScratch = out.Channels
 	return out, nil
 }
 
@@ -134,6 +139,9 @@ type KeypointDecoder struct {
 	// geometry reconstruction entirely (parameters only), which is how
 	// bandwidth-only experiments avoid paying reconstruction cost.
 	Resolution int
+	// Workers bounds reconstruction parallelism (0 = GOMAXPROCS,
+	// 1 = serial); the mesh is identical at any setting.
+	Workers int
 	// Views enables texture decoding when the sender ships it.
 	lastTexture []pointcloud.Color
 	texW, texH  int
@@ -171,7 +179,7 @@ func (d *KeypointDecoder) Decode(channels []transport.Frame) (FrameData, error) 
 			}
 			out.Params = params
 			if d.Resolution > 0 && d.Model != nil {
-				rec := &avatar.Reconstructor{Model: d.Model, Resolution: d.Resolution}
+				rec := &avatar.Reconstructor{Model: d.Model, Resolution: d.Resolution, Workers: d.Workers}
 				out.Mesh = rec.Reconstruct(params)
 			}
 		default:

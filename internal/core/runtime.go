@@ -93,6 +93,10 @@ type Receiver struct {
 	// Estimator, when set, observes arriving bytes for rate adaptation.
 	Estimator *transport.BandwidthEstimator
 
+	// pending accumulates one media frame's channel payloads; its backing
+	// array is reused across frames (decoders consume the slice
+	// synchronously and never retain it), so steady-state receive does
+	// not allocate a fresh []Frame per frame.
 	pending []transport.Frame
 }
 
@@ -120,7 +124,7 @@ func (r *Receiver) NextFrame() (FrameData, error) {
 				continue
 			}
 			frames := r.pending
-			r.pending = nil
+			r.pending = r.pending[:0]
 			var stop func()
 			if r.Tracer != nil {
 				stop = r.Tracer.Start("decode")

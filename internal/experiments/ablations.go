@@ -159,7 +159,7 @@ func KeypointCount(env *Env, counts []int) []KeypointCountPoint {
 		extract := ms(time.Since(t0))
 		fitted.Expression = c.Truth.Expression
 
-		rec := &avatar.Reconstructor{Model: env.Model, Resolution: 64}
+		rec := &avatar.Reconstructor{Model: env.Model, Resolution: 64, Workers: env.Parallelism}
 		m := rec.Reconstruct(fitted)
 		out = append(out, KeypointCountPoint{
 			Keypoints: k,

@@ -16,6 +16,7 @@ import (
 	"semholo/internal/geom"
 	"semholo/internal/keypoint"
 	"semholo/internal/netsim"
+	"semholo/internal/par"
 	"semholo/internal/pointcloud"
 	"semholo/internal/render"
 	"semholo/internal/textsem"
@@ -36,6 +37,10 @@ type Env struct {
 	Probe geom.Camera
 	FPS   float64
 	Seed  int64
+	// Parallelism is the resolved worker count threaded into every
+	// compute kernel (capture rig, isosurface extraction, rasterizer,
+	// NeRF training). Always ≥ 1 after NewEnv.
+	Parallelism int
 }
 
 // EnvOptions configures NewEnv.
@@ -46,6 +51,10 @@ type EnvOptions struct {
 	Seed       int64   // default 1
 	// Motion defaults to Talking.
 	Motion body.Motion
+	// Parallelism bounds worker goroutines per kernel: 0 → GOMAXPROCS,
+	// 1 → serial. Results are worker-count invariant (see internal/par),
+	// so figures regenerate identically at any setting.
+	Parallelism int
 }
 
 // NewEnv builds the standard environment.
@@ -65,9 +74,11 @@ func NewEnv(opt EnvOptions) *Env {
 	if opt.Motion == nil {
 		opt.Motion = body.Talking(nil)
 	}
+	workers := par.Resolve(opt.Parallelism)
 	model := body.NewModel(nil, body.ModelOptions{Detail: 1})
 	rig := capture.NewRing(opt.Cameras, 2.5, 1.0, geom.V3(0, 1.0, 0), opt.Resolution, math.Pi/3, opt.Seed)
 	rig.Noise = capture.KinectLike()
+	rig.Workers = workers
 	return &Env{
 		Model:      model,
 		TableModel: body.NewModel(nil, body.ModelOptions{Detail: 2}),
@@ -78,9 +89,10 @@ func NewEnv(opt EnvOptions) *Env {
 			FPS:    opt.FPS,
 			Render: capture.SkinShader(),
 		},
-		Probe: rig.Cameras[0],
-		FPS:   opt.FPS,
-		Seed:  opt.Seed,
+		Probe:       rig.Cameras[0],
+		FPS:         opt.FPS,
+		Seed:        opt.Seed,
+		Parallelism: workers,
 	}
 }
 

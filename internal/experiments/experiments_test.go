@@ -119,6 +119,9 @@ func TestKeypointCountTradeoff(t *testing.T) {
 }
 
 func TestFineTuneBeatsScratch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NeRF cold-start + fine-tune soak")
+	}
 	res := FineTune(testEnv)
 	if res.FineTuneLoss >= res.ScratchLoss {
 		t.Errorf("fine-tune loss %.4f not better than scratch %.4f", res.FineTuneLoss, res.ScratchLoss)
@@ -129,6 +132,9 @@ func TestFineTuneBeatsScratch(t *testing.T) {
 }
 
 func TestSlimmableWidthsTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the slimmable NeRF at every width")
+	}
 	pts := Slimmable(testEnv, []int{8, 16})
 	if pts[0].Params >= pts[1].Params {
 		t.Error("param count not monotone")

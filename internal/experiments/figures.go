@@ -78,7 +78,7 @@ func Fig2(env *Env, resolutions []int) []Fig2Point {
 
 	out := make([]Fig2Point, 0, len(resolutions))
 	for _, res := range resolutions {
-		rec := &avatar.Reconstructor{Model: env.Model, Resolution: res}
+		rec := &avatar.Reconstructor{Model: env.Model, Resolution: res, Workers: env.Parallelism}
 		m := rec.Reconstruct(fitted)
 		samples := m.SamplePoints(8000)
 		rep := metrics.CompareClouds(samples, reference, 0.005)
@@ -155,7 +155,7 @@ func Fig3(env *Env, res int) Fig3Result {
 	kps := env.Model.Keypoints(testParams)
 	fitted := avatar.Fit(env.Model, kps, nil)
 	fitted.Expression = testParams.Expression
-	rec := &avatar.Reconstructor{Model: env.Model, Resolution: res}
+	rec := &avatar.Reconstructor{Model: env.Model, Resolution: res, Workers: env.Parallelism}
 	geomMesh := rec.Reconstruct(fitted)
 	geomMesh.ComputeNormals()
 
@@ -233,31 +233,46 @@ func clamp01(v float64) float64 {
 // Fig4Point is one resolution of the reconstruction-rate sweep.
 type Fig4Point struct {
 	Resolution int
-	// Seconds per frame and the resulting FPS (paper: <1 FPS for most
-	// resolutions even on an A100).
+	// Seconds per frame and the resulting FPS for single-threaded
+	// extraction (paper: <1 FPS for most resolutions even on an A100).
 	SecondsPerFrame float64
 	FPS             float64
 	// DenseSecondsPerFrame is the full-grid (no narrow band) cost; set
 	// only when measureDense is requested and the resolution is small
 	// enough to afford it.
 	DenseSecondsPerFrame float64
+	// Workers is the parallel worker count used for the Par* numbers;
+	// ParSecondsPerFrame/ParFPS are zero when Workers ≤ 1 (nothing to
+	// compare — the parallel path would just repeat the serial one).
+	Workers            int
+	ParSecondsPerFrame float64
+	ParFPS             float64
 }
 
 // Fig4 measures reconstruction rate versus output resolution — the
 // paper's Figure 4. measureDense additionally times the O(R³) full-grid
 // evaluation for resolutions ≤ denseLimit (the ablation showing why
-// narrow-band extraction is mandatory).
+// narrow-band extraction is mandatory). When env.Parallelism > 1 each
+// point also times the worker-pool extractor at that parallelism; the
+// mesh is worker-count invariant, so only the rate changes.
 func Fig4(env *Env, resolutions []int, measureDense bool, denseLimit int) []Fig4Point {
 	fitted := env.Seq.Motion.At(0.5)
 	out := make([]Fig4Point, 0, len(resolutions))
 	for _, res := range resolutions {
-		rec := &avatar.Reconstructor{Model: env.Model, Resolution: res}
+		rec := &avatar.Reconstructor{Model: env.Model, Resolution: res, Workers: 1}
 		start := time.Now()
 		rec.Reconstruct(fitted)
 		sec := time.Since(start).Seconds()
-		p := Fig4Point{Resolution: res, SecondsPerFrame: sec, FPS: 1 / sec}
+		p := Fig4Point{Resolution: res, SecondsPerFrame: sec, FPS: 1 / sec, Workers: env.Parallelism}
+		if env.Parallelism > 1 {
+			recP := &avatar.Reconstructor{Model: env.Model, Resolution: res, Workers: env.Parallelism}
+			start = time.Now()
+			recP.Reconstruct(fitted)
+			p.ParSecondsPerFrame = time.Since(start).Seconds()
+			p.ParFPS = 1 / p.ParSecondsPerFrame
+		}
 		if measureDense && res <= denseLimit {
-			recD := &avatar.Reconstructor{Model: env.Model, Resolution: res, Dense: true}
+			recD := &avatar.Reconstructor{Model: env.Model, Resolution: res, Dense: true, Workers: env.Parallelism}
 			start = time.Now()
 			recD.Reconstruct(fitted)
 			p.DenseSecondsPerFrame = time.Since(start).Seconds()

@@ -1,12 +1,19 @@
 package mesh
 
 import (
+	"sync"
+
 	"semholo/internal/geom"
+	"semholo/internal/par"
 )
 
 // ScalarField is a signed scalar function over 3D space. By SDF
 // convention, negative values are inside the surface and positive values
 // outside; the isosurface is the zero level set.
+//
+// Fields must be safe for concurrent calls: the parallel extractors
+// evaluate lattice points from multiple goroutines. Pure functions of
+// the input point (like the avatar capsule SDF) satisfy this trivially.
 type ScalarField func(p geom.Vec3) float64
 
 // GridSpec describes the sampling lattice for isosurface extraction.
@@ -37,187 +44,158 @@ func (g GridSpec) cellCounts() (nx, ny, nz int, cell float64) {
 	return dims(size.X), dims(size.Y), dims(size.Z), cell
 }
 
-// ExtractIsosurface polygonizes the zero level set of field over the grid
-// using marching tetrahedra. The result shares interpolated vertices along
-// lattice edges, so the output is watertight wherever the surface does not
-// leave the grid bounds. Cost is Θ(nx·ny·nz) field evaluations — the
-// O(Resolution³) scaling that dominates the paper's Figure 4.
-func ExtractIsosurface(field ScalarField, grid GridSpec) *Mesh {
-	nx, ny, nz, cell := grid.cellCounts()
-	if nx == 0 {
-		return &Mesh{}
-	}
-	// Sample the field at lattice points, one z-slab pair at a time to
-	// bound memory at O(nx·ny) regardless of resolution.
-	vx, vy := nx+1, ny+1
-	origin := grid.Bounds.Min
+// latticeEdge identifies the lattice edge an interpolated vertex lies
+// on, by the linear indices of its two lattice endpoints (lo < hi).
+// Edge identity is global across slabs, which is what makes the
+// parallel merge deterministic.
+type latticeEdge struct{ lo, hi int }
 
-	latticePoint := func(i, j, k int) geom.Vec3 {
-		return geom.Vec3{
-			X: origin.X + float64(i)*cell,
-			Y: origin.Y + float64(j)*cell,
-			Z: origin.Z + float64(k)*cell,
-		}
-	}
-	sampleSlab := func(k int, dst []float64) {
-		for j := 0; j < vy; j++ {
-			for i := 0; i < vx; i++ {
-				dst[j*vx+i] = field(latticePoint(i, j, k))
-			}
-		}
-	}
+// corner offsets of a unit cube, in the conventional order.
+var cubeOffsets = [8][3]int{
+	{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+	{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+}
 
-	slabA := make([]float64, vx*vy)
-	slabB := make([]float64, vx*vy)
-	sampleSlab(0, slabA)
+// Six tetrahedra sharing the body diagonal (corner 0 → corner 6).
+var cubeTets = [6][4]int{
+	{0, 5, 1, 6},
+	{0, 1, 2, 6},
+	{0, 2, 3, 6},
+	{0, 3, 7, 6},
+	{0, 7, 4, 6},
+	{0, 4, 5, 6},
+}
 
-	out := &Mesh{}
-	// Shared interpolated vertices, keyed by the lattice edge they lie on.
-	// Lattice vertices are identified by a linear index over (vx,vy,nz+1).
-	type latticeEdge struct{ lo, hi int }
-	shared := make(map[latticeEdge]int)
-	lidx := func(i, j, k int) int { return (k*vy+j)*vx + i }
+// slabMesh accumulates polygonization output for one contiguous range of
+// z-slabs: vertices (with the lattice edge each lies on, for cross-slab
+// dedup), faces over local vertex indices, and the slab-local edge→vertex
+// map. Serial extraction uses a single slabMesh covering the whole grid;
+// parallel extraction builds one per slab and merges them in slab order.
+type slabMesh struct {
+	verts  []geom.Vec3
+	keys   []latticeEdge
+	faces  []Face
+	shared map[latticeEdge]int
 
-	// corner offsets of a unit cube, in the conventional order
-	cubeOff := [8][3]int{
-		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
-		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+	origin geom.Vec3
+	cell   float64
+	vx, vy int
+}
+
+func newSlabMesh(origin geom.Vec3, cell float64, vx, vy int) *slabMesh {
+	return &slabMesh{
+		shared: make(map[latticeEdge]int),
+		origin: origin,
+		cell:   cell,
+		vx:     vx,
+		vy:     vy,
 	}
-	// Six tetrahedra sharing the body diagonal (corner 0 → corner 6).
-	tets := [6][4]int{
-		{0, 5, 1, 6},
-		{0, 1, 2, 6},
-		{0, 2, 3, 6},
-		{0, 3, 7, 6},
-		{0, 7, 4, 6},
-		{0, 4, 5, 6},
-	}
+}
 
-	edgeVertex := func(la, lb int, pa, pb geom.Vec3, va, vb float64) int {
-		key := latticeEdge{la, lb}
-		if la > lb {
-			key = latticeEdge{lb, la}
-		}
-		if idx, ok := shared[key]; ok {
-			return idx
-		}
-		t := 0.5
-		if d := va - vb; d != 0 {
-			t = va / d
-		}
-		t = geom.Clamp(t, 0, 1)
-		idx := len(out.Vertices)
-		out.Vertices = append(out.Vertices, pa.Lerp(pb, t))
-		shared[key] = idx
+func (s *slabMesh) latticePoint(i, j, k int) geom.Vec3 {
+	return geom.Vec3{
+		X: s.origin.X + float64(i)*s.cell,
+		Y: s.origin.Y + float64(j)*s.cell,
+		Z: s.origin.Z + float64(k)*s.cell,
+	}
+}
+
+// lidx linearizes a lattice vertex over (vx, vy, ·); k is global, so
+// indices agree across slabs.
+func (s *slabMesh) lidx(i, j, k int) int { return (k*s.vy+j)*s.vx + i }
+
+// edgeVertex returns the local index of the interpolated vertex on the
+// lattice edge (la, lb), creating it on first use.
+func (s *slabMesh) edgeVertex(la, lb int, pa, pb geom.Vec3, va, vb float64) int {
+	key := latticeEdge{la, lb}
+	if la > lb {
+		key = latticeEdge{lb, la}
+	}
+	if idx, ok := s.shared[key]; ok {
 		return idx
 	}
-
-	// emit adds a triangle oriented so its normal points from inside
-	// (negative field) toward outside (positive field).
-	emit := func(a, b, c int, outward geom.Vec3) {
-		pa, pb, pc := out.Vertices[a], out.Vertices[b], out.Vertices[c]
-		n := pb.Sub(pa).Cross(pc.Sub(pa))
-		if n.Dot(outward) < 0 {
-			b, c = c, b
-		}
-		if a == b || b == c || a == c {
-			return
-		}
-		out.Faces = append(out.Faces, Face{a, b, c})
+	t := 0.5
+	if d := va - vb; d != 0 {
+		t = va / d
 	}
+	t = geom.Clamp(t, 0, 1)
+	idx := len(s.verts)
+	s.verts = append(s.verts, pa.Lerp(pb, t))
+	s.keys = append(s.keys, key)
+	s.shared[key] = idx
+	return idx
+}
 
-	cur, next := slabA, slabB
-	for k := 0; k < nz; k++ {
-		sampleSlab(k+1, next)
-		slabVal := func(i, j, dk int) float64 {
-			if dk == 0 {
-				return cur[j*vx+i]
-			}
-			return next[j*vx+i]
-		}
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				// Gather the cube's corner values; skip cubes the
-				// surface cannot cross.
-				var vals [8]float64
-				anyNeg, anyPos := false, false
-				for c, off := range cubeOff {
-					v := slabVal(i+off[0], j+off[1], off[2])
-					vals[c] = v
-					if v < 0 {
-						anyNeg = true
-					} else {
-						anyPos = true
-					}
-				}
-				if !anyNeg || !anyPos {
-					continue
-				}
-				for _, tet := range tets {
-					polygonizeTet(out, tet, vals, i, j, k, cubeOff, latticePoint, lidx, edgeVertex, emit)
-				}
-			}
-		}
-		cur, next = next, cur
+// emit adds a triangle oriented so its normal points from inside
+// (negative field) toward outside (positive field).
+func (s *slabMesh) emit(a, b, c int, outward geom.Vec3) {
+	pa, pb, pc := s.verts[a], s.verts[b], s.verts[c]
+	n := pb.Sub(pa).Cross(pc.Sub(pa))
+	if n.Dot(outward) < 0 {
+		b, c = c, b
 	}
-	return out
+	if a == b || b == c || a == c {
+		return
+	}
+	s.faces = append(s.faces, Face{a, b, c})
+}
+
+// polygonizeCube runs marching tetrahedra on the cube at (i, j, k) whose
+// corner values (cubeOffsets order) are vals.
+func (s *slabMesh) polygonizeCube(vals [8]float64, i, j, k int) {
+	for _, tet := range cubeTets {
+		s.polygonizeTet(tet, vals, i, j, k)
+	}
 }
 
 // polygonizeTet emits 0–2 triangles for one tetrahedron of a cube.
-func polygonizeTet(
-	out *Mesh,
-	tet [4]int,
-	vals [8]float64,
-	ci, cj, ck int,
-	cubeOff [8][3]int,
-	latticePoint func(i, j, k int) geom.Vec3,
-	lidx func(i, j, k int) int,
-	edgeVertex func(la, lb int, pa, pb geom.Vec3, va, vb float64) int,
-	emit func(a, b, c int, outward geom.Vec3),
-) {
-	var inside, outside []int
+func (s *slabMesh) polygonizeTet(tet [4]int, vals [8]float64, ci, cj, ck int) {
+	var inside, outside [4]int
+	ni, no := 0, 0
 	for _, c := range tet {
 		if vals[c] < 0 {
-			inside = append(inside, c)
+			inside[ni] = c
+			ni++
 		} else {
-			outside = append(outside, c)
+			outside[no] = c
+			no++
 		}
 	}
-	if len(inside) == 0 || len(inside) == 4 {
+	if ni == 0 || ni == 4 {
 		return
 	}
 	corner := func(c int) (int, geom.Vec3) {
-		off := cubeOff[c]
+		off := cubeOffsets[c]
 		i, j, k := ci+off[0], cj+off[1], ck+off[2]
-		return lidx(i, j, k), latticePoint(i, j, k)
+		return s.lidx(i, j, k), s.latticePoint(i, j, k)
 	}
 	cut := func(a, b int) int {
 		la, pa := corner(a)
 		lb, pb := corner(b)
-		return edgeVertex(la, lb, pa, pb, vals[a], vals[b])
+		return s.edgeVertex(la, lb, pa, pb, vals[a], vals[b])
 	}
 	centroidOf := func(ids ...int) geom.Vec3 {
-		var s geom.Vec3
+		var sum geom.Vec3
 		for _, id := range ids {
-			s = s.Add(out.Vertices[id])
+			sum = sum.Add(s.verts[id])
 		}
-		return s.Scale(1 / float64(len(ids)))
+		return sum.Scale(1 / float64(len(ids)))
 	}
-	switch len(inside) {
+	switch ni {
 	case 1:
 		in := inside[0]
 		a := cut(in, outside[0])
 		b := cut(in, outside[1])
 		c := cut(in, outside[2])
 		_, pin := corner(in)
-		emit(a, b, c, centroidOf(a, b, c).Sub(pin))
+		s.emit(a, b, c, centroidOf(a, b, c).Sub(pin))
 	case 3:
 		outv := outside[0]
 		a := cut(inside[0], outv)
 		b := cut(inside[1], outv)
 		c := cut(inside[2], outv)
 		_, pout := corner(outv)
-		emit(a, b, c, pout.Sub(centroidOf(a, b, c)))
+		s.emit(a, b, c, pout.Sub(centroidOf(a, b, c)))
 	case 2:
 		i0, i1 := inside[0], inside[1]
 		o0, o1 := outside[0], outside[1]
@@ -228,7 +206,149 @@ func polygonizeTet(
 		_, p0 := corner(i0)
 		_, p1 := corner(i1)
 		insideMid := p0.Lerp(p1, 0.5)
-		emit(a, b, c, centroidOf(a, b, c).Sub(insideMid))
-		emit(a, c, d, centroidOf(a, c, d).Sub(insideMid))
+		s.emit(a, b, c, centroidOf(a, b, c).Sub(insideMid))
+		s.emit(a, c, d, centroidOf(a, c, d).Sub(insideMid))
 	}
+}
+
+// mesh converts the accumulated slab into a Mesh, reusing the slab's
+// backing arrays (valid for a single slab covering the whole grid).
+func (s *slabMesh) mesh() *Mesh {
+	return &Mesh{Vertices: s.verts, Faces: s.faces}
+}
+
+// slabBufPool recycles the per-slab sample planes ([]float64 of vx·vy)
+// across extractions, so steady-state reconstruction loops stop
+// allocating lattice scratch.
+var slabBufPool sync.Pool
+
+func getSlabBuf(n int) []float64 {
+	if v := slabBufPool.Get(); v != nil {
+		if buf := v.([]float64); cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putSlabBuf(buf []float64) { slabBufPool.Put(buf) }
+
+// ExtractIsosurface polygonizes the zero level set of field over the grid
+// using marching tetrahedra. The result shares interpolated vertices along
+// lattice edges, so the output is watertight wherever the surface does not
+// leave the grid bounds. Cost is Θ(nx·ny·nz) field evaluations — the
+// O(Resolution³) scaling that dominates the paper's Figure 4.
+//
+// This is the strict serial path: ExtractIsosurfaceParallel(field, grid, 1).
+func ExtractIsosurface(field ScalarField, grid GridSpec) *Mesh {
+	return ExtractIsosurfaceParallel(field, grid, 1)
+}
+
+// ExtractIsosurfaceParallel is ExtractIsosurface with the cell grid split
+// into contiguous z-slab ranges extracted concurrently by up to workers
+// goroutines (workers <= 0 means GOMAXPROCS; 1 is the serial fallback).
+// Each slab polygonizes with its own vertex-dedup map; slabs are then
+// merged in z order, deduplicating boundary vertices by their global
+// lattice-edge key. Because cube visit order within a slab matches the
+// serial scan and the merge walks slabs in ascending z, the output is
+// byte-identical to the serial path for every worker count.
+func ExtractIsosurfaceParallel(field ScalarField, grid GridSpec, workers int) *Mesh {
+	nx, ny, nz, cell := grid.cellCounts()
+	if nx == 0 {
+		return &Mesh{}
+	}
+	vx, vy := nx+1, ny+1
+	origin := grid.Bounds.Min
+
+	ranges := par.Split(workers, nz)
+	slabs := make([]*slabMesh, len(ranges))
+	par.For(len(ranges), len(ranges), func(c int) {
+		slabs[c] = extractSlabRange(field, origin, cell, nx, ny, vx, vy, ranges[c].Lo, ranges[c].Hi)
+	})
+	if len(slabs) == 1 {
+		return slabs[0].mesh()
+	}
+	return mergeSlabs(slabs)
+}
+
+// extractSlabRange polygonizes cubes with k in [k0, k1).
+func extractSlabRange(field ScalarField, origin geom.Vec3, cell float64, nx, ny, vx, vy, k0, k1 int) *slabMesh {
+	s := newSlabMesh(origin, cell, vx, vy)
+	cur := getSlabBuf(vx * vy)
+	next := getSlabBuf(vx * vy)
+	defer putSlabBuf(cur)
+	defer putSlabBuf(next)
+
+	sampleSlab := func(k int, dst []float64) {
+		for j := 0; j < vy; j++ {
+			for i := 0; i < vx; i++ {
+				dst[j*vx+i] = field(s.latticePoint(i, j, k))
+			}
+		}
+	}
+	sampleSlab(k0, cur)
+	for k := k0; k < k1; k++ {
+		sampleSlab(k+1, next)
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				// Gather the cube's corner values; skip cubes the
+				// surface cannot cross.
+				var vals [8]float64
+				anyNeg, anyPos := false, false
+				for c, off := range cubeOffsets {
+					var v float64
+					if off[2] == 0 {
+						v = cur[(j+off[1])*vx+i+off[0]]
+					} else {
+						v = next[(j+off[1])*vx+i+off[0]]
+					}
+					vals[c] = v
+					if v < 0 {
+						anyNeg = true
+					} else {
+						anyPos = true
+					}
+				}
+				if !anyNeg || !anyPos {
+					continue
+				}
+				s.polygonizeCube(vals, i, j, k)
+			}
+		}
+		cur, next = next, cur
+	}
+	return s
+}
+
+// mergeSlabs concatenates slab meshes in z order into one Mesh,
+// deduplicating vertices shared across slab boundaries by lattice-edge
+// key. Vertex and face order match a serial full-grid extraction.
+func mergeSlabs(slabs []*slabMesh) *Mesh {
+	totalV, totalF := 0, 0
+	for _, s := range slabs {
+		totalV += len(s.verts)
+		totalF += len(s.faces)
+	}
+	out := &Mesh{
+		Vertices: make([]geom.Vec3, 0, totalV),
+		Faces:    make([]Face, 0, totalF),
+	}
+	global := make(map[latticeEdge]int, totalV)
+	for _, s := range slabs {
+		remap := make([]int, len(s.verts))
+		for li, key := range s.keys {
+			if gi, ok := global[key]; ok {
+				remap[li] = gi
+				continue
+			}
+			gi := len(out.Vertices)
+			out.Vertices = append(out.Vertices, s.verts[li])
+			global[key] = gi
+			remap[li] = gi
+		}
+		for _, f := range s.faces {
+			out.Faces = append(out.Faces, Face{remap[f.A], remap[f.B], remap[f.C]})
+		}
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package mesh
 
 import (
 	"semholo/internal/geom"
+	"semholo/internal/par"
 )
 
 // ExtractIsosurfaceSparse polygonizes the zero level set like
@@ -15,80 +16,39 @@ import (
 // (within one cell of the surface); components with no seed are silently
 // missed. The avatar reconstructor seeds from its bone capsules, covering
 // every component by construction.
+//
+// This is the strict serial path:
+// ExtractIsosurfaceSparseParallel(field, grid, seeds, 1).
 func ExtractIsosurfaceSparse(field ScalarField, grid GridSpec, seeds []geom.Vec3) *Mesh {
+	return ExtractIsosurfaceSparseParallel(field, grid, seeds, 1)
+}
+
+// ExtractIsosurfaceSparseParallel is the narrow-band extractor with
+// concurrent field evaluation. The flood fill proceeds in wavefront
+// rounds: each round gathers the not-yet-sampled lattice vertices of
+// every frontier cube, evaluates them in parallel (the dominant cost —
+// one smooth-union over all bone capsules per point), then polygonizes
+// the frontier serially in queue order and enqueues the next ring.
+//
+// Traversal order, and therefore the output mesh, is a pure function of
+// the field and seeds: worker count only changes how the batched field
+// evaluations are scheduled, so Workers=N output is byte-identical to
+// Workers=1.
+func ExtractIsosurfaceSparseParallel(field ScalarField, grid GridSpec, seeds []geom.Vec3, workers int) *Mesh {
 	nx, ny, nz, cell := grid.cellCounts()
 	if nx == 0 || len(seeds) == 0 {
 		return &Mesh{}
 	}
 	vx, vy := nx+1, ny+1
 	origin := grid.Bounds.Min
+	s := newSlabMesh(origin, cell, vx, vy)
 
-	latticePoint := func(i, j, k int) geom.Vec3 {
-		return geom.Vec3{
-			X: origin.X + float64(i)*cell,
-			Y: origin.Y + float64(j)*cell,
-			Z: origin.Z + float64(k)*cell,
-		}
-	}
-	lidx := func(i, j, k int) int { return (k*vy+j)*vx + i }
-
-	// Cached field samples per lattice vertex.
+	// Cached field samples per lattice vertex (linear index).
 	values := make(map[int]float64)
-	sample := func(i, j, k int) float64 {
-		id := lidx(i, j, k)
-		if v, ok := values[id]; ok {
-			return v
-		}
-		v := field(latticePoint(i, j, k))
-		values[id] = v
-		return v
-	}
-
-	cubeOff := [8][3]int{
-		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
-		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
-	}
-	tets := [6][4]int{
-		{0, 5, 1, 6}, {0, 1, 2, 6}, {0, 2, 3, 6},
-		{0, 3, 7, 6}, {0, 7, 4, 6}, {0, 4, 5, 6},
-	}
-
-	out := &Mesh{}
-	type latticeEdge struct{ lo, hi int }
-	shared := make(map[latticeEdge]int)
-	edgeVertex := func(la, lb int, pa, pb geom.Vec3, va, vb float64) int {
-		key := latticeEdge{la, lb}
-		if la > lb {
-			key = latticeEdge{lb, la}
-		}
-		if idx, ok := shared[key]; ok {
-			return idx
-		}
-		t := 0.5
-		if d := va - vb; d != 0 {
-			t = va / d
-		}
-		t = geom.Clamp(t, 0, 1)
-		idx := len(out.Vertices)
-		out.Vertices = append(out.Vertices, pa.Lerp(pb, t))
-		shared[key] = idx
-		return idx
-	}
-	emit := func(a, b, c int, outward geom.Vec3) {
-		pa, pb, pc := out.Vertices[a], out.Vertices[b], out.Vertices[c]
-		n := pb.Sub(pa).Cross(pc.Sub(pa))
-		if n.Dot(outward) < 0 {
-			b, c = c, b
-		}
-		if a == b || b == c || a == c {
-			return
-		}
-		out.Faces = append(out.Faces, Face{a, b, c})
-	}
 
 	type cellID struct{ i, j, k int }
 	visited := make(map[cellID]bool)
-	var queue []cellID
+	var front, next []cellID
 
 	enqueue := func(c cellID) {
 		if c.i < 0 || c.j < 0 || c.k < 0 || c.i >= nx || c.j >= ny || c.k >= nz {
@@ -98,14 +58,14 @@ func ExtractIsosurfaceSparse(field ScalarField, grid GridSpec, seeds []geom.Vec3
 			return
 		}
 		visited[c] = true
-		queue = append(queue, c)
+		next = append(next, c)
 	}
 	cellOf := func(p geom.Vec3) cellID {
 		d := p.Sub(origin)
 		return cellID{int(d.X / cell), int(d.Y / cell), int(d.Z / cell)}
 	}
-	for _, s := range seeds {
-		c := cellOf(s)
+	for _, sd := range seeds {
+		c := cellOf(sd)
 		// Seed a small neighborhood to tolerate seeds slightly off the
 		// surface.
 		for dk := -1; dk <= 1; dk++ {
@@ -117,34 +77,71 @@ func ExtractIsosurfaceSparse(field ScalarField, grid GridSpec, seeds []geom.Vec3
 		}
 	}
 
-	for len(queue) > 0 {
-		c := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+	// Per-round batch of lattice vertices to sample. needIDs collects
+	// linear indices in first-need order; needVals receives the parallel
+	// evaluations, one slot per id, so scheduling never reorders results.
+	var needIDs []int
+	var needVals []float64
+	pointOf := func(id int) geom.Vec3 {
+		i := id % vx
+		j := (id / vx) % vy
+		k := id / (vx * vy)
+		return s.latticePoint(i, j, k)
+	}
 
-		var vals [8]float64
-		anyNeg, anyPos := false, false
-		for ci, off := range cubeOff {
-			v := sample(c.i+off[0], c.j+off[1], c.k+off[2])
-			vals[ci] = v
-			if v < 0 {
-				anyNeg = true
-			} else {
-				anyPos = true
+	for len(next) > 0 {
+		front, next = next, front[:0]
+
+		// Phase 1: sample every missing lattice corner of this wavefront
+		// in parallel.
+		needIDs = needIDs[:0]
+		for _, c := range front {
+			for _, off := range cubeOffsets {
+				id := s.lidx(c.i+off[0], c.j+off[1], c.k+off[2])
+				if _, ok := values[id]; ok {
+					continue
+				}
+				values[id] = 0 // placeholder; filled below
+				needIDs = append(needIDs, id)
 			}
 		}
-		if !anyNeg || !anyPos {
-			continue
+		if cap(needVals) < len(needIDs) {
+			needVals = make([]float64, len(needIDs))
 		}
-		for _, tet := range tets {
-			polygonizeTet(out, tet, vals, c.i, c.j, c.k, cubeOff, latticePoint, lidx, edgeVertex, emit)
+		needVals = needVals[:len(needIDs)]
+		par.For(workers, len(needIDs), func(i int) {
+			needVals[i] = field(pointOf(needIDs[i]))
+		})
+		for i, id := range needIDs {
+			values[id] = needVals[i]
 		}
-		// The surface continues into face neighbors.
-		enqueue(cellID{c.i + 1, c.j, c.k})
-		enqueue(cellID{c.i - 1, c.j, c.k})
-		enqueue(cellID{c.i, c.j + 1, c.k})
-		enqueue(cellID{c.i, c.j - 1, c.k})
-		enqueue(cellID{c.i, c.j, c.k + 1})
-		enqueue(cellID{c.i, c.j, c.k - 1})
+
+		// Phase 2: polygonize the wavefront serially in queue order and
+		// grow the next ring across sign-crossing faces.
+		for _, c := range front {
+			var vals [8]float64
+			anyNeg, anyPos := false, false
+			for ci, off := range cubeOffsets {
+				v := values[s.lidx(c.i+off[0], c.j+off[1], c.k+off[2])]
+				vals[ci] = v
+				if v < 0 {
+					anyNeg = true
+				} else {
+					anyPos = true
+				}
+			}
+			if !anyNeg || !anyPos {
+				continue
+			}
+			s.polygonizeCube(vals, c.i, c.j, c.k)
+			// The surface continues into face neighbors.
+			enqueue(cellID{c.i + 1, c.j, c.k})
+			enqueue(cellID{c.i - 1, c.j, c.k})
+			enqueue(cellID{c.i, c.j + 1, c.k})
+			enqueue(cellID{c.i, c.j - 1, c.k})
+			enqueue(cellID{c.i, c.j, c.k + 1})
+			enqueue(cellID{c.i, c.j, c.k - 1})
+		}
 	}
-	return out
+	return s.mesh()
 }

@@ -199,6 +199,21 @@ func (n *Net) newGrads() *grads {
 	}
 }
 
+// drain adds src into g and zeroes src, recycling per-ray gradient
+// buffers between optimizer steps without reallocation. Merging per-ray
+// grads in a fixed order keeps parallel training deterministic.
+func (g *grads) drain(src *grads) {
+	dsts := [][]float64{g.w1, g.b1, g.w2, g.b2, g.wo, g.bo}
+	srcs := [][]float64{src.w1, src.b1, src.w2, src.b2, src.wo, src.bo}
+	for a, dst := range dsts {
+		s := srcs[a]
+		for i := range dst {
+			dst[i] += s[i]
+			s[i] = 0
+		}
+	}
+}
+
 // backward accumulates gradients for one sample given dL/drgb and
 // dL/dsigma, using the width-w sub-network.
 func (n *Net) backward(st *sampleState, w int, dRGB [3]float64, dSigma float64, g *grads) {

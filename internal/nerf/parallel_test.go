@@ -1,0 +1,131 @@
+package nerf
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"semholo/internal/geom"
+	"semholo/internal/render"
+)
+
+func parallelTestScene() Scene {
+	return Scene{
+		Bounds:  geom.NewAABB(geom.V3(-1, -1, -1), geom.V3(1, 1, 1)),
+		Near:    0.5,
+		Far:     3.5,
+		Samples: 8,
+	}
+}
+
+func parallelTestRays(t *testing.T) []TrainRay {
+	t.Helper()
+	cam := geom.NewLookAtCamera(
+		geom.IntrinsicsFromFOV(24, 24, math.Pi/3),
+		geom.V3(0, 0, 2), geom.V3(0, 0, 0), geom.V3(0, 1, 0))
+	f := render.NewFrame(cam)
+	// Paint a deterministic gradient target so losses have structure.
+	for y := 0; y < 24; y++ {
+		for x := 0; x < 24; x++ {
+			f.Color[y*24+x].R = float64(x) / 24
+			f.Color[y*24+x].G = float64(y) / 24
+			f.Color[y*24+x].B = 0.3
+		}
+	}
+	return RaysFromFrame(f, 2)
+}
+
+// TestLossParallelExact: per-ray errors are summed in ray order, so Loss
+// must be byte-identical for every worker count.
+func TestLossParallelExact(t *testing.T) {
+	rays := parallelTestRays(t)
+	sc := parallelTestScene()
+	net, err := NewNet([]int{4, 8}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewTrainer(net, sc, 11)
+	serial.Workers = 1
+	want := serial.Loss(rays, 8)
+	if want == 0 {
+		t.Fatal("zero loss on untrained net — degenerate test")
+	}
+	for _, workers := range []int{2, 3, 6} {
+		tr := NewTrainer(net, sc, 11)
+		tr.Workers = workers
+		if got := tr.Loss(rays, 8); got != want {
+			t.Fatalf("workers=%d loss %v != serial %v", workers, got, want)
+		}
+	}
+}
+
+// TestStepsParallelMatchesSerial: training with parallel ray batches
+// must reproduce the serial trajectory (same rng draws, ray-order grad
+// merge) to floating-point reassociation tolerance.
+func TestStepsParallelMatchesSerial(t *testing.T) {
+	rays := parallelTestRays(t)
+	sc := parallelTestScene()
+
+	train := func(workers int) (float64, float64) {
+		net, err := NewNet([]int{4, 8}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTrainer(net, sc, 11)
+		tr.Workers = workers
+		last := tr.Steps(rays, 10, 8)
+		return last, tr.Loss(rays, 8)
+	}
+	wantLast, wantLoss := train(1)
+	for _, workers := range []int{2, 4} {
+		gotLast, gotLoss := train(workers)
+		if math.Abs(gotLast-wantLast) > 1e-12*(1+math.Abs(wantLast)) {
+			t.Errorf("workers=%d final step loss %v vs serial %v", workers, gotLast, wantLast)
+		}
+		if math.Abs(gotLoss-wantLoss) > 1e-9*(1+math.Abs(wantLoss)) {
+			t.Errorf("workers=%d post-training loss %v vs serial %v", workers, gotLoss, wantLoss)
+		}
+	}
+}
+
+// TestStepsSlimmableParallelMatchesSerial repeats the check for the
+// joint-width sandwich rule.
+func TestStepsSlimmableParallelMatchesSerial(t *testing.T) {
+	rays := parallelTestRays(t)
+	sc := parallelTestScene()
+	train := func(workers int) float64 {
+		net, err := NewNet([]int{4, 8}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTrainer(net, sc, 13)
+		tr.Workers = workers
+		return tr.StepsSlimmable(rays, 6)
+	}
+	want := train(1)
+	for _, workers := range []int{2, 5} {
+		if got := train(workers); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Errorf("workers=%d slimmable loss %v vs serial %v", workers, got, want)
+		}
+	}
+}
+
+// TestRenderViewParallelDeterministic: every pixel is independent, so
+// rendered frames must be byte-identical across worker counts.
+func TestRenderViewParallelDeterministic(t *testing.T) {
+	sc := parallelTestScene()
+	net, err := NewNet([]int{4, 8}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := geom.NewLookAtCamera(
+		geom.IntrinsicsFromFOV(20, 20, math.Pi/3),
+		geom.V3(0, 0.3, 2), geom.V3(0, 0, 0), geom.V3(0, 1, 0))
+	serial := net.RenderViewParallel(sc, cam, 8, 1)
+	for _, workers := range []int{2, 4} {
+		got := net.RenderViewParallel(sc, cam, 8, workers)
+		if !reflect.DeepEqual(serial.Color, got.Color) {
+			t.Fatalf("workers=%d view differs from serial", workers)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"semholo/internal/geom"
+	"semholo/internal/par"
 	"semholo/internal/pointcloud"
 	"semholo/internal/render"
 )
@@ -64,9 +65,21 @@ type Trainer struct {
 	LR float64
 	// Batch is rays per optimizer step (default 32).
 	Batch int
+	// Workers bounds ray-batch parallelism: 0 uses GOMAXPROCS, 1 forces
+	// the original serial accumulation. Batch order (and the rng
+	// consumption that draws it) is identical in both paths; the parallel
+	// path accumulates per-ray gradients and merges them in ray order, so
+	// results match the serial path to floating-point reassociation
+	// (≲1e-12 on the per-step loss).
+	Workers int
 
 	rng     *rand.Rand
 	scratch []sampleState
+
+	// Parallel-path state, lazily sized and reused across steps.
+	workerScratch [][]sampleState
+	rayGrads      []*grads
+	batch         []TrainRay
 }
 
 // NewTrainer builds a trainer.
@@ -81,6 +94,71 @@ func NewTrainer(n *Net, sc Scene, seed int64) *Trainer {
 	}
 }
 
+// ensureWorkerScratch sizes the per-worker sample scratch BEFORE a
+// parallel region starts — growing it lazily inside the region is the
+// data race the detector flags (concurrent append to workerScratch).
+func (t *Trainer) ensureWorkerScratch(workers int) {
+	for len(t.workerScratch) < workers-1 {
+		t.workerScratch = append(t.workerScratch, make([]sampleState, t.Scene.Samples))
+	}
+}
+
+// scratchFor returns worker's sample scratch; worker 0 reuses the serial
+// scratch buffer. Call ensureWorkerScratch first.
+func (t *Trainer) scratchFor(worker int) []sampleState {
+	if worker == 0 {
+		return t.scratch
+	}
+	return t.workerScratch[worker-1]
+}
+
+// drawBatch samples one training batch; rng consumption is independent
+// of the worker count so batches are reproducible across parallelism.
+func (t *Trainer) drawBatch(rays []TrainRay) []TrainRay {
+	if cap(t.batch) < t.Batch {
+		t.batch = make([]TrainRay, t.Batch)
+	}
+	t.batch = t.batch[:t.Batch]
+	for b := range t.batch {
+		t.batch[b] = rays[t.rng.Intn(len(rays))]
+	}
+	return t.batch
+}
+
+// batchGrad accumulates one batch's gradients at one width into g and
+// returns the summed loss. The parallel path computes per-ray gradients
+// concurrently (per-worker scratch, one grads buffer per ray) and merges
+// them serially in ray order — the deterministic tree reduction that
+// keeps results independent of scheduling.
+func (t *Trainer) batchGrad(batch []TrainRay, width int, g *grads, workers int) float64 {
+	if workers <= 1 {
+		var loss float64
+		for _, r := range batch {
+			loss += t.Net.rayGrad(t.Scene, r.Ray, r.Target, width, t.scratch, g)
+		}
+		return loss
+	}
+	t.ensureWorkerScratch(workers)
+	for len(t.rayGrads) < len(batch) {
+		t.rayGrads = append(t.rayGrads, t.Net.newGrads())
+	}
+	losses := par.GetFloats(len(batch))
+	defer par.PutFloats(losses)
+	par.ForChunks(workers, len(batch), func(worker, lo, hi int) {
+		scratch := t.scratchFor(worker)
+		for i := lo; i < hi; i++ {
+			r := batch[i]
+			losses[i] = t.Net.rayGrad(t.Scene, r.Ray, r.Target, width, scratch, t.rayGrads[i])
+		}
+	})
+	var loss float64
+	for i := range batch {
+		g.drain(t.rayGrads[i])
+		loss += losses[i]
+	}
+	return loss
+}
+
 // Steps runs the given number of optimizer steps at one width, sampling
 // batches randomly from rays. Returns the mean per-ray loss of the final
 // step.
@@ -88,14 +166,12 @@ func (t *Trainer) Steps(rays []TrainRay, steps, width int) float64 {
 	if len(rays) == 0 {
 		return 0
 	}
+	workers := par.Resolve(t.Workers)
 	var last float64
 	for s := 0; s < steps; s++ {
+		batch := t.drawBatch(rays)
 		g := t.Net.newGrads()
-		var loss float64
-		for b := 0; b < t.Batch; b++ {
-			r := rays[t.rng.Intn(len(rays))]
-			loss += t.Net.rayGrad(t.Scene, r.Ray, r.Target, width, t.scratch, g)
-		}
+		loss := t.batchGrad(batch, width, g, workers)
 		scaleGrads(g, 1/float64(t.Batch))
 		t.Net.step(g, t.LR)
 		last = loss / float64(t.Batch)
@@ -112,20 +188,16 @@ func (t *Trainer) StepsSlimmable(rays []TrainRay, steps int) float64 {
 		return 0
 	}
 	widths := t.Net.Widths
+	workers := par.Resolve(t.Workers)
 	var last float64
 	for s := 0; s < steps; s++ {
+		batch := t.drawBatch(rays)
 		g := t.Net.newGrads()
 		var loss float64
-		batch := make([]TrainRay, t.Batch)
-		for b := range batch {
-			batch[b] = rays[t.rng.Intn(len(rays))]
-		}
 		for _, w := range widths {
-			for _, r := range batch {
-				l := t.Net.rayGrad(t.Scene, r.Ray, r.Target, w, t.scratch, g)
-				if w == widths[len(widths)-1] {
-					loss += l
-				}
+			l := t.batchGrad(batch, w, g, workers)
+			if w == widths[len(widths)-1] {
+				loss = l
 			}
 		}
 		scaleGrads(g, 1/float64(t.Batch*len(widths)))
@@ -136,17 +208,30 @@ func (t *Trainer) StepsSlimmable(rays []TrainRay, steps int) float64 {
 }
 
 // Loss evaluates the mean per-ray loss without updating parameters.
+// Per-ray errors are computed in parallel but summed in ray order, so
+// the result is byte-identical for every worker count.
 func (t *Trainer) Loss(rays []TrainRay, width int) float64 {
 	if len(rays) == 0 {
 		return 0
 	}
+	workers := par.Resolve(t.Workers)
+	t.ensureWorkerScratch(workers)
+	errs := par.GetFloats(len(rays))
+	defer par.PutFloats(errs)
+	par.ForChunks(workers, len(rays), func(worker, lo, hi int) {
+		scratch := t.scratchFor(worker)
+		for i := lo; i < hi; i++ {
+			r := rays[i]
+			c := t.Net.RenderRay(t.Scene, r.Ray, width, scratch)
+			dr := c.R - r.Target.R
+			dg := c.G - r.Target.G
+			db := c.B - r.Target.B
+			errs[i] = dr*dr + dg*dg + db*db
+		}
+	})
 	var sum float64
-	for _, r := range rays {
-		c := t.Net.RenderRay(t.Scene, r.Ray, width, t.scratch)
-		dr := c.R - r.Target.R
-		dg := c.G - r.Target.G
-		db := c.B - r.Target.B
-		sum += dr*dr + dg*dg + db*db
+	for _, e := range errs {
+		sum += e
 	}
 	return sum / float64(len(rays))
 }
@@ -161,16 +246,25 @@ func scaleGrads(g *grads, s float64) {
 
 // RenderView renders a full frame from the given camera through the
 // width-w sub-network — the receiver-side "neural volume rendering"
-// stage of Figure 1.
+// stage of Figure 1. Rows render concurrently (GOMAXPROCS workers);
+// every pixel is independent, so output is worker-count invariant.
 func (n *Net) RenderView(sc Scene, cam geom.Camera, w int) *render.Frame {
+	return n.RenderViewParallel(sc, cam, w, 0)
+}
+
+// RenderViewParallel is RenderView with an explicit worker bound
+// (0 = GOMAXPROCS, 1 = serial).
+func (n *Net) RenderViewParallel(sc Scene, cam geom.Camera, w, workers int) *render.Frame {
 	f := render.NewFrame(cam)
-	scratch := make([]sampleState, sc.Samples)
 	width, height := cam.Intr.Width, cam.Intr.Height
-	for y := 0; y < height; y++ {
-		for x := 0; x < width; x++ {
-			px := geom.V2(float64(x)+0.5, float64(y)+0.5)
-			f.Color[y*width+x] = n.RenderRay(sc, cam.WorldRay(px), w, scratch)
+	par.ForChunks(workers, height, func(_, rowLo, rowHi int) {
+		scratch := make([]sampleState, sc.Samples)
+		for y := rowLo; y < rowHi; y++ {
+			for x := 0; x < width; x++ {
+				px := geom.V2(float64(x)+0.5, float64(y)+0.5)
+				f.Color[y*width+x] = n.RenderRay(sc, cam.WorldRay(px), w, scratch)
+			}
 		}
-	}
+	})
 	return f
 }

@@ -1,0 +1,126 @@
+// Package par provides the shared worker-pool primitives behind the
+// repository's hot compute kernels: isosurface extraction, software
+// rasterization, NeRF ray batches, and the multi-camera capture rig.
+//
+// The package is deliberately tiny. Kernels express data parallelism as
+// index-space loops (For / ForChunks over [0,n)); par bounds concurrency
+// by GOMAXPROCS and falls back to a plain inline loop when the resolved
+// worker count is 1, so the serial path stays byte-identical to the
+// pre-parallel code and every kernel can be regression-tested by
+// comparing Workers=1 against Workers=N output.
+//
+// Determinism contract: par never reorders results — callers write to
+// disjoint output slots (or per-worker accumulators merged in a fixed
+// order), so the observable output of a well-formed kernel does not
+// depend on the worker count or on goroutine scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve maps a Workers knob to a concrete worker count: values <= 0
+// mean "use all available parallelism" (GOMAXPROCS); positive values are
+// used as given. Call sites that need strict serial execution pass 1.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Range is one contiguous chunk [Lo, Hi) of an index space.
+type Range struct {
+	Lo, Hi int
+}
+
+// Split partitions [0, n) into at most workers contiguous, near-equal
+// ranges (never more than n). The partition is a pure function of
+// (workers, n), so chunk-indexed scratch and ordered merges are
+// deterministic.
+func Split(workers, n int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]Range, 0, workers)
+	chunk := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// ForChunks splits [0, n) into at most workers contiguous chunks and
+// runs fn(chunk, lo, hi) for each, concurrently when more than one chunk
+// results. chunk indexes the deterministic Split partition, so callers
+// can attach per-worker scratch or per-chunk result slots to it. With
+// workers <= 1 (or n <= 1) fn runs inline on the calling goroutine.
+func ForChunks(workers, n int, fn func(chunk, lo, hi int)) {
+	ranges := Split(workers, n)
+	if len(ranges) == 0 {
+		return
+	}
+	if len(ranges) == 1 {
+		fn(0, ranges[0].Lo, ranges[0].Hi)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for c := range ranges {
+		go func(c int) {
+			defer wg.Done()
+			fn(c, ranges[c].Lo, ranges[c].Hi)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, n), distributing contiguous index
+// chunks over at most workers goroutines. The serial fallback
+// (workers <= 1) is an inline loop. fn must only write to state owned by
+// index i (e.g. out[i]) for the result to be worker-count independent.
+func For(workers, n int, fn func(i int)) {
+	ForChunks(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// floatPool recycles float64 scratch buffers across kernel invocations
+// (slab samples, per-ray losses, gradient accumulators) so steady-state
+// frame loops stop allocating.
+var floatPool = sync.Pool{New: func() any { return []float64(nil) }}
+
+// GetFloats returns a zeroed []float64 of length n from the pool.
+func GetFloats(n int) []float64 {
+	buf := floatPool.Get().([]float64)
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// PutFloats returns a buffer obtained from GetFloats to the pool.
+func PutFloats(buf []float64) {
+	if buf == nil {
+		return
+	}
+	floatPool.Put(buf[:0])
+}

@@ -1,0 +1,108 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Errorf("Resolve(5) = %d", got)
+	}
+}
+
+func TestSplitCoversWithoutOverlap(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 16, 17, 100} {
+			ranges := Split(workers, n)
+			if n == 0 {
+				if ranges != nil {
+					t.Fatalf("Split(%d, 0) = %v", workers, ranges)
+				}
+				continue
+			}
+			if len(ranges) > workers || len(ranges) > n {
+				t.Fatalf("Split(%d, %d) produced %d chunks", workers, n, len(ranges))
+			}
+			lo := 0
+			for _, r := range ranges {
+				if r.Lo != lo || r.Hi <= r.Lo {
+					t.Fatalf("Split(%d, %d) bad range %v (expected lo %d)", workers, n, r, lo)
+				}
+				lo = r.Hi
+			}
+			if lo != n {
+				t.Fatalf("Split(%d, %d) covers [0,%d)", workers, n, lo)
+			}
+			// Near-equal: sizes differ by at most one.
+			min, max := n, 0
+			for _, r := range ranges {
+				if s := r.Hi - r.Lo; s < min {
+					min = s
+				} else if s > max {
+					max = s
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("Split(%d, %d) unbalanced: min %d max %d", workers, n, min, max)
+			}
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const n = 1000
+		var counts [n]int32
+		For(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunksMatchesSplit(t *testing.T) {
+	const n = 37
+	for _, workers := range []int{1, 4} {
+		seen := make([]Range, 0)
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		ForChunks(workers, n, func(chunk, lo, hi int) {
+			<-mu
+			seen = append(seen, Range{lo, hi})
+			mu <- struct{}{}
+		})
+		total := 0
+		for _, r := range seen {
+			total += r.Hi - r.Lo
+		}
+		if total != n {
+			t.Fatalf("workers=%d covered %d of %d indices", workers, total, n)
+		}
+	}
+}
+
+func TestFloatPoolZeroes(t *testing.T) {
+	buf := GetFloats(16)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	PutFloats(buf)
+	buf2 := GetFloats(8)
+	for i, v := range buf2 {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	PutFloats(buf2)
+	PutFloats(nil) // must not panic
+}

@@ -1,0 +1,72 @@
+package render
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+	"semholo/internal/pointcloud"
+)
+
+func testCamera(res int) geom.Camera {
+	return geom.NewLookAtCamera(
+		geom.IntrinsicsFromFOV(res, res, math.Pi/3),
+		geom.V3(0, 0.4, 2.2), geom.V3(0, 0, 0), geom.V3(0, 1, 0))
+}
+
+func testSphereMesh() *mesh.Mesh {
+	grid := mesh.GridSpec{
+		Bounds:     geom.NewAABB(geom.V3(-1.2, -1.2, -1.2), geom.V3(1.2, 1.2, 1.2)),
+		Resolution: 24,
+	}
+	m := mesh.ExtractIsosurface(func(p geom.Vec3) float64 { return p.Len() - 0.9 }, grid)
+	m.ComputeNormals()
+	return m
+}
+
+// TestRenderMeshParallelDeterministic asserts the banded rasterizer
+// produces a byte-identical frame for every worker count.
+func TestRenderMeshParallelDeterministic(t *testing.T) {
+	m := testSphereMesh()
+	cam := testCamera(96)
+	shader := func(fi int, bary [3]float64, pos, normal geom.Vec3) pointcloud.Color {
+		return pointcloud.Color{R: 0.5 + 0.5*pos.X, G: 0.5 + 0.5*pos.Y, B: 0.5 + 0.5*pos.Z}
+	}
+	serial := NewFrame(cam)
+	RenderMesh(serial, m, MeshOptions{Shader: shader, Workers: 1})
+	nonEmpty := 0
+	for _, d := range serial.Depth {
+		if d != 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("serial render hit no pixels")
+	}
+	for _, workers := range []int{2, 3, 5, 8} {
+		f := NewFrame(cam)
+		RenderMesh(f, m, MeshOptions{Shader: shader, Workers: workers})
+		if !reflect.DeepEqual(serial.Color, f.Color) || !reflect.DeepEqual(serial.Depth, f.Depth) {
+			t.Fatalf("workers=%d frame differs from serial", workers)
+		}
+	}
+}
+
+// TestRenderCloudParallelDeterministic asserts banded point splatting is
+// worker-count independent.
+func TestRenderCloudParallelDeterministic(t *testing.T) {
+	m := testSphereMesh()
+	cloud := &pointcloud.Cloud{Points: m.Vertices}
+	cam := testCamera(80)
+	serial := NewFrame(cam)
+	RenderCloudParallel(serial, cloud, 3, 1)
+	for _, workers := range []int{2, 4, 7} {
+		f := NewFrame(cam)
+		RenderCloudParallel(f, cloud, 3, workers)
+		if !reflect.DeepEqual(serial.Color, f.Color) || !reflect.DeepEqual(serial.Depth, f.Depth) {
+			t.Fatalf("workers=%d cloud frame differs from serial", workers)
+		}
+	}
+}

@@ -101,6 +101,10 @@ type WorldOptions struct {
 	Noise *capture.NoiseModel
 	// Seed makes the world reproducible.
 	Seed int64
+	// Parallelism bounds capture/render worker goroutines (0 =
+	// GOMAXPROCS, 1 = serial). Captured frames are byte-identical for
+	// any setting.
+	Parallelism int
 }
 
 // World is a simulated telepresence site: a participant (parametric
@@ -135,6 +139,7 @@ func NewWorld(opt WorldOptions) *World {
 	model := body.NewModel(opt.Shape, body.ModelOptions{Detail: opt.Detail})
 	rig := capture.NewRing(opt.Cameras, 2.5, 1.0, geom.V3(0, 1.0, 0), opt.Resolution, math.Pi/3, opt.Seed)
 	rig.Noise = noise
+	rig.Workers = opt.Parallelism
 	return &World{
 		Model: model,
 		Sequence: &capture.Sequence{
@@ -159,6 +164,9 @@ type KeypointOptions struct {
 	SendTexture bool
 	// Detector overrides the simulated detector characteristics.
 	Detector *keypoint.DetectorOptions
+	// Parallelism bounds receiver reconstruction workers (0 =
+	// GOMAXPROCS, 1 = serial); the mesh is identical at any setting.
+	Parallelism int
 }
 
 // NewKeypointPipeline builds the paper's proof-of-concept pipeline (§4):
@@ -183,7 +191,7 @@ func NewKeypointPipeline(w *World, opt KeypointOptions) (Encoder, *core.Keypoint
 		Codec:       compress.LZR(),
 		SendTexture: opt.SendTexture,
 	}
-	dec := &core.KeypointDecoder{Model: w.Model, Codec: compress.LZR(), Resolution: res}
+	dec := &core.KeypointDecoder{Model: w.Model, Codec: compress.LZR(), Resolution: res, Workers: opt.Parallelism}
 	return enc, dec
 }
 
@@ -233,6 +241,9 @@ type ImageOptions struct {
 	ViewCamera *geom.Camera
 	// Seed makes receiver training reproducible.
 	Seed int64
+	// Parallelism bounds receiver NeRF training/rendering workers (0 =
+	// GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // NewImagePipeline builds the image-semantics pipeline (§3.2): BTC-
@@ -255,6 +266,7 @@ func NewImagePipeline(w *World, opt ImageOptions) (Encoder, *core.ImageDecoder) 
 		FineTuneSteps:  opt.FineTuneSteps,
 		ViewCamera:     opt.ViewCamera,
 		Seed:           opt.Seed,
+		Workers:        opt.Parallelism,
 	}
 	return enc, dec
 }
@@ -269,6 +281,9 @@ type HybridOptions struct {
 	// PeripheralResolution is the keypoint-reconstruction resolution
 	// outside the fovea (default 48).
 	PeripheralResolution int
+	// Parallelism bounds receiver reconstruction workers (0 =
+	// GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // NewHybridPipeline builds the §3.1 foveated scheme: compressed mesh for
@@ -298,8 +313,23 @@ func NewHybridPipeline(w *World, opt HybridOptions) (*core.HybridEncoder, *core.
 		Codec:                compress.LZR(),
 		PeripheralResolution: opt.PeripheralResolution,
 		Selector:             sel,
+		Workers:              opt.Parallelism,
 	}
 	return enc, dec
+}
+
+// AppendWireFrames appends one semantic WireFrame per encoded channel to
+// dst and returns the extended slice — the amortized-zero-allocation
+// bridge between Encoder output and Decoder input for callers that
+// bypass a Session (benchmarks, relays). Pass dst[:0] to reuse a
+// previous frame's backing array.
+func AppendWireFrames(dst []WireFrame, ef EncodedFrame) []WireFrame {
+	for _, ch := range ef.Channels {
+		dst = append(dst, WireFrame{
+			Type: FrameTypeSemantic, Channel: ch.Channel, Flags: ch.Flags, Payload: ch.Payload,
+		})
+	}
+	return dst
 }
 
 // Connect dials a SemHolo session over an established connection.
