@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-parallel
+.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache
 
 ## verify: the full pre-commit gate — formatting, vet, build, tests.
 verify: fmt-check vet build test
@@ -31,3 +31,20 @@ bench:
 ## bench-parallel: the worker-pool kernels, serial vs GOMAXPROCS.
 bench-parallel:
 	$(GO) test -run xxx -bench 'Parallel' -benchmem .
+
+## ci: the full gate — vet, build, race-enabled tests, and the
+## temporal-coherence determinism suite (warm/cached output must stay
+## byte-identical to cold reconstruction).
+ci: vet build
+	$(GO) test -race -short ./...
+	$(MAKE) cache-determinism
+
+## cache-determinism: the warm-vs-cold byte-identity regression tests.
+cache-determinism:
+	$(GO) test -run 'Temporal|Anchored|WarmStart|MeshCache|CacheAndWarm' ./internal/mesh ./internal/avatar
+
+## bench-cache: the temporal-coherence benchmarks (cold vs warm vs LRU
+## hit), plus the JSON record via the bench CLI.
+bench-cache:
+	$(GO) test -run xxx -bench 'ReconstructParallel|ReconstructWarm|ReconstructCacheHit' -benchmem .
+	$(GO) run ./cmd/semholo-bench -exp cache -cacheout BENCH_cache.json

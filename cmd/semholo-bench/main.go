@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,16 +23,18 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
-		resArg = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
-		frames = flag.Int("frames", 5, "frames per measurement")
-		full   = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
-		seed   = flag.Int64("seed", 1, "experiment seed")
-		par    = flag.Int("par", 0, "worker goroutines per kernel (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
+		resArg   = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
+		frames   = flag.Int("frames", 5, "frames per measurement")
+		full     = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		par      = flag.Int("par", 0, "worker goroutines per kernel (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		cache    = flag.Bool("cache", false, "enable warm-start reconstruction and the pose-keyed mesh LRU in pipeline decoders (output identical, faster)")
+		cacheOut = flag.String("cacheout", "BENCH_cache.json", "output path for the cache experiment's JSON record")
 	)
 	flag.Parse()
 
-	env := experiments.NewEnv(experiments.EnvOptions{Seed: *seed, Parallelism: *par})
+	env := experiments.NewEnv(experiments.EnvOptions{Seed: *seed, Parallelism: *par, Cache: *cache})
 	fmt.Printf("parallelism: %d workers\n", env.Parallelism)
 
 	resolutions := parseResolutions(*resArg, *full)
@@ -46,6 +49,7 @@ func main() {
 		"fig2":      func() { printFig2(env, resolutions) },
 		"fig3":      func() { printFig3(env) },
 		"fig4":      func() { printFig4(env, resolutions) },
+		"cache":     func() { printCacheBench(env, *frames, *cacheOut) },
 		"foveated":  func() { printFoveated(env) },
 		"keypoints": func() { printKeypointCount(env) },
 		"finetune":  func() { printFineTune(env) },
@@ -57,7 +61,7 @@ func main() {
 	if *exp == "all" {
 		// Fixed, readable order.
 		for _, name := range []string{
-			"table1", "table2", "fig2", "fig3", "fig4",
+			"table1", "table2", "fig2", "fig3", "fig4", "cache",
 			"foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
 		} {
 			run(name, experimentsByName[name])
@@ -137,8 +141,10 @@ func printFig3(env *experiments.Env) {
 
 func printFig4(env *experiments.Env, resolutions []int) {
 	fmt.Println("Reconstruction rate vs resolution (paper Figure 4: <3 FPS at 128 even on an A100).")
-	fmt.Printf("%10s %14s %10s %14s %10s %10s %18s\n",
-		"resolution", "sec/frame", "FPS", "par sec/frame", "par FPS", "speedup", "dense sec/frame")
+	fmt.Println("cold = from-scratch extraction; warm = temporal-coherence warm start (identical mesh).")
+	fmt.Printf("%10s %14s %10s %14s %10s %10s %14s %10s %10s %18s\n",
+		"resolution", "cold s/frame", "FPS", "par s/frame", "par FPS", "speedup",
+		"warm s/frame", "warm FPS", "hit rate", "dense sec/frame")
 	for _, p := range experiments.Fig4(env, resolutions, true, 128) {
 		dense, parSec, parFPS, speedup := "-", "-", "-", "-"
 		if p.DenseSecondsPerFrame > 0 {
@@ -149,8 +155,30 @@ func printFig4(env *experiments.Env, resolutions []int) {
 			parFPS = fmt.Sprintf("%.2f", p.ParFPS)
 			speedup = fmt.Sprintf("%.2fx@%d", p.SecondsPerFrame/p.ParSecondsPerFrame, p.Workers)
 		}
-		fmt.Printf("%10d %14.3f %10.2f %14s %10s %10s %18s\n",
-			p.Resolution, p.SecondsPerFrame, p.FPS, parSec, parFPS, speedup, dense)
+		fmt.Printf("%10d %14.3f %10.2f %14s %10s %10s %14.3f %10.2f %10.2f %18s\n",
+			p.Resolution, p.SecondsPerFrame, p.FPS, parSec, parFPS, speedup,
+			p.WarmSecondsPerFrame, p.WarmFPS, p.CacheHitRate, dense)
+	}
+}
+
+func printCacheBench(env *experiments.Env, frames int, outPath string) {
+	fmt.Println("Temporal-coherence reconstruction cache (warm start + pose-keyed mesh LRU).")
+	r := experiments.CacheBench(env, 64, frames*6)
+	fmt.Printf("resolution %d, %d workers, %d-frame window\n", r.Resolution, r.Workers, r.Frames)
+	fmt.Printf("cold: %.4f s/frame  (%.0f allocs/frame)\n", r.ColdSecPerFrame, r.ColdAllocsPerFrame)
+	fmt.Printf("warm: %.4f s/frame  (%.0f allocs/frame)  %.2fx speedup, %.0f%% samples reused\n",
+		r.WarmSecPerFrame, r.WarmAllocsPerFrame, r.WarmSpeedup, 100*r.SampleReuseRate)
+	fmt.Printf("LRU replay: %.6f s/frame at %.0f%% hit rate\n", r.CacheHitSecPerFrame, 100*r.CacheHitRate)
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
 	}
 }
 

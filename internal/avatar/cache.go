@@ -1,0 +1,157 @@
+package avatar
+
+// Pose-keyed mesh LRU: repeated (or, with quantization, near-identical)
+// poses skip reconstruction entirely. The paper's receiver runs the
+// reconstruction hot path per frame and per receiver; idle avatars,
+// looped motions, and multi-receiver cloud sessions all replay poses the
+// cache has already paid for.
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"semholo/internal/body"
+	"semholo/internal/mesh"
+	"semholo/internal/metrics"
+)
+
+// DefaultMeshCacheCapacity bounds a MeshCache when Capacity is unset.
+const DefaultMeshCacheCapacity = 32
+
+// MeshCache is a bounded LRU of reconstructed meshes keyed by quantized
+// body parameters plus the reconstruction configuration (model,
+// resolution, smoothing, dense flag) — one cache can safely back several
+// reconstructors, including differently configured ones. All methods are
+// safe for concurrent use; a nil *MeshCache is inert.
+//
+// Hits return a copy of the cached mesh, so callers may mutate the
+// result freely (the hybrid decoder compacts and merges meshes in
+// place).
+type MeshCache struct {
+	// Capacity is the maximum number of cached meshes; <= 0 means
+	// DefaultMeshCacheCapacity.
+	Capacity int
+	// Quant is the pose quantization step: rotation-vector components
+	// (radians), translation (meters), and shape/expression coefficients
+	// are snapped to multiples of Quant before keying, so poses within
+	// half a step of each other share an entry (and the hit returns the
+	// mesh of the bucket's first-seen pose). Quant <= 0 keys on exact
+	// bitwise parameters — the default, which never substitutes a
+	// different pose's mesh.
+	Quant float64
+	// Counters, when non-nil, receives hit/miss/eviction telemetry.
+	Counters *metrics.ReconCounters
+
+	mu    sync.Mutex
+	order *list.List // front = most recently used; element value is *cacheEntry
+	byKey map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	params body.Params
+	model  *body.Model
+	res    int
+	dense  bool
+	smooth float64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	mesh *mesh.Mesh
+}
+
+// Len returns the number of cached meshes.
+func (c *MeshCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.order == nil {
+		return 0
+	}
+	return c.order.Len()
+}
+
+func (c *MeshCache) capacity() int {
+	if c.Capacity > 0 {
+		return c.Capacity
+	}
+	return DefaultMeshCacheCapacity
+}
+
+func quantize(v, q float64) float64 {
+	return math.Round(v/q) * q
+}
+
+// keyFor canonicalizes the parameters (snapping each component to the
+// quantization lattice) and binds the reconstruction configuration.
+func (c *MeshCache) keyFor(p *body.Params, r *Reconstructor) cacheKey {
+	key := cacheKey{
+		params: *p,
+		model:  r.Model,
+		res:    r.Resolution,
+		dense:  r.Dense,
+		smooth: r.smoothK(),
+	}
+	if q := c.Quant; q > 0 {
+		for j := range key.params.Pose {
+			key.params.Pose[j].X = quantize(key.params.Pose[j].X, q)
+			key.params.Pose[j].Y = quantize(key.params.Pose[j].Y, q)
+			key.params.Pose[j].Z = quantize(key.params.Pose[j].Z, q)
+		}
+		key.params.Translation.X = quantize(key.params.Translation.X, q)
+		key.params.Translation.Y = quantize(key.params.Translation.Y, q)
+		key.params.Translation.Z = quantize(key.params.Translation.Z, q)
+		for i := range key.params.Shape {
+			key.params.Shape[i] = quantize(key.params.Shape[i], q)
+		}
+		for i := range key.params.Expression {
+			key.params.Expression[i] = quantize(key.params.Expression[i], q)
+		}
+	}
+	return key
+}
+
+// lookup returns a copy of the cached mesh for p under r's
+// configuration, if present.
+func (c *MeshCache) lookup(p *body.Params, r *Reconstructor) (*mesh.Mesh, bool) {
+	key := c.keyFor(p, r)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		m := el.Value.(*cacheEntry).mesh.Clone()
+		c.Counters.AddMeshHit()
+		return m, true
+	}
+	c.Counters.AddMeshMiss()
+	return nil, false
+}
+
+// store caches a copy of m for p under r's configuration, evicting the
+// least recently used entries beyond capacity.
+func (c *MeshCache) store(p *body.Params, r *Reconstructor, m *mesh.Mesh) {
+	key := c.keyFor(p, r)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.order == nil {
+		c.order = list.New()
+		c.byKey = make(map[cacheKey]*list.Element)
+	}
+	if el, ok := c.byKey[key]; ok {
+		// A concurrent reconstruction of the same pose won the race;
+		// keep the existing entry (the meshes are identical).
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, mesh: m.Clone()})
+	c.byKey[key] = el
+	for c.order.Len() > c.capacity() {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.Counters.AddMeshEviction()
+	}
+}

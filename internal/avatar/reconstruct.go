@@ -6,6 +6,7 @@ import (
 	"semholo/internal/body"
 	"semholo/internal/geom"
 	"semholo/internal/mesh"
+	"semholo/internal/metrics"
 )
 
 // Reconstructor turns body parameters into a surface mesh by evaluating
@@ -14,6 +15,17 @@ import (
 // zero level set. Resolution is the number of cells along the longest
 // body axis — the direct analogue of X-Avatar's output-resolution knob
 // (128/256/512/1024 in §4.1).
+//
+// The grid is anchored to a world lattice whose spacing derives from the
+// rest-pose body (not the per-frame posed bounds), so the same world
+// point samples at bitwise-identical coordinates in every frame — the
+// property the temporal-coherence cache (WarmStart, Cache) builds on.
+//
+// A Reconstructor carries per-frame cache state when WarmStart is set
+// and must then not be called from multiple goroutines concurrently
+// (extraction itself still parallelizes internally per Workers).
+// Geometry-affecting knobs (Resolution, SmoothK, Dense) are re-checked
+// each frame; changing one invalidates the warm state automatically.
 type Reconstructor struct {
 	Model *body.Model
 	// Resolution of the voxel grid along the longest axis.
@@ -24,15 +36,43 @@ type Reconstructor struct {
 	// Dense forces full-grid evaluation (O(R³) field samples) instead of
 	// the narrow-band sparse extraction (O(R²)); used by the ablation
 	// bench to show why narrow-band evaluation is mandatory at high R.
+	// The dense path always runs cold (no warm start, no sample reuse).
 	Dense bool
 	// Workers bounds extraction parallelism: 0 uses GOMAXPROCS, 1 forces
 	// the serial path. Output is byte-identical for every worker count
 	// (the field is pure, and the extractors merge deterministically).
 	Workers int
+
+	// WarmStart enables the temporal-coherence warm path: the previous
+	// frame's surface band seeds the next frame's wavefront, and lattice
+	// samples are reused wherever no nearby bone moved (an exact,
+	// bitwise-sound test — the output stays byte-identical to a cold
+	// reconstruction at every worker count).
+	WarmStart bool
+	// Cache, when non-nil, short-circuits Reconstruct for repeated
+	// (optionally quantized) poses with a bounded LRU of meshes.
+	Cache *MeshCache
+	// Counters, when non-nil, receives warm/cold frame counts and
+	// per-sample reuse telemetry (the mesh LRU reports through the
+	// cache's own Counters field).
+	Counters *metrics.ReconCounters
+
+	// Cross-frame state (WarmStart).
+	cell        float64 // cached rest-pose lattice spacing
+	state       *mesh.SparseState
+	prevBones   boneGeometry
+	bgScratch   boneGeometry
+	havePrev    bool
+	movedBuf    []int
+	movedBoxBuf []geom.AABB
+	seedBuf     []geom.Vec3
+	lastRes     int
+	lastK       float64
 }
 
 // smoothMin blends two distances with blending radius k (polynomial
-// smooth minimum; exact min when k→0).
+// smooth minimum; exact min when k→0). When the operands are at least k
+// apart the blend is exact: smoothMin(a, b, k) == min(a, b).
 func smoothMin(a, b, k float64) float64 {
 	if k <= 0 {
 		return math.Min(a, b)
@@ -47,10 +87,11 @@ type boneGeometry struct {
 	radius []float64
 }
 
-func (r *Reconstructor) posedBones(p *body.Params) boneGeometry {
+// posedBonesInto rebuilds the capsule set for p into bg's backing arrays.
+func (r *Reconstructor) posedBonesInto(bg boneGeometry, p *body.Params) boneGeometry {
 	g := r.Model.JointGlobals(p)
 	pos := body.JointPositions(&g)
-	var bg boneGeometry
+	bg.a, bg.b, bg.radius = bg.a[:0], bg.b[:0], bg.radius[:0]
 	for j := 1; j < body.NumJoints; j++ {
 		parent := body.Joint(j).Parent()
 		bg.a = append(bg.a, pos[parent])
@@ -67,6 +108,10 @@ func (r *Reconstructor) posedBones(p *body.Params) boneGeometry {
 	return bg
 }
 
+func (r *Reconstructor) posedBones(p *body.Params) boneGeometry {
+	return r.posedBonesInto(boneGeometry{}, p)
+}
+
 func segDist(p, a, b geom.Vec3) float64 {
 	ab := b.Sub(a)
 	l2 := ab.LenSq()
@@ -77,75 +122,297 @@ func segDist(p, a, b geom.Vec3) float64 {
 	return p.Dist(a.Add(ab.Scale(t)))
 }
 
+// maxBones bounds the stack-allocated per-sample distance scratch; the
+// skeleton has body.NumJoints capsules (56 bones + 1 head).
+const maxBones = 64
+
+// frameField is the canonical per-frame SDF: the smooth union of the
+// posed bone capsules, folded over the "relevant set" — the bones whose
+// capsule distance is within SmoothK of the exact minimum — in bone
+// order. Bones outside that set cannot perturb the polynomial smooth
+// minimum (smoothMin(a, b, k) == a exactly when b ≥ a+k), so the fold's
+// value is a function of the relevant distances alone. That locality is
+// what makes cross-frame sample reuse sound: see Reusable.
+//
+// Eval returns the field value and the exact minimum capsule distance m1
+// as the auxiliary datum the extractor caches per lattice sample.
+type frameField struct {
+	cur boneGeometry
+	k   float64
+
+	// Reuse inputs (warm frames only).
+	reuse      bool
+	prev       boneGeometry
+	moved      []int       // bone indices whose endpoints/radius changed
+	movedBoxes []geom.AABB // per moved entry: that capsule's bounds, both frames
+	movedBox   geom.AABB   // union of movedBoxes
+}
+
+func (f *frameField) Eval(q geom.Vec3) (float64, float64) {
+	var buf [maxBones]float64
+	n := len(f.cur.a)
+	ds := buf[:]
+	if n > maxBones {
+		ds = make([]float64, n)
+	}
+	m1 := math.Inf(1)
+	for i := 0; i < n; i++ {
+		di := segDist(q, f.cur.a[i], f.cur.b[i]) - f.cur.radius[i]
+		ds[i] = di
+		if di < m1 {
+			m1 = di
+		}
+	}
+	// Start from a large finite distance: +Inf would make the smooth-min
+	// blend produce Inf·0 = NaN.
+	v := 1e9
+	for i := 0; i < n; i++ {
+		if ds[i] < m1+f.k {
+			v = smoothMin(v, ds[i], f.k)
+		}
+	}
+	return v, m1
+}
+
+// Reusable reports whether the previous frame's sample (val, aux=m1) at
+// lattice point q is bitwise-valid this frame. It is exact:
+//
+//   - Every moved bone's capsule distance at q — under the OLD pose — is
+//     ≥ m1+k, so the previous minimum was attained by a bone that did
+//     not move, and m1 equals the minimum over the static bones (whose
+//     distances are unchanged bitwise: same endpoints, same lattice
+//     point thanks to grid anchoring).
+//   - Every moved bone's distance under the NEW pose is also ≥ m1+k, so
+//     this frame's minimum is still m1 and moved bones sit outside the
+//     relevant set in both frames.
+//
+// The relevant set and its distances are then identical, the fold visits
+// the same bones in the same order, and Eval(q) reproduces (val, aux)
+// bit for bit. If any test fails we simply re-evaluate — correctness
+// never depends on the reuse rate.
+func (f *frameField) Reusable(q geom.Vec3, val, aux float64) bool {
+	if !f.reuse {
+		return false
+	}
+	if len(f.moved) == 0 {
+		return true
+	}
+	t := aux + f.k
+	tt := t * t
+	// Cheap conservative pre-tests: a moved capsule (both frames) is
+	// contained in its movedBoxes entry, so a point at least t outside a
+	// box is at least t from that capsule — the exact segment distances
+	// only run for the few moved bones whose box is nearby. (The box
+	// shortcut requires t > 0: at t ≤ 0 a box-distance of zero proves
+	// nothing about a point deep inside the capsule.)
+	if t > 0 && f.movedBox.DistSq(q) >= tt {
+		return true
+	}
+	for mi, i := range f.moved {
+		if t > 0 && f.movedBoxes[mi].DistSq(q) >= tt {
+			continue
+		}
+		if segDist(q, f.prev.a[i], f.prev.b[i])-f.prev.radius[i] < t {
+			return false
+		}
+		if segDist(q, f.cur.a[i], f.cur.b[i])-f.cur.radius[i] < t {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Reconstructor) smoothK() float64 {
+	if r.SmoothK == 0 {
+		return 0.015
+	}
+	return r.SmoothK
+}
+
 // Field returns the implicit SDF for the given params. The field is the
 // smooth union of all bone capsules; negative inside.
 func (r *Reconstructor) Field(p *body.Params) mesh.ScalarField {
-	bg := r.posedBones(p)
-	k := r.SmoothK
-	if k == 0 {
-		k = 0.015
-	}
+	f := &frameField{cur: r.posedBones(p), k: r.smoothK()}
 	return func(q geom.Vec3) float64 {
-		// Start from a large finite distance: +Inf would make the
-		// smooth-min blend produce Inf·0 = NaN.
-		d := 1e9
-		for i := range bg.a {
-			di := segDist(q, bg.a[i], bg.b[i]) - bg.radius[i]
-			d = smoothMin(d, di, k)
-		}
-		return d
+		v, _ := f.Eval(q)
+		return v
 	}
 }
 
-// grid returns the sampling lattice covering the posed body.
-func (r *Reconstructor) grid(p *body.Params) mesh.GridSpec {
-	bg := r.posedBones(p)
+// cellSize returns the lattice spacing: the rest-pose body's longest
+// bounding-box axis (with the same 0.2 m margin the per-frame grid uses)
+// divided by Resolution. Deriving it from the rest pose instead of the
+// posed bounds keeps the lattice identical across frames, so the
+// temporal cache can match samples by global lattice coordinate.
+func (r *Reconstructor) cellSize() float64 {
+	if r.cell == 0 {
+		rest := r.posedBones(&body.Params{})
+		b := capsuleBounds(rest)
+		r.cell = b.Expand(0.2).Size().MaxComponent() / float64(r.Resolution)
+	}
+	return r.cell
+}
+
+func capsuleBounds(bg boneGeometry) geom.AABB {
 	b := geom.EmptyAABB()
 	for i := range bg.a {
 		b = b.Extend(bg.a[i]).Extend(bg.b[i])
 	}
-	return mesh.GridSpec{Bounds: b.Expand(0.2), Resolution: r.Resolution}
+	return b
 }
 
-// seeds returns points on (or marched to) the SDF surface, one cluster
-// per bone, guaranteeing the sparse extractor reaches every surface
-// component.
-func (r *Reconstructor) seeds(p *body.Params, field mesh.ScalarField, cell float64) []geom.Vec3 {
-	bg := r.posedBones(p)
-	var out []geom.Vec3
-	dirs := []geom.Vec3{
-		{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {Z: 1}, {Z: -1},
+// gridFor returns the sampling lattice covering the posed body.
+func (r *Reconstructor) gridFor(bg boneGeometry) mesh.GridSpec {
+	return mesh.GridSpec{
+		Bounds:     capsuleBounds(bg).Expand(0.2),
+		Resolution: r.Resolution,
+		Cell:       r.cellSize(),
 	}
-	if cell <= 0 {
-		cell = 0.01
+}
+
+// diffBones appends to moved the indices of bones whose posed geometry
+// changed since prev (bitwise comparison — any rounding difference
+// counts as movement), and returns the largest endpoint displacement.
+func diffBones(prev, cur *boneGeometry, moved []int) ([]int, float64) {
+	maxDelta := 0.0
+	if len(prev.a) != len(cur.a) {
+		for i := range cur.a {
+			moved = append(moved, i)
+		}
+		return moved, math.Inf(1)
 	}
+	for i := range cur.a {
+		if prev.a[i] == cur.a[i] && prev.b[i] == cur.b[i] && prev.radius[i] == cur.radius[i] {
+			continue
+		}
+		moved = append(moved, i)
+		if d := prev.a[i].Dist(cur.a[i]); d > maxDelta {
+			maxDelta = d
+		}
+		if d := prev.b[i].Dist(cur.b[i]); d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return moved, maxDelta
+}
+
+// warmResetCells is the pose-delta threshold, in lattice cells, beyond
+// which the previous band is dropped and the frame re-seeds from bones:
+// the surface has moved so far that stale band cells are pure overhead.
+const warmResetCells = 3.0
+
+// Reconstruct produces the output mesh for one frame of parameters.
+//
+// With Cache set, repeated (quantized) poses return a copy of the cached
+// mesh without reconstructing. With WarmStart set, consecutive frames
+// share lattice samples and the surface band; both paths produce meshes
+// byte-identical to a cold reconstruction of the same parameters (for
+// Cache, of the quantized key's first-seen parameters).
+func (r *Reconstructor) Reconstruct(p *body.Params) *mesh.Mesh {
+	if r.Cache != nil {
+		if m, ok := r.Cache.lookup(p, r); ok {
+			return m
+		}
+		m := r.reconstruct(p)
+		r.Cache.store(p, r, m)
+		return m
+	}
+	return r.reconstruct(p)
+}
+
+func (r *Reconstructor) reconstruct(p *body.Params) *mesh.Mesh {
+	if r.Model == nil || r.Resolution <= 0 {
+		return &mesh.Mesh{}
+	}
+	// Geometry-affecting knobs changed → the cached lattice and band no
+	// longer describe this field; drop them.
+	if r.lastRes != r.Resolution || r.lastK != r.smoothK() {
+		r.cell = 0
+		r.havePrev = false
+		if r.state != nil {
+			r.state.Reset()
+		}
+		r.lastRes, r.lastK = r.Resolution, r.smoothK()
+	}
+
+	bg := r.posedBonesInto(r.bgScratch, p)
+	r.bgScratch = bg
+	f := &frameField{cur: bg, k: r.smoothK()}
+	grid := r.gridFor(bg)
+
+	if r.Dense {
+		r.Counters.AddFrame(false, 0, 0)
+		field := func(q geom.Vec3) float64 {
+			v, _ := f.Eval(q)
+			return v
+		}
+		return mesh.ExtractIsosurfaceParallel(field, grid, r.Workers)
+	}
+
+	// Seeds are the bone midpoints; the extractor marches them to the
+	// surface along lattice axes (those marching samples land in the
+	// same per-frame lattice cache the wavefront uses).
+	seeds := r.seedBuf[:0]
 	for i := range bg.a {
-		mid := bg.a[i].Lerp(bg.b[i], 0.5)
-		for _, d := range dirs {
-			// March outward from the bone axis until the field turns
-			// positive; the crossing lies within one step of the surface.
-			q := mid
-			prev := q
-			for step := 0; step < 1024; step++ {
-				if field(q) > 0 {
-					out = append(out, prev)
-					break
+		seeds = append(seeds, bg.a[i].Lerp(bg.b[i], 0.5))
+	}
+	r.seedBuf = seeds
+
+	var st *mesh.SparseState
+	if r.WarmStart {
+		if r.state == nil {
+			r.state = &mesh.SparseState{}
+		}
+		st = r.state
+		if r.havePrev {
+			moved, maxDelta := diffBones(&r.prevBones, &bg, r.movedBuf[:0])
+			r.movedBuf = moved
+			if maxDelta > warmResetCells*grid.Cell {
+				st.Reset()
+			} else if len(moved) < len(bg.a) {
+				boxes := r.movedBoxBuf[:0]
+				box := geom.EmptyAABB()
+				for _, i := range moved {
+					bb := capsuleBox(r.prevBones, i).Union(capsuleBox(bg, i))
+					boxes = append(boxes, bb)
+					box = box.Union(bb)
 				}
-				prev = q
-				q = q.Add(d.Scale(cell))
+				r.movedBoxBuf = boxes
+				f.reuse = true
+				f.prev = r.prevBones
+				f.moved = moved
+				f.movedBoxes = boxes
+				f.movedBox = box
 			}
 		}
 	}
-	return out
+
+	m := mesh.ExtractIsosurfaceSparseTemporal(f, grid, seeds, r.Workers, st)
+
+	if r.WarmStart {
+		// Keep this frame's capsules for the next frame's dirty test;
+		// the buffers rotate so steady state allocates nothing.
+		r.prevBones, r.bgScratch = bg, r.prevBones
+		r.havePrev = true
+		r.Counters.AddFrame(st.Warm, st.Reused, st.Evaluated)
+	} else {
+		r.Counters.AddFrame(false, 0, 0)
+	}
+	return m
 }
 
-// Reconstruct produces the output mesh for one frame of parameters.
-func (r *Reconstructor) Reconstruct(p *body.Params) *mesh.Mesh {
-	field := r.Field(p)
-	grid := r.grid(p)
-	if r.Dense {
-		return mesh.ExtractIsosurfaceParallel(field, grid, r.Workers)
+func capsuleBox(bg boneGeometry, i int) geom.AABB {
+	return geom.EmptyAABB().Extend(bg.a[i]).Extend(bg.b[i]).Expand(bg.radius[i])
+}
+
+// ResetWarmState drops all cross-frame state (band, lattice samples,
+// previous pose), forcing the next frame to reconstruct cold. Meshes are
+// unaffected — the warm path is byte-identical anyway — so this exists
+// for tests and for callers that intersperse unrelated pose streams
+// through one Reconstructor.
+func (r *Reconstructor) ResetWarmState() {
+	r.havePrev = false
+	if r.state != nil {
+		r.state.Reset()
 	}
-	cell := grid.Bounds.Size().MaxComponent() / float64(r.Resolution)
-	return mesh.ExtractIsosurfaceSparseParallel(field, grid, r.seeds(p, field, cell), r.Workers)
 }

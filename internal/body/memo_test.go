@@ -1,0 +1,63 @@
+package body
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestJointGlobalsMemoized pins the FK memo: repeated identical params
+// return the same transforms, changed params invalidate, and the
+// memoized result matches a direct FK computation exactly.
+func TestJointGlobalsMemoized(t *testing.T) {
+	m := NewModel(nil, ModelOptions{Detail: 1})
+	p := Talking(nil).At(0.3)
+
+	a := m.JointGlobals(p)
+	b := m.JointGlobals(p)
+	if a != b {
+		t.Fatal("identical params returned different transforms")
+	}
+
+	q := *p
+	q.Pose[Neck].X += 0.01
+	c := m.JointGlobals(&q)
+	if c == a {
+		t.Fatal("changed params returned the memoized transforms")
+	}
+	pose := effectivePose(&q)
+	if want := m.Skeleton.globalTransforms(&pose, q.Translation); c != want {
+		t.Fatal("memo path diverges from direct forward kinematics")
+	}
+
+	// The memo also backs Mesh and Keypoints; a pose swap between them
+	// must not leak stale transforms.
+	k1 := m.Keypoints(p)
+	k2 := m.Keypoints(&q)
+	if k1[int(Head)] == k2[int(Head)] {
+		t.Fatal("keypoints ignored the pose change")
+	}
+}
+
+// TestJointGlobalsConcurrent exercises the lock-free memo under
+// concurrent mixed-pose callers (meaningful under -race).
+func TestJointGlobalsConcurrent(t *testing.T) {
+	m := NewModel(nil, ModelOptions{Detail: 1})
+	motion := Talking(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := motion.At(float64((i + w) % 7))
+				g := m.JointGlobals(p)
+				pose := effectivePose(p)
+				if g != m.Skeleton.globalTransforms(&pose, p.Translation) {
+					t.Error("concurrent memo returned transforms for a different pose")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package body
 
 import (
 	"math"
+	"sync/atomic"
 
 	"semholo/internal/geom"
 	"semholo/internal/mesh"
@@ -37,6 +38,19 @@ type Model struct {
 
 	restInv   [NumJoints]geom.Mat4
 	exprBasis [NumExpression][]exprDisp
+
+	// fkMemo caches the last forward-kinematics result. The rasterizer,
+	// keypoint projector, and SDF reconstructor each ask for the same
+	// frame's transforms back to back; one FK pass serves all of them.
+	fkMemo atomic.Pointer[jointMemo]
+}
+
+// jointMemo is one memoized forward-kinematics result. Params is
+// comparable (fixed-size arrays of float64), so a bitwise pose match is
+// a single struct comparison.
+type jointMemo struct {
+	params  Params
+	globals [NumJoints]geom.Mat4
 }
 
 type exprDisp struct {
@@ -341,8 +355,7 @@ func effectivePose(p *Params) [NumJoints]geom.Vec3 {
 // "PtCl/Mesh synthesis" stage of Figure 1's traditional pipeline and the
 // ground-truth generator for the keypoint pipeline's quality metrics.
 func (m *Model) Mesh(p *Params) *mesh.Mesh {
-	pose := effectivePose(p)
-	g := m.Skeleton.globalTransforms(&pose, p.Translation)
+	g := m.JointGlobals(p)
 	var skin [NumJoints]geom.Mat4
 	for j := 0; j < NumJoints; j++ {
 		skin[j] = g[j].Mul(m.restInv[j])
@@ -392,8 +405,7 @@ const KeypointCount = NumJoints + 10 + 4
 // via forward kinematics. Index 0..NumJoints-1 are the joints in order;
 // the remainder are landmarks.
 func (m *Model) Keypoints(p *Params) []geom.Vec3 {
-	pose := effectivePose(p)
-	g := m.Skeleton.globalTransforms(&pose, p.Translation)
+	g := m.JointGlobals(p)
 	pts := make([]geom.Vec3, 0, KeypointCount)
 	for j := 0; j < NumJoints; j++ {
 		pts = append(pts, g[j].TranslationPart())
@@ -419,8 +431,16 @@ func (m *Model) Keypoints(p *Params) []geom.Vec3 {
 }
 
 // JointGlobals exposes the forward-kinematics transforms for a pose —
-// used by the avatar reconstructor's implicit SDF.
+// used by the avatar reconstructor's implicit SDF, the mesh skinner, and
+// the keypoint projector. Back-to-back calls with bitwise-identical
+// parameters return a memoized result (a lock-free single-entry cache,
+// safe for concurrent callers).
 func (m *Model) JointGlobals(p *Params) [NumJoints]geom.Mat4 {
+	if mm := m.fkMemo.Load(); mm != nil && mm.params == *p {
+		return mm.globals
+	}
 	pose := effectivePose(p)
-	return m.Skeleton.globalTransforms(&pose, p.Translation)
+	g := m.Skeleton.globalTransforms(&pose, p.Translation)
+	m.fkMemo.Store(&jointMemo{params: *p, globals: g})
+	return g
 }

@@ -11,6 +11,7 @@ import (
 	"semholo/internal/gaze"
 	"semholo/internal/geom"
 	"semholo/internal/mesh"
+	"semholo/internal/metrics"
 	"semholo/internal/transport"
 )
 
@@ -107,7 +108,16 @@ type HybridDecoder struct {
 	// Workers bounds peripheral-reconstruction parallelism (0 =
 	// GOMAXPROCS, 1 = serial); output is identical at any setting.
 	Workers int
+	// WarmStart enables temporal-coherence peripheral reconstruction
+	// (byte-identical output, see avatar.Reconstructor).
+	WarmStart bool
+	// Cache, when non-nil, serves repeated (quantized) poses from a mesh
+	// LRU before peripheral reconstruction runs.
+	Cache *avatar.MeshCache
+	// Counters, when non-nil, accumulates cache and warm-start telemetry.
+	Counters *metrics.ReconCounters
 
+	rec       *avatar.Reconstructor
 	anchor    geom.Vec3
 	hasAnchor bool
 }
@@ -166,8 +176,15 @@ func (d *HybridDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 	if res <= 0 {
 		res = 48
 	}
-	rec := &avatar.Reconstructor{Model: d.Model, Resolution: res, Workers: d.Workers}
-	peripheral := rec.Reconstruct(params)
+	if d.rec == nil || d.rec.Model != d.Model {
+		d.rec = &avatar.Reconstructor{Model: d.Model}
+	}
+	d.rec.Resolution = res
+	d.rec.Workers = d.Workers
+	d.rec.WarmStart = d.WarmStart
+	d.rec.Cache = d.Cache
+	d.rec.Counters = d.Counters
+	peripheral := d.rec.Reconstruct(params)
 
 	merged := peripheral
 	if foveal != nil && d.hasAnchor {

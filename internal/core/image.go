@@ -7,6 +7,7 @@ import (
 	"semholo/internal/capture"
 	"semholo/internal/geom"
 	"semholo/internal/nerf"
+	"semholo/internal/pointcloud"
 	"semholo/internal/render"
 	"semholo/internal/texture"
 	"semholo/internal/transport"
@@ -153,6 +154,26 @@ type ImageDecoder struct {
 	scene   nerf.Scene
 	prev    []*render.Frame
 	started bool
+	// spare holds frames two generations old (prev is still read for
+	// changed-pixel selection, so frames rotate decode → prev → spare);
+	// texScratch is the BTC pixel-decode buffer, reused every view.
+	spare      []*render.Frame
+	frameBuf   []*render.Frame
+	texScratch []pointcloud.Color
+}
+
+// frameFor returns a supervision frame for cam, recycling the
+// two-generations-old frame at the same view index when its dimensions
+// still match.
+func (d *ImageDecoder) frameFor(idx int, cam geom.Camera) *render.Frame {
+	if idx < len(d.spare) {
+		if fr := d.spare[idx]; fr != nil && fr.Camera.Intr.Width == cam.Intr.Width && fr.Camera.Intr.Height == cam.Intr.Height {
+			d.spare[idx] = nil
+			fr.Camera = cam
+			return fr
+		}
+	}
+	return render.NewFrame(cam)
 }
 
 // Mode implements Decoder.
@@ -176,7 +197,7 @@ func (d *ImageDecoder) defaults() {
 // Decode implements Decoder.
 func (d *ImageDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 	d.defaults()
-	var frames []*render.Frame
+	frames := d.frameBuf[:0]
 	for _, f := range channels {
 		switch {
 		case f.Channel == ChanImageHeader:
@@ -209,15 +230,16 @@ func (d *ImageDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 			if idx >= len(d.header.Cameras) {
 				return FrameData{}, fmt.Errorf("core: view index %d beyond %d cameras", idx, len(d.header.Cameras))
 			}
-			colors, w, h, err := texture.DecompressBTC(f.Payload)
+			colors, w, h, err := texture.DecompressBTCInto(d.texScratch, f.Payload)
 			if err != nil {
 				return FrameData{}, fmt.Errorf("core: image view %d: %w", idx, err)
 			}
+			d.texScratch = colors
 			cam := d.header.Cameras[idx].camera()
 			if w != cam.Intr.Width || h != cam.Intr.Height {
 				return FrameData{}, fmt.Errorf("core: view %d is %dx%d, camera expects %dx%d", idx, w, h, cam.Intr.Width, cam.Intr.Height)
 			}
-			fr := render.NewFrame(cam)
+			fr := d.frameFor(idx, cam)
 			copy(fr.Color, colors)
 			for i := len(frames); i < idx; i++ {
 				frames = append(frames, nil)
@@ -256,6 +278,11 @@ func (d *ImageDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 			d.trainer.Steps(changed, d.FineTuneSteps, width)
 		}
 	}
+	// Rotate: displaced prev frames become next Decode's spares; the
+	// just-drained spare slice donates its backing array to the frame
+	// list after that (three arrays cycle, frame objects double-buffer).
+	d.frameBuf = d.spare[:0]
+	d.spare = d.prev
 	d.prev = frames
 
 	out := FrameData{}

@@ -9,6 +9,7 @@ import (
 	"semholo/internal/compress"
 	"semholo/internal/geom"
 	"semholo/internal/keypoint"
+	"semholo/internal/metrics"
 	"semholo/internal/pointcloud"
 	"semholo/internal/texture"
 	"semholo/internal/transport"
@@ -142,9 +143,36 @@ type KeypointDecoder struct {
 	// Workers bounds reconstruction parallelism (0 = GOMAXPROCS,
 	// 1 = serial); the mesh is identical at any setting.
 	Workers int
+	// WarmStart enables temporal-coherence reconstruction: the persistent
+	// reconstructor seeds each frame's surface band from the previous
+	// frame and reuses SDF samples where no nearby joint moved. Output is
+	// byte-identical to cold reconstruction.
+	WarmStart bool
+	// Cache, when non-nil, serves repeated (quantized) poses from a mesh
+	// LRU before any reconstruction runs.
+	Cache *avatar.MeshCache
+	// Counters, when non-nil, accumulates cache and warm-start telemetry.
+	Counters *metrics.ReconCounters
+
+	rec *avatar.Reconstructor
 	// Views enables texture decoding when the sender ships it.
 	lastTexture []pointcloud.Color
 	texW, texH  int
+}
+
+// reconstructor returns the decoder's persistent reconstructor, rebuilt
+// only when the identity-defining knobs change (the reconstructor itself
+// invalidates warm state on resolution changes).
+func (d *KeypointDecoder) reconstructor() *avatar.Reconstructor {
+	if d.rec == nil || d.rec.Model != d.Model {
+		d.rec = &avatar.Reconstructor{Model: d.Model}
+	}
+	d.rec.Resolution = d.Resolution
+	d.rec.Workers = d.Workers
+	d.rec.WarmStart = d.WarmStart
+	d.rec.Cache = d.Cache
+	d.rec.Counters = d.Counters
+	return d.rec
 }
 
 // Mode implements Decoder.
@@ -156,7 +184,7 @@ func (d *KeypointDecoder) Decode(channels []transport.Frame) (FrameData, error) 
 	for _, f := range channels {
 		switch f.Channel {
 		case ChanTextureData:
-			colors, w, h, err := texture.DecompressBTC(f.Payload)
+			colors, w, h, err := texture.DecompressBTCInto(d.lastTexture, f.Payload)
 			if err != nil {
 				return FrameData{}, fmt.Errorf("core: texture decode: %w", err)
 			}
@@ -179,8 +207,7 @@ func (d *KeypointDecoder) Decode(channels []transport.Frame) (FrameData, error) 
 			}
 			out.Params = params
 			if d.Resolution > 0 && d.Model != nil {
-				rec := &avatar.Reconstructor{Model: d.Model, Resolution: d.Resolution, Workers: d.Workers}
-				out.Mesh = rec.Reconstruct(params)
+				out.Mesh = d.reconstructor().Reconstruct(params)
 			}
 		default:
 			return FrameData{}, errUnexpectedChannel(ModeKeypoint, f.Channel)

@@ -57,6 +57,9 @@ func Foveated(env *Env, radii []float64) []FoveatedPoint {
 			Codec:                compress.LZR(),
 			PeripheralResolution: 40,
 			Selector:             sel,
+			WarmStart:            env.Cache,
+			Cache:                env.reconCache(),
+			Counters:             env.reconCounters(),
 		}
 		dec.SetGazeAnchor(anchor)
 

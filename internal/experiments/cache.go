@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"semholo/internal/avatar"
+	"semholo/internal/body"
+	"semholo/internal/metrics"
+)
+
+// CacheBenchResult quantifies the temporal-coherence layer on one motion
+// window: steady-state seconds-per-frame and allocations-per-frame for
+// cold versus warm-started reconstruction, the exact-sample reuse rate,
+// and the pose-keyed mesh-LRU hit cost when the window repeats. The JSON
+// tags match BENCH_cache.json, which cmd/semholo-bench regenerates.
+type CacheBenchResult struct {
+	Resolution          int     `json:"resolution"`
+	Workers             int     `json:"workers"`
+	Frames              int     `json:"frames"`
+	ColdSecPerFrame     float64 `json:"cold_sec_per_frame"`
+	WarmSecPerFrame     float64 `json:"warm_sec_per_frame"`
+	WarmSpeedup         float64 `json:"warm_speedup"`
+	ColdAllocsPerFrame  float64 `json:"cold_allocs_per_frame"`
+	WarmAllocsPerFrame  float64 `json:"warm_allocs_per_frame"`
+	SampleReuseRate     float64 `json:"sample_reuse_rate"`
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+	CacheHitSecPerFrame float64 `json:"cache_hit_sec_per_frame"`
+}
+
+// CacheBench measures cold vs warm reconstruction over a frames-long
+// window of the env motion at the given resolution. Both arms reconstruct
+// byte-identical meshes (the warm-vs-cold regression tests pin this);
+// only rate and allocation behavior differ. Allocations are steady-state:
+// each arm primes one frame before counting, so one-time arena growth is
+// excluded.
+func CacheBench(env *Env, res, frames int) CacheBenchResult {
+	if frames <= 0 {
+		frames = 30
+	}
+	at := func(i int) *body.Params { return env.Seq.Motion.At(0.5 + float64(i)/env.FPS) }
+
+	run := func(rec *avatar.Reconstructor) (secPerFrame, allocsPerFrame float64) {
+		rec.Reconstruct(at(0)) // prime arenas (and warm state, if enabled)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 1; i <= frames; i++ {
+			rec.Reconstruct(at(i))
+		}
+		sec := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		return sec / float64(frames), float64(after.Mallocs-before.Mallocs) / float64(frames)
+	}
+
+	out := CacheBenchResult{Resolution: res, Workers: env.Parallelism, Frames: frames}
+	out.ColdSecPerFrame, out.ColdAllocsPerFrame = run(
+		&avatar.Reconstructor{Model: env.Model, Resolution: res, Workers: env.Parallelism})
+
+	var warmC metrics.ReconCounters
+	out.WarmSecPerFrame, out.WarmAllocsPerFrame = run(
+		&avatar.Reconstructor{Model: env.Model, Resolution: res, Workers: env.Parallelism,
+			WarmStart: true, Counters: &warmC})
+	out.WarmSpeedup = out.ColdSecPerFrame / out.WarmSecPerFrame
+	out.SampleReuseRate = warmC.Snapshot().ReuseRate()
+
+	// Cache arm: fill the LRU with the window (capacity must hold it),
+	// then replay — every frame a hit.
+	var cacheC metrics.ReconCounters
+	cached := &avatar.Reconstructor{Model: env.Model, Resolution: res, Workers: env.Parallelism,
+		WarmStart: true,
+		Cache:     &avatar.MeshCache{Capacity: frames + 1, Counters: &cacheC}}
+	for i := 0; i <= frames; i++ {
+		cached.Reconstruct(at(i))
+	}
+	start := time.Now()
+	for i := 0; i <= frames; i++ {
+		cached.Reconstruct(at(i))
+	}
+	out.CacheHitSecPerFrame = time.Since(start).Seconds() / float64(frames+1)
+	out.CacheHitRate = cacheC.Snapshot().HitRate()
+	return out
+}

@@ -247,6 +247,16 @@ type Fig4Point struct {
 	Workers            int
 	ParSecondsPerFrame float64
 	ParFPS             float64
+	// WarmSecondsPerFrame is the steady-state cost of warm-started
+	// (temporal-coherence) extraction over a short motion window — the
+	// mesh stays byte-identical to the cold column.
+	WarmSecondsPerFrame float64
+	WarmFPS             float64
+	// CacheHitRate is the pose-keyed mesh-LRU hit rate when the same
+	// motion window is replayed (second pass served from cache).
+	CacheHitRate float64
+	// CacheHitSecondsPerFrame is the per-frame cost of a cache hit.
+	CacheHitSecondsPerFrame float64
 }
 
 // Fig4 measures reconstruction rate versus output resolution — the
@@ -277,6 +287,35 @@ func Fig4(env *Env, resolutions []int, measureDense bool, denseLimit int) []Fig4
 			recD.Reconstruct(fitted)
 			p.DenseSecondsPerFrame = time.Since(start).Seconds()
 		}
+		// Warm column: prime one cold frame, then time consecutive motion
+		// frames through the temporal-coherence path (byte-identical
+		// output; only the rate changes).
+		const warmFrames = 3
+		at := func(i int) *body.Params { return env.Seq.Motion.At(0.5 + float64(i)/env.FPS) }
+		warmRec := &avatar.Reconstructor{Model: env.Model, Resolution: res, Workers: env.Parallelism, WarmStart: true}
+		warmRec.Reconstruct(at(0))
+		start = time.Now()
+		for i := 1; i <= warmFrames; i++ {
+			warmRec.Reconstruct(at(i))
+		}
+		p.WarmSecondsPerFrame = time.Since(start).Seconds() / warmFrames
+		p.WarmFPS = 1 / p.WarmSecondsPerFrame
+		// Cache columns: replay the same window twice through an
+		// exact-keyed LRU; the second pass is all hits.
+		var rc metrics.ReconCounters
+		cacheRec := &avatar.Reconstructor{
+			Model: env.Model, Resolution: res, Workers: env.Parallelism,
+			WarmStart: true, Cache: &avatar.MeshCache{Counters: &rc},
+		}
+		for i := 0; i <= warmFrames; i++ {
+			cacheRec.Reconstruct(at(i))
+		}
+		start = time.Now()
+		for i := 0; i <= warmFrames; i++ {
+			cacheRec.Reconstruct(at(i))
+		}
+		p.CacheHitSecondsPerFrame = time.Since(start).Seconds() / (warmFrames + 1)
+		p.CacheHitRate = rc.Snapshot().HitRate()
 		out = append(out, p)
 	}
 	return out

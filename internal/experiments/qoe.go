@@ -171,5 +171,8 @@ func newTextDecoderFor() *core.TextDecoder {
 }
 
 func newKeypointDecoderFor(env *Env, res int) *core.KeypointDecoder {
-	return &core.KeypointDecoder{Model: env.Model, Codec: lzrCodec(), Resolution: res}
+	return &core.KeypointDecoder{
+		Model: env.Model, Codec: lzrCodec(), Resolution: res,
+		WarmStart: env.Cache, Cache: env.reconCache(), Counters: env.reconCounters(),
+	}
 }

@@ -48,7 +48,7 @@ func Table1(env *Env, frames int) []Table1Row {
 
 	rows := []Table1Row{
 		measurePipeline(env, caps, env.keypointEncoder(),
-			&core.KeypointDecoder{Model: env.Model, Codec: compress.LZR(), Resolution: 64},
+			newKeypointDecoderFor(env, 64),
 			"mesh"),
 		measurePipeline(env, caps, &core.ImageEncoder{
 			Scene: nerf.Scene{

@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"math"
 	"sync"
 
 	"semholo/internal/geom"
@@ -23,25 +24,72 @@ type ScalarField func(p geom.Vec3) float64
 type GridSpec struct {
 	Bounds     geom.AABB
 	Resolution int
+
+	// Cell, when > 0, fixes the lattice spacing explicitly (Resolution is
+	// then ignored) and anchors the lattice to world space: Bounds.Min is
+	// snapped down to an integer multiple of Cell and every lattice point
+	// is computed as float64(globalIndex)·Cell. A world point shared by
+	// two anchored grids is therefore bitwise-identical in both, even
+	// when their bounds differ — the property the temporal-coherence
+	// cache needs to reuse samples across frames whose grids drift.
+	Cell float64
 }
 
-// cellCounts returns the number of cells per axis so that cells are cubes
-// of equal size with Resolution cells along the longest axis.
-func (g GridSpec) cellCounts() (nx, ny, nz int, cell float64) {
+// gridLayout is a GridSpec resolved to concrete lattice parameters.
+type gridLayout struct {
+	nx, ny, nz int       // cells per axis
+	vx, vy     int       // lattice vertices per x/y axis (nx+1, ny+1)
+	cell       float64   // cube edge length
+	origin     geom.Vec3 // world position of lattice vertex (0,0,0)
+	base       [3]int    // origin's integer coords on the world lattice
+	anchored   bool      // Cell-anchored (base meaningful) vs bounds-derived
+}
+
+// layout resolves the grid. ok is false when the spec cannot produce a
+// non-empty lattice (empty bounds, or neither Cell nor Resolution set).
+func (g GridSpec) layout() (l gridLayout, ok bool) {
 	size := g.Bounds.Size()
+	if g.Cell > 0 {
+		if g.Bounds.IsEmpty() {
+			return l, false
+		}
+		l.cell = g.Cell
+		l.anchored = true
+		min := [3]float64{g.Bounds.Min.X, g.Bounds.Min.Y, g.Bounds.Min.Z}
+		max := [3]float64{g.Bounds.Max.X, g.Bounds.Max.Y, g.Bounds.Max.Z}
+		var n [3]int
+		for a := 0; a < 3; a++ {
+			l.base[a] = int(math.Floor(min[a] / l.cell))
+			n[a] = int(math.Ceil(max[a]/l.cell)) - l.base[a]
+			if n[a] < 1 {
+				n[a] = 1
+			}
+		}
+		l.nx, l.ny, l.nz = n[0], n[1], n[2]
+		l.origin = geom.Vec3{
+			X: float64(l.base[0]) * l.cell,
+			Y: float64(l.base[1]) * l.cell,
+			Z: float64(l.base[2]) * l.cell,
+		}
+		l.vx, l.vy = l.nx+1, l.ny+1
+		return l, true
+	}
 	longest := size.MaxComponent()
 	if longest <= 0 || g.Resolution <= 0 {
-		return 0, 0, 0, 0
+		return l, false
 	}
-	cell = longest / float64(g.Resolution)
+	l.cell = longest / float64(g.Resolution)
 	dims := func(extent float64) int {
-		n := int(extent/cell + 0.5)
+		n := int(extent/l.cell + 0.5)
 		if n < 1 {
 			n = 1
 		}
 		return n
 	}
-	return dims(size.X), dims(size.Y), dims(size.Z), cell
+	l.nx, l.ny, l.nz = dims(size.X), dims(size.Y), dims(size.Z)
+	l.origin = g.Bounds.Min
+	l.vx, l.vy = l.nx+1, l.ny+1
+	return l, true
 }
 
 // latticeEdge identifies the lattice edge an interpolated vertex lies
@@ -77,22 +125,36 @@ type slabMesh struct {
 	faces  []Face
 	shared map[latticeEdge]int
 
-	origin geom.Vec3
-	cell   float64
-	vx, vy int
+	origin   geom.Vec3
+	cell     float64
+	vx, vy   int
+	base     [3]int
+	anchored bool
 }
 
-func newSlabMesh(origin geom.Vec3, cell float64, vx, vy int) *slabMesh {
+func newSlabMesh(l gridLayout) *slabMesh {
 	return &slabMesh{
-		shared: make(map[latticeEdge]int),
-		origin: origin,
-		cell:   cell,
-		vx:     vx,
-		vy:     vy,
+		shared:   make(map[latticeEdge]int),
+		origin:   l.origin,
+		cell:     l.cell,
+		vx:       l.vx,
+		vy:       l.vy,
+		base:     l.base,
+		anchored: l.anchored,
 	}
 }
 
 func (s *slabMesh) latticePoint(i, j, k int) geom.Vec3 {
+	if s.anchored {
+		// Anchored grids compute coordinates from global integer lattice
+		// indices so the same world point is bitwise-identical across
+		// frames whose grid bounds (and hence base) differ.
+		return geom.Vec3{
+			X: float64(s.base[0]+i) * s.cell,
+			Y: float64(s.base[1]+j) * s.cell,
+			Z: float64(s.base[2]+k) * s.cell,
+		}
+	}
 	return geom.Vec3{
 		X: s.origin.X + float64(i)*s.cell,
 		Y: s.origin.Y + float64(j)*s.cell,
@@ -253,17 +315,14 @@ func ExtractIsosurface(field ScalarField, grid GridSpec) *Mesh {
 // serial scan and the merge walks slabs in ascending z, the output is
 // byte-identical to the serial path for every worker count.
 func ExtractIsosurfaceParallel(field ScalarField, grid GridSpec, workers int) *Mesh {
-	nx, ny, nz, cell := grid.cellCounts()
-	if nx == 0 {
+	lay, ok := grid.layout()
+	if !ok {
 		return &Mesh{}
 	}
-	vx, vy := nx+1, ny+1
-	origin := grid.Bounds.Min
-
-	ranges := par.Split(workers, nz)
+	ranges := par.Split(workers, lay.nz)
 	slabs := make([]*slabMesh, len(ranges))
 	par.For(len(ranges), len(ranges), func(c int) {
-		slabs[c] = extractSlabRange(field, origin, cell, nx, ny, vx, vy, ranges[c].Lo, ranges[c].Hi)
+		slabs[c] = extractSlabRange(field, lay, ranges[c].Lo, ranges[c].Hi)
 	})
 	if len(slabs) == 1 {
 		return slabs[0].mesh()
@@ -272,8 +331,9 @@ func ExtractIsosurfaceParallel(field ScalarField, grid GridSpec, workers int) *M
 }
 
 // extractSlabRange polygonizes cubes with k in [k0, k1).
-func extractSlabRange(field ScalarField, origin geom.Vec3, cell float64, nx, ny, vx, vy, k0, k1 int) *slabMesh {
-	s := newSlabMesh(origin, cell, vx, vy)
+func extractSlabRange(field ScalarField, lay gridLayout, k0, k1 int) *slabMesh {
+	nx, ny, vx, vy := lay.nx, lay.ny, lay.vx, lay.vy
+	s := newSlabMesh(lay)
 	cur := getSlabBuf(vx * vy)
 	next := getSlabBuf(vx * vy)
 	defer putSlabBuf(cur)

@@ -1,6 +1,9 @@
 package mesh
 
 import (
+	"math"
+	"sort"
+
 	"semholo/internal/geom"
 	"semholo/internal/par"
 )
@@ -24,107 +27,286 @@ func ExtractIsosurfaceSparse(field ScalarField, grid GridSpec, seeds []geom.Vec3
 }
 
 // ExtractIsosurfaceSparseParallel is the narrow-band extractor with
-// concurrent field evaluation. The flood fill proceeds in wavefront
-// rounds: each round gathers the not-yet-sampled lattice vertices of
-// every frontier cube, evaluates them in parallel (the dominant cost —
-// one smooth-union over all bone capsules per point), then polygonizes
-// the frontier serially in queue order and enqueues the next ring.
-//
-// Traversal order, and therefore the output mesh, is a pure function of
-// the field and seeds: worker count only changes how the batched field
-// evaluations are scheduled, so Workers=N output is byte-identical to
-// Workers=1.
+// concurrent field evaluation. Discovery proceeds in wavefront rounds:
+// each round gathers the not-yet-sampled lattice vertices of every
+// frontier cube and evaluates them in parallel (the dominant cost — one
+// smooth-union over all bone capsules per point), then grows the next
+// ring across sign-crossing faces. The discovered band is finally sorted
+// into lattice scan order and polygonized serially, so the output mesh is
+// a pure function of the band set and the field values: worker count only
+// changes how the batched evaluations are scheduled, and Workers=N output
+// is byte-identical to Workers=1.
 func ExtractIsosurfaceSparseParallel(field ScalarField, grid GridSpec, seeds []geom.Vec3, workers int) *Mesh {
-	nx, ny, nz, cell := grid.cellCounts()
-	if nx == 0 || len(seeds) == 0 {
+	return extractSparse(scalarTemporal{field}, grid, seeds, workers, nil, false)
+}
+
+// ExtractIsosurfaceSparseTemporal is the temporal-coherence variant used
+// by the avatar reconstructor. It differs from
+// ExtractIsosurfaceSparseParallel in three ways:
+//
+//   - Seeds are interior points (bone midpoints), not surface points: the
+//     extractor snaps each seed to the lattice and marches the six axis
+//     directions itself until the field changes sign. Marching samples
+//     lattice vertices, so its evaluations land in the same cache the
+//     wavefront uses.
+//   - st carries the previous frame's surface band and lattice samples:
+//     the wavefront starts from the whole previous band (discovery then
+//     completes in O(1) rounds instead of one ring per round), and any
+//     sample the field's Reusable test vouches for is copied instead of
+//     re-evaluated.
+//   - After discovery the band is filtered to the cells reachable from
+//     this frame's seed cells, which makes the band — and therefore the
+//     mesh — provably identical to what a cold run produces (see
+//     DESIGN.md, "Temporal-coherence reconstruction cache").
+//
+// Sample reuse and band carry-over require an anchored grid (GridSpec
+// with Cell > 0); on bounds-derived grids st still provides scratch-arena
+// reuse but every frame runs cold. Passing st == nil runs cold with
+// throwaway scratch.
+func ExtractIsosurfaceSparseTemporal(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers int, st *SparseState) *Mesh {
+	return extractSparse(tf, grid, seeds, workers, st, true)
+}
+
+// axis-aligned march/neighbor directions.
+var axisDirs = [6][3]int{
+	{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+}
+
+// marchCap bounds seed-march length, matching the old per-seed cap.
+const marchCap = 1024
+
+func clampi(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// extractSparse is the shared narrow-band engine. march selects between
+// interior seeds (lattice-aligned marching to the surface) and
+// near-surface seeds (a one-cell ring around each seed's cube).
+func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers int, st *SparseState, march bool) *Mesh {
+	lay, ok := grid.layout()
+	if !ok || len(seeds) == 0 {
 		return &Mesh{}
 	}
-	vx, vy := nx+1, ny+1
-	origin := grid.Bounds.Min
-	s := newSlabMesh(origin, cell, vx, vy)
+	if st == nil {
+		st = &SparseState{}
+	}
 
-	// Cached field samples per lattice vertex (linear index).
-	values := make(map[int]float64)
+	// Temporal state is only sound on anchored grids: global lattice
+	// coordinates must mean the same world point in every frame.
+	temporal := lay.anchored
+	warm := temporal && st.cell == lay.cell && len(st.band) > 0
+	usePrev := temporal && st.cell == lay.cell && len(st.prev) > 0
+	st.Reused, st.Evaluated, st.Warm = 0, 0, warm
 
-	type cellID struct{ i, j, k int }
-	visited := make(map[cellID]bool)
-	var front, next []cellID
+	if st.cur == nil {
+		st.cur = make(map[int64]sample)
+	}
+	clear(st.cur)
+	if st.visited == nil {
+		st.visited = make(map[int64]bool)
+	}
+	clear(st.visited)
+	values, prev, visited := st.cur, st.prev, st.visited
 
-	enqueue := func(c cellID) {
-		if c.i < 0 || c.j < 0 || c.k < 0 || c.i >= nx || c.j >= ny || c.k >= nz {
+	s := newSlabMesh(lay)
+	if st.shared == nil {
+		st.shared = make(map[latticeEdge]int)
+	}
+	clear(st.shared)
+	s.shared = st.shared
+	s.keys = st.edgeKeys[:0]
+	s.verts = make([]geom.Vec3, 0, st.lastVerts)
+	s.faces = make([]Face, 0, st.lastFaces)
+
+	gkey := func(i, j, k int) int64 {
+		return packG(lay.base[0]+i, lay.base[1]+j, lay.base[2]+k)
+	}
+
+	next := st.next[:0]
+	roots := st.roots[:0]
+	enqueue := func(c cell3, root bool) {
+		if c.i < 0 || c.j < 0 || c.k < 0 || c.i >= lay.nx || c.j >= lay.ny || c.k >= lay.nz {
 			return
 		}
-		if visited[c] {
+		key := gkey(c.i, c.j, c.k)
+		if root {
+			// Roots anchor the reachability filter; record them even when
+			// a previous-band enqueue got to the cell first.
+			roots = append(roots, key)
+		}
+		if visited[key] {
 			return
 		}
-		visited[c] = true
+		visited[key] = true
 		next = append(next, c)
 	}
-	cellOf := func(p geom.Vec3) cellID {
-		d := p.Sub(origin)
-		return cellID{int(d.X / cell), int(d.Y / cell), int(d.Z / cell)}
-	}
-	for _, sd := range seeds {
-		c := cellOf(sd)
-		// Seed a small neighborhood to tolerate seeds slightly off the
-		// surface.
+	ring := func(c cell3, root bool) {
 		for dk := -1; dk <= 1; dk++ {
 			for dj := -1; dj <= 1; dj++ {
 				for di := -1; di <= 1; di++ {
-					enqueue(cellID{c.i + di, c.j + dj, c.k + dk})
+					enqueue(cell3{c.i + di, c.j + dj, c.k + dk}, root)
 				}
 			}
 		}
 	}
 
-	// Per-round batch of lattice vertices to sample. needIDs collects
-	// linear indices in first-need order; needVals receives the parallel
-	// evaluations, one slot per id, so scheduling never reorders results.
-	var needIDs []int
-	var needVals []float64
-	pointOf := func(id int) geom.Vec3 {
-		i := id % vx
-		j := (id / vx) % vy
-		k := id / (vx * vy)
-		return s.latticePoint(i, j, k)
+	if march {
+		// Lattice-aligned seed marching: snap each seed to its nearest
+		// lattice vertex and walk the six axis directions until the field
+		// changes sign. Rays run concurrently with per-ray result
+		// buffers; the merge walks rays in index order, so the sample
+		// cache and the enqueue order are worker-count invariant.
+		nRays := len(seeds) * 6
+		for len(st.rays) < nRays {
+			st.rays = append(st.rays, seedRay{})
+		}
+		rays := st.rays[:nRays]
+		par.For(workers, nRays, func(r int) {
+			ry := &rays[r]
+			ry.keys, ry.out, ry.hit, ry.cross = ry.keys[:0], ry.out[:0], ry.hit[:0], ry.cross[:0]
+			sd := seeds[r/6]
+			dir := axisDirs[r%6]
+			i := clampi(int(math.Round((sd.X-lay.origin.X)/lay.cell)), 0, lay.nx)
+			j := clampi(int(math.Round((sd.Y-lay.origin.Y)/lay.cell)), 0, lay.ny)
+			k := clampi(int(math.Round((sd.Z-lay.origin.Z)/lay.cell)), 0, lay.nz)
+			eval := func(i, j, k int) float64 {
+				key := gkey(i, j, k)
+				pt := s.latticePoint(i, j, k)
+				if usePrev {
+					if sm, ok := prev[key]; ok && tf.Reusable(pt, sm.val, sm.aux) {
+						ry.keys = append(ry.keys, key)
+						ry.out = append(ry.out, sm)
+						ry.hit = append(ry.hit, true)
+						return sm.val
+					}
+				}
+				v, a := tf.Eval(pt)
+				ry.keys = append(ry.keys, key)
+				ry.out = append(ry.out, sample{v, a})
+				ry.hit = append(ry.hit, false)
+				return v
+			}
+			neg0 := eval(i, j, k) < 0
+			// The start cell's ring covers seeds already on the surface
+			// (and bones thinner than a cell, which may never produce a
+			// lattice sign change along the ray).
+			ry.cross = append(ry.cross, cell3{
+				clampi(i, 0, lay.nx-1), clampi(j, 0, lay.ny-1), clampi(k, 0, lay.nz-1),
+			})
+			for step := 0; step < marchCap; step++ {
+				ni, nj, nk := i+dir[0], j+dir[1], k+dir[2]
+				if ni < 0 || nj < 0 || nk < 0 || ni > lay.nx || nj > lay.ny || nk > lay.nz {
+					break
+				}
+				if (eval(ni, nj, nk) < 0) != neg0 {
+					// The crossing lies on the edge between the two
+					// vertices; ring-enqueue around the cell at the lower
+					// vertex of that edge.
+					li, lj, lk := i, j, k
+					if dir[0] < 0 || dir[1] < 0 || dir[2] < 0 {
+						li, lj, lk = ni, nj, nk
+					}
+					ry.cross = append(ry.cross, cell3{
+						clampi(li, 0, lay.nx-1), clampi(lj, 0, lay.ny-1), clampi(lk, 0, lay.nz-1),
+					})
+					break
+				}
+				i, j, k = ni, nj, nk
+			}
+		})
+		for r := range rays {
+			ry := &rays[r]
+			for n, key := range ry.keys {
+				if _, ok := values[key]; !ok {
+					values[key] = ry.out[n]
+					if ry.hit[n] {
+						st.Reused++
+					} else {
+						st.Evaluated++
+					}
+				}
+			}
+			for _, c := range ry.cross {
+				ring(c, true)
+			}
+		}
+	} else {
+		for _, sd := range seeds {
+			d := sd.Sub(lay.origin)
+			c := cell3{int(d.X / lay.cell), int(d.Y / lay.cell), int(d.Z / lay.cell)}
+			// Seed a small neighborhood to tolerate seeds slightly off
+			// the surface.
+			ring(c, true)
+		}
 	}
 
+	if warm {
+		// Seed the wavefront with the whole previous band: discovery then
+		// finishes in a couple of rounds (one big batch plus the rim the
+		// surface moved into) instead of one ring per round.
+		for _, key := range st.band {
+			gi, gj, gk := unpackG(key)
+			enqueue(cell3{gi - lay.base[0], gj - lay.base[1], gk - lay.base[2]}, false)
+		}
+	}
+
+	// Discovery: flood-fill across sign-crossing cubes, batching field
+	// evaluation per wavefront round. Cells are recorded, not yet
+	// polygonized — the band is sorted first so traversal order cannot
+	// leak into the output.
+	front := st.front[:0]
+	band := st.bandCells[:0]
+	needKeys, needPts, needOut, needHit := st.needKeys[:0], st.needPts[:0], st.needOut[:0], st.needHit[:0]
 	for len(next) > 0 {
 		front, next = next, front[:0]
 
-		// Phase 1: sample every missing lattice corner of this wavefront
-		// in parallel.
-		needIDs = needIDs[:0]
+		needKeys, needPts = needKeys[:0], needPts[:0]
 		for _, c := range front {
 			for _, off := range cubeOffsets {
-				id := s.lidx(c.i+off[0], c.j+off[1], c.k+off[2])
-				if _, ok := values[id]; ok {
+				i, j, k := c.i+off[0], c.j+off[1], c.k+off[2]
+				key := gkey(i, j, k)
+				if _, ok := values[key]; ok {
 					continue
 				}
-				values[id] = 0 // placeholder; filled below
-				needIDs = append(needIDs, id)
+				values[key] = sample{} // placeholder; filled below
+				needKeys = append(needKeys, key)
+				needPts = append(needPts, s.latticePoint(i, j, k))
 			}
 		}
-		if cap(needVals) < len(needIDs) {
-			needVals = make([]float64, len(needIDs))
+		if cap(needOut) < len(needKeys) {
+			needOut = make([]sample, len(needKeys))
+			needHit = make([]bool, len(needKeys))
 		}
-		needVals = needVals[:len(needIDs)]
-		par.For(workers, len(needIDs), func(i int) {
-			needVals[i] = field(pointOf(needIDs[i]))
+		needOut, needHit = needOut[:len(needKeys)], needHit[:len(needKeys)]
+		par.For(workers, len(needKeys), func(n int) {
+			if usePrev {
+				if sm, ok := prev[needKeys[n]]; ok && tf.Reusable(needPts[n], sm.val, sm.aux) {
+					needOut[n], needHit[n] = sm, true
+					return
+				}
+			}
+			v, a := tf.Eval(needPts[n])
+			needOut[n], needHit[n] = sample{v, a}, false
 		})
-		for i, id := range needIDs {
-			values[id] = needVals[i]
+		for n, key := range needKeys {
+			values[key] = needOut[n]
+			if needHit[n] {
+				st.Reused++
+			} else {
+				st.Evaluated++
+			}
 		}
 
-		// Phase 2: polygonize the wavefront serially in queue order and
-		// grow the next ring across sign-crossing faces.
 		for _, c := range front {
-			var vals [8]float64
 			anyNeg, anyPos := false, false
-			for ci, off := range cubeOffsets {
-				v := values[s.lidx(c.i+off[0], c.j+off[1], c.k+off[2])]
-				vals[ci] = v
-				if v < 0 {
+			for _, off := range cubeOffsets {
+				if values[gkey(c.i+off[0], c.j+off[1], c.k+off[2])].val < 0 {
 					anyNeg = true
 				} else {
 					anyPos = true
@@ -133,14 +315,108 @@ func ExtractIsosurfaceSparseParallel(field ScalarField, grid GridSpec, seeds []g
 			if !anyNeg || !anyPos {
 				continue
 			}
-			s.polygonizeCube(vals, c.i, c.j, c.k)
+			band = append(band, c)
 			// The surface continues into face neighbors.
-			enqueue(cellID{c.i + 1, c.j, c.k})
-			enqueue(cellID{c.i - 1, c.j, c.k})
-			enqueue(cellID{c.i, c.j + 1, c.k})
-			enqueue(cellID{c.i, c.j - 1, c.k})
-			enqueue(cellID{c.i, c.j, c.k + 1})
-			enqueue(cellID{c.i, c.j, c.k - 1})
+			for _, d := range axisDirs {
+				enqueue(cell3{c.i + d[0], c.j + d[1], c.k + d[2]}, false)
+			}
+		}
+	}
+
+	if warm {
+		// Reachability filter: keep only band cells connected to this
+		// frame's seed cells through face-adjacent sign-crossing cells.
+		// A cold run discovers exactly that set (expansion only ever
+		// proceeds from sign-crossing cells, starting at the seed ring),
+		// so the filtered warm band — over bitwise-identical sample
+		// values — matches the cold band cell for cell.
+		// The marks are a dense byte per lattice cell (the lattice is
+		// bounded by Resolution³) so the flood fill runs on array
+		// indexing; profiling shows map traffic dominates the warm path.
+		n := lay.nx * lay.ny * lay.nz
+		if cap(st.mark) < n {
+			st.mark = make([]uint8, n)
+		}
+		mark := st.mark[:n]
+		clear(mark)
+		lidx := func(i, j, k int) int { return (k*lay.ny+j)*lay.nx + i }
+		const (
+			inBand uint8 = 1 // sign-crossing, not yet proven reachable
+			kept   uint8 = 2 // reachable from a seed cell
+		)
+		for _, c := range band {
+			mark[lidx(c.i, c.j, c.k)] = inBand
+		}
+		queue := st.queue[:0]
+		for _, key := range roots {
+			gi, gj, gk := unpackG(key)
+			c := cell3{gi - lay.base[0], gj - lay.base[1], gk - lay.base[2]}
+			if li := lidx(c.i, c.j, c.k); mark[li] == inBand {
+				mark[li] = kept
+				queue = append(queue, c)
+			}
+		}
+		for len(queue) > 0 {
+			c := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, d := range axisDirs {
+				ni, nj, nk := c.i+d[0], c.j+d[1], c.k+d[2]
+				if ni < 0 || nj < 0 || nk < 0 || ni >= lay.nx || nj >= lay.ny || nk >= lay.nz {
+					continue
+				}
+				if li := lidx(ni, nj, nk); mark[li] == inBand {
+					mark[li] = kept
+					queue = append(queue, cell3{ni, nj, nk})
+				}
+			}
+		}
+		st.queue = queue
+		keptBand := band[:0]
+		for _, c := range band {
+			if mark[lidx(c.i, c.j, c.k)] == kept {
+				keptBand = append(keptBand, c)
+			}
+		}
+		band = keptBand
+	}
+
+	// Polygonize in lattice scan order (z, then y, then x — the dense
+	// extractor's cube order), making the mesh a pure function of the
+	// band set and sample values.
+	sort.Slice(band, func(a, b int) bool {
+		ca, cb := band[a], band[b]
+		if ca.k != cb.k {
+			return ca.k < cb.k
+		}
+		if ca.j != cb.j {
+			return ca.j < cb.j
+		}
+		return ca.i < cb.i
+	})
+	for _, c := range band {
+		var vals [8]float64
+		for ci, off := range cubeOffsets {
+			vals[ci] = values[gkey(c.i+off[0], c.j+off[1], c.k+off[2])].val
+		}
+		s.polygonizeCube(vals, c.i, c.j, c.k)
+	}
+
+	// Persist state for the next frame; on non-anchored grids only the
+	// scratch arenas survive.
+	st.front, st.next, st.roots = front, next, roots
+	st.bandCells = band
+	st.needKeys, st.needPts, st.needOut, st.needHit = needKeys, needPts, needOut, needHit
+	st.edgeKeys = s.keys
+	st.lastVerts, st.lastFaces = len(s.verts), len(s.faces)
+	if temporal {
+		st.cell = lay.cell
+		st.band = st.band[:0]
+		for _, c := range band {
+			st.band = append(st.band, gkey(c.i, c.j, c.k))
+		}
+		st.prev, st.cur = st.cur, st.prev
+		if st.cur == nil {
+			st.cur = make(map[int64]sample)
 		}
 	}
 	return s.mesh()

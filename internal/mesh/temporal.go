@@ -1,0 +1,112 @@
+package mesh
+
+// Temporal-coherence support for the narrow-band extractor: a field
+// interface that can vouch for the cross-frame validity of individual
+// lattice samples, and a state object carrying the previous frame's
+// surface band, sample cache, and scratch arenas.
+
+import "semholo/internal/geom"
+
+// TemporalField is a scalar field that supports exact cross-frame sample
+// reuse. Eval returns the field value plus an auxiliary datum that is
+// cached alongside it (the avatar SDF stores its exact minimum capsule
+// distance there). Reusable reports whether a sample recorded by the
+// previous frame's field at the same lattice point is still valid.
+//
+// The contract is strict: Reusable(p, val, aux) == true promises that
+// Eval(p) would return exactly (val, aux) — bitwise, not approximately.
+// The extractor's byte-identical-to-cold guarantee rests on this.
+//
+// Implementations must be safe for concurrent calls (the extractor
+// batches evaluations across workers), which pure functions of the input
+// point satisfy trivially.
+type TemporalField interface {
+	Eval(p geom.Vec3) (val, aux float64)
+	Reusable(p geom.Vec3, val, aux float64) bool
+}
+
+// scalarTemporal adapts a plain ScalarField: no auxiliary datum, no
+// cross-frame reuse.
+type scalarTemporal struct{ f ScalarField }
+
+func (s scalarTemporal) Eval(p geom.Vec3) (float64, float64)       { return s.f(p), 0 }
+func (s scalarTemporal) Reusable(geom.Vec3, float64, float64) bool { return false }
+
+// sample is one cached lattice evaluation.
+type sample struct{ val, aux float64 }
+
+// cell3 addresses a lattice cube in grid-local coordinates.
+type cell3 struct{ i, j, k int }
+
+// packG packs global integer lattice coordinates into one map key.
+// 21 bits per axis around a 2²⁰ bias covers ±1M cells — far beyond any
+// grid this package is asked to build.
+const packBias = 1 << 20
+
+func packG(i, j, k int) int64 {
+	return int64(i+packBias)<<42 | int64(j+packBias)<<21 | int64(k+packBias)
+}
+
+func unpackG(key int64) (i, j, k int) {
+	const mask = 1<<21 - 1
+	return int(key>>42&mask) - packBias,
+		int(key>>21&mask) - packBias,
+		int(key&mask) - packBias
+}
+
+// SparseState carries temporal-coherence state for
+// ExtractIsosurfaceSparseTemporal across frames: the previous frame's
+// surface band (packed global cell coordinates), its lattice samples, and
+// every scratch buffer the extractor needs, so steady-state warm frames
+// stop allocating. The zero value is ready to use; the first extraction
+// through it runs cold. A SparseState must not be shared between
+// concurrent extractions.
+type SparseState struct {
+	// Stats for the most recent extraction through this state.
+	Reused    int  // lattice samples satisfied by the previous frame's cache
+	Evaluated int  // lattice samples freshly evaluated
+	Warm      bool // whether the wavefront was seeded from a previous band
+
+	cell float64          // lattice spacing the cached band/samples are valid for
+	band []int64          // previous band cells, packed global coords, sorted
+	prev map[int64]sample // previous frame's lattice samples, packed global vertex coords
+
+	// Scratch arenas; contents are meaningless between runs.
+	cur       map[int64]sample
+	visited   map[int64]bool
+	front     []cell3
+	next      []cell3
+	needKeys  []int64
+	needPts   []geom.Vec3
+	needOut   []sample
+	needHit   []bool
+	bandCells []cell3
+	roots     []int64
+	mark      []uint8 // dense per-cell marks for the reachability filter
+	queue     []cell3
+	shared    map[latticeEdge]int
+	edgeKeys  []latticeEdge
+	rays      []seedRay
+	lastVerts int
+	lastFaces int
+}
+
+// Reset drops the cached band and samples so the next extraction runs
+// cold (scratch arenas are kept). Call it when the field changes in a way
+// the TemporalField cannot account for — e.g. a resolution switch.
+func (st *SparseState) Reset() {
+	st.band = st.band[:0]
+	if st.prev != nil {
+		clear(st.prev)
+	}
+	st.cell = 0
+}
+
+// seedRay is the per-ray scratch for lattice-aligned seed marching.
+type seedRay struct {
+	keys  []int64
+	pts   []geom.Vec3
+	out   []sample
+	hit   []bool
+	cross []cell3
+}

@@ -1,0 +1,162 @@
+package mesh
+
+// Engine-level tests for the temporal-coherence extractor: warm-started
+// extraction over a moving synthetic field must stay byte-identical to
+// cold extraction at every worker count, and the exact sample-reuse hook
+// must engage for regions the motion cannot affect.
+
+import (
+	"reflect"
+	"testing"
+
+	"semholo/internal/geom"
+)
+
+type sphere struct {
+	c geom.Vec3
+	r float64
+}
+
+func (s sphere) dist(p geom.Vec3) float64 { return p.Dist(s.c) - s.r }
+
+// twoSpheres is a minimal TemporalField: a static sphere plus a moving
+// one, combined with an exact min. aux caches the field value itself;
+// a previous sample is reusable iff the moving sphere — at its old AND
+// new position — is strictly farther than the cached minimum, in which
+// case the static sphere determined the value in both frames.
+type twoSpheres struct {
+	static       sphere
+	moving, prev sphere
+	warm         bool
+}
+
+func (f *twoSpheres) Eval(p geom.Vec3) (float64, float64) {
+	v := f.static.dist(p)
+	if d := f.moving.dist(p); d < v {
+		v = d
+	}
+	return v, v
+}
+
+func (f *twoSpheres) Reusable(p geom.Vec3, val, aux float64) bool {
+	if !f.warm {
+		return false
+	}
+	return f.prev.dist(p) > aux && f.moving.dist(p) > aux
+}
+
+func temporalGrid() GridSpec {
+	return GridSpec{
+		Bounds: geom.NewAABB(geom.V3(-1, -0.8, -0.8), geom.V3(1, 0.8, 0.8)),
+		Cell:   1.0 / 24,
+	}
+}
+
+func temporalFrame(i int) *twoSpheres {
+	move := func(i int) sphere {
+		return sphere{c: geom.V3(0.35+0.01*float64(i), 0.02*float64(i), 0), r: 0.22}
+	}
+	f := &twoSpheres{
+		static: sphere{c: geom.V3(-0.35, 0, 0), r: 0.3},
+		moving: move(i),
+	}
+	if i > 0 {
+		f.prev = move(i - 1)
+		f.warm = true
+	}
+	return f
+}
+
+func temporalSeeds(f *twoSpheres) []geom.Vec3 {
+	return []geom.Vec3{f.static.c, f.moving.c}
+}
+
+// TestTemporalWarmMatchesCold replays a moving two-sphere scene through
+// one SparseState and demands byte-identical output to independent cold
+// runs, across worker counts.
+func TestTemporalWarmMatchesCold(t *testing.T) {
+	grid := temporalGrid()
+	for _, workers := range []int{1, 3} {
+		st := &SparseState{}
+		for i := 0; i < 10; i++ {
+			f := temporalFrame(i)
+			warm := ExtractIsosurfaceSparseTemporal(f, grid, temporalSeeds(f), workers, st)
+			coldF := temporalFrame(i)
+			coldF.warm = false
+			cold := ExtractIsosurfaceSparseTemporal(coldF, grid, temporalSeeds(coldF), 1, nil)
+			if len(warm.Faces) == 0 {
+				t.Fatalf("frame %d produced no faces", i)
+			}
+			if !reflect.DeepEqual(warm, cold) {
+				t.Fatalf("workers=%d frame %d: warm mesh != cold mesh", workers, i)
+			}
+			if i > 0 && !st.Warm {
+				t.Fatalf("frame %d did not warm-start", i)
+			}
+		}
+	}
+}
+
+// TestTemporalReuseEngages verifies samples near the static sphere are
+// actually served from the cross-frame cache.
+func TestTemporalReuseEngages(t *testing.T) {
+	grid := temporalGrid()
+	st := &SparseState{}
+	for i := 0; i < 3; i++ {
+		f := temporalFrame(i)
+		ExtractIsosurfaceSparseTemporal(f, grid, temporalSeeds(f), 2, st)
+	}
+	if st.Reused == 0 {
+		t.Fatalf("no samples reused (evaluated %d)", st.Evaluated)
+	}
+}
+
+// TestTemporalResetForcesCold: after Reset the next run must not report
+// a warm start yet still produce the cold mesh.
+func TestTemporalResetForcesCold(t *testing.T) {
+	grid := temporalGrid()
+	st := &SparseState{}
+	f0 := temporalFrame(0)
+	ExtractIsosurfaceSparseTemporal(f0, grid, temporalSeeds(f0), 1, st)
+	st.Reset()
+	f1 := temporalFrame(1)
+	warm := ExtractIsosurfaceSparseTemporal(f1, grid, temporalSeeds(f1), 1, st)
+	if st.Warm || st.Reused != 0 {
+		t.Fatalf("Reset did not force a cold run (warm=%v reused=%d)", st.Warm, st.Reused)
+	}
+	coldF := temporalFrame(1)
+	coldF.warm = false
+	cold := ExtractIsosurfaceSparseTemporal(coldF, grid, temporalSeeds(coldF), 1, nil)
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("post-Reset mesh differs from cold")
+	}
+}
+
+// TestAnchoredGridBitwiseStableAcrossBounds pins the anchoring property
+// everything else rests on: the same world lattice point, reached
+// through two grids with different bounds, has bitwise-identical
+// coordinates.
+func TestAnchoredGridBitwiseStableAcrossBounds(t *testing.T) {
+	cell := 1.0 / 24
+	a, ok := GridSpec{Bounds: geom.NewAABB(geom.V3(-1, -1, -1), geom.V3(1, 1, 1)), Cell: cell}.layout()
+	if !ok {
+		t.Fatal("layout a failed")
+	}
+	b, ok := GridSpec{Bounds: geom.NewAABB(geom.V3(-0.63, -0.91, -0.77), geom.V3(1.13, 0.89, 0.99)), Cell: cell}.layout()
+	if !ok {
+		t.Fatal("layout b failed")
+	}
+	sa, sb := newSlabMesh(a), newSlabMesh(b)
+	// Walk a shared region and compare points at equal global coords.
+	for gk := 0; gk < 4; gk++ {
+		for gj := 0; gj < 4; gj++ {
+			for gi := 0; gi < 4; gi++ {
+				pa := sa.latticePoint(gi-a.base[0], gj-a.base[1], gk-a.base[2])
+				pb := sb.latticePoint(gi-b.base[0], gj-b.base[1], gk-b.base[2])
+				if pa != pb {
+					t.Fatalf("global (%d,%d,%d): %v != %v", gi, gj, gk, pa, pb)
+				}
+			}
+		}
+	}
+}

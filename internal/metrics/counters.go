@@ -1,0 +1,106 @@
+package metrics
+
+// Counters for the temporal-coherence reconstruction cache (mesh LRU
+// hits, warm vs cold frames, per-sample SDF reuse). One ReconCounters
+// instance may be shared by several reconstructors — e.g. every receiver
+// of a cloud session — so all fields are atomic.
+
+import "sync/atomic"
+
+// ReconCounters aggregates reconstruction-cache telemetry. The zero
+// value is ready to use; methods on a nil receiver are no-ops, so call
+// sites never need to guard the optional counter hookup.
+type ReconCounters struct {
+	meshHits      atomic.Uint64
+	meshMisses    atomic.Uint64
+	meshEvictions atomic.Uint64
+	warmFrames    atomic.Uint64
+	coldFrames    atomic.Uint64
+	reused        atomic.Uint64
+	evaluated     atomic.Uint64
+}
+
+// AddMeshHit records a pose-keyed mesh cache hit.
+func (c *ReconCounters) AddMeshHit() {
+	if c != nil {
+		c.meshHits.Add(1)
+	}
+}
+
+// AddMeshMiss records a pose-keyed mesh cache miss.
+func (c *ReconCounters) AddMeshMiss() {
+	if c != nil {
+		c.meshMisses.Add(1)
+	}
+}
+
+// AddMeshEviction records an LRU eviction.
+func (c *ReconCounters) AddMeshEviction() {
+	if c != nil {
+		c.meshEvictions.Add(1)
+	}
+}
+
+// AddFrame records one reconstructed frame and its per-sample SDF
+// evaluation split: reused samples were copied from the previous frame's
+// lattice cache, evaluated samples ran the full smooth-union.
+func (c *ReconCounters) AddFrame(warm bool, reused, evaluated int) {
+	if c == nil {
+		return
+	}
+	if warm {
+		c.warmFrames.Add(1)
+	} else {
+		c.coldFrames.Add(1)
+	}
+	c.reused.Add(uint64(reused))
+	c.evaluated.Add(uint64(evaluated))
+}
+
+// Snapshot returns a consistent-enough copy for reporting (individual
+// loads are atomic; the set is not a transaction, which reporting does
+// not need).
+func (c *ReconCounters) Snapshot() ReconStats {
+	if c == nil {
+		return ReconStats{}
+	}
+	return ReconStats{
+		MeshHits:         c.meshHits.Load(),
+		MeshMisses:       c.meshMisses.Load(),
+		MeshEvictions:    c.meshEvictions.Load(),
+		WarmFrames:       c.warmFrames.Load(),
+		ColdFrames:       c.coldFrames.Load(),
+		SamplesReused:    c.reused.Load(),
+		SamplesEvaluated: c.evaluated.Load(),
+	}
+}
+
+// ReconStats is a point-in-time copy of ReconCounters.
+type ReconStats struct {
+	MeshHits         uint64
+	MeshMisses       uint64
+	MeshEvictions    uint64
+	WarmFrames       uint64
+	ColdFrames       uint64
+	SamplesReused    uint64
+	SamplesEvaluated uint64
+}
+
+// HitRate is the fraction of Reconstruct calls served from the mesh LRU.
+func (s ReconStats) HitRate() float64 {
+	total := s.MeshHits + s.MeshMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MeshHits) / float64(total)
+}
+
+// ReuseRate is the fraction of lattice samples satisfied by the
+// cross-frame cache instead of a fresh SDF evaluation.
+func (s ReconStats) ReuseRate() float64 {
+	total := s.SamplesReused + s.SamplesEvaluated
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SamplesReused) / float64(total)
+}

@@ -16,6 +16,13 @@ type ICPOptions struct {
 	// MaxCorrespondenceDist rejects pairs farther apart (meters);
 	// 0 accepts everything.
 	MaxCorrespondenceDist float64
+	// TargetTree, when non-nil, is used for nearest-neighbor queries
+	// instead of building a fresh kd-tree over target — the caller
+	// promises it indexes exactly the target slice. Calibration
+	// refinement registers every capture view against the same reference
+	// cloud, so building the tree once per session (NewKDTree) and
+	// passing it here removes the dominant per-call allocation.
+	TargetTree *KDTree
 }
 
 // ICPResult reports registration quality.
@@ -53,7 +60,10 @@ func ICP(source, target []geom.Vec3, opt ICPOptions) (geom.Mat4, ICPResult) {
 	if len(source) == 0 || len(target) == 0 {
 		return transform, res
 	}
-	tree := NewKDTree(target)
+	tree := opt.TargetTree
+	if tree == nil {
+		tree = NewKDTree(target)
+	}
 	moved := append([]geom.Vec3(nil), source...)
 
 	prevRMS := math.Inf(1)

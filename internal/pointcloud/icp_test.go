@@ -161,3 +161,22 @@ func BenchmarkICP(b *testing.B) {
 		ICP(source, target, ICPOptions{})
 	}
 }
+
+// TestICPReusesProvidedTree: passing a prebuilt kd-tree over target must
+// yield bitwise-identical results to the default path, so callers can
+// hoist the tree build out of per-view registration loops.
+func TestICPReusesProvidedTree(t *testing.T) {
+	target := boxCloud(600, 7)
+	drift := geom.RigidTransform(geom.RotationY(0.08), geom.V3(0.04, -0.02, 0.03))
+	inv, _ := drift.Inverse()
+	source := applyAll(target, inv)
+
+	wantT, wantRes := ICP(source, target, ICPOptions{})
+	tree := NewKDTree(target)
+	for view := 0; view < 3; view++ {
+		gotT, gotRes := ICP(source, target, ICPOptions{TargetTree: tree})
+		if gotT != wantT || gotRes != wantRes {
+			t.Fatalf("view %d: shared-tree ICP diverged: %+v vs %+v", view, gotRes, wantRes)
+		}
+	}
+}

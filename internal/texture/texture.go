@@ -98,6 +98,14 @@ func CompressBTC(colors []pointcloud.Color, width, height int) ([]byte, error) {
 
 // DecompressBTC reverses CompressBTC.
 func DecompressBTC(data []byte) (colors []pointcloud.Color, width, height int, err error) {
+	return DecompressBTCInto(nil, data)
+}
+
+// DecompressBTCInto is DecompressBTC writing into dst when its capacity
+// suffices, so streaming decoders can reuse one pixel buffer across
+// frames. The returned slice aliases dst on reuse; pass the previous
+// frame's buffer only if it is no longer read.
+func DecompressBTCInto(dst []pointcloud.Color, data []byte) (colors []pointcloud.Color, width, height int, err error) {
 	if len(data) < 8 || string(data[:4]) != btcMagic {
 		return nil, 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
@@ -110,7 +118,11 @@ func DecompressBTC(data []byte) (colors []pointcloud.Color, width, height int, e
 	if len(data) != 8+blocks*6 {
 		return nil, 0, 0, fmt.Errorf("%w: %d bytes for %d blocks", ErrCorrupt, len(data), blocks)
 	}
-	colors = make([]pointcloud.Color, width*height)
+	if n := width * height; cap(dst) >= n {
+		colors = dst[:n]
+	} else {
+		colors = make([]pointcloud.Color, n)
+	}
 	pos := 8
 	for by := 0; by < height; by += 4 {
 		for bx := 0; bx < width; bx += 4 {

@@ -22,6 +22,7 @@ package semholo
 import (
 	"math"
 
+	"semholo/internal/avatar"
 	"semholo/internal/body"
 	"semholo/internal/capture"
 	"semholo/internal/compress"
@@ -167,6 +168,17 @@ type KeypointOptions struct {
 	// Parallelism bounds receiver reconstruction workers (0 =
 	// GOMAXPROCS, 1 = serial); the mesh is identical at any setting.
 	Parallelism int
+	// WarmStart enables temporal-coherence reconstruction at the
+	// receiver: the surface band and SDF samples of the previous frame
+	// seed the next. The mesh stays byte-identical; only the rate and
+	// allocation behavior change.
+	WarmStart bool
+	// CacheSize, when > 0, adds a pose-keyed mesh LRU of that capacity
+	// in front of reconstruction.
+	CacheSize int
+	// CacheQuant quantizes pose parameters in the cache key (radians /
+	// meters per step); 0 requires bitwise-identical parameters to hit.
+	CacheQuant float64
 }
 
 // NewKeypointPipeline builds the paper's proof-of-concept pipeline (§4):
@@ -191,8 +203,21 @@ func NewKeypointPipeline(w *World, opt KeypointOptions) (Encoder, *core.Keypoint
 		Codec:       compress.LZR(),
 		SendTexture: opt.SendTexture,
 	}
-	dec := &core.KeypointDecoder{Model: w.Model, Codec: compress.LZR(), Resolution: res, Workers: opt.Parallelism}
+	dec := &core.KeypointDecoder{
+		Model: w.Model, Codec: compress.LZR(), Resolution: res,
+		Workers: opt.Parallelism, WarmStart: opt.WarmStart,
+		Cache: newMeshCache(opt.CacheSize, opt.CacheQuant),
+	}
 	return enc, dec
+}
+
+// newMeshCache builds the pose-keyed mesh LRU behind the CacheSize /
+// CacheQuant pipeline options (nil when disabled).
+func newMeshCache(size int, quant float64) *avatar.MeshCache {
+	if size <= 0 {
+		return nil
+	}
+	return &avatar.MeshCache{Capacity: size, Quant: quant}
 }
 
 // NewTraditionalPipeline builds the bit-by-bit baseline: Draco-style
@@ -284,6 +309,14 @@ type HybridOptions struct {
 	// Parallelism bounds receiver reconstruction workers (0 =
 	// GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// WarmStart enables temporal-coherence peripheral reconstruction
+	// (byte-identical mesh, faster steady state).
+	WarmStart bool
+	// CacheSize, when > 0, adds a pose-keyed mesh LRU of that capacity
+	// in front of peripheral reconstruction; CacheQuant quantizes its
+	// key (0 = exact match only).
+	CacheSize  int
+	CacheQuant float64
 }
 
 // NewHybridPipeline builds the §3.1 foveated scheme: compressed mesh for
@@ -314,6 +347,8 @@ func NewHybridPipeline(w *World, opt HybridOptions) (*core.HybridEncoder, *core.
 		PeripheralResolution: opt.PeripheralResolution,
 		Selector:             sel,
 		Workers:              opt.Parallelism,
+		WarmStart:            opt.WarmStart,
+		Cache:                newMeshCache(opt.CacheSize, opt.CacheQuant),
 	}
 	return enc, dec
 }
