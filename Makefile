@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache
+.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check
 
 ## verify: the full pre-commit gate — formatting, vet, build, tests.
 verify: fmt-check vet build test
@@ -32,12 +32,20 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'Parallel' -benchmem .
 
-## ci: the full gate — vet, build, race-enabled tests, and the
+## ci: the full gate — vet, build, race-enabled tests, the
 ## temporal-coherence determinism suite (warm/cached output must stay
-## byte-identical to cold reconstruction).
+## byte-identical to cold reconstruction), and the observability gate.
 ci: vet build
 	$(GO) test -race -short ./...
 	$(MAKE) cache-determinism
+	$(MAKE) obs-check
+
+## obs-check: the observability gate — vet plus the race-enabled metric
+## registry / wire-trace suites (concurrent counters, histograms,
+## exposition, and the end-to-end scrape integration test).
+obs-check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/obs ./internal/transport
 
 ## cache-determinism: the warm-vs-cold byte-identity regression tests.
 cache-determinism:

@@ -17,22 +17,37 @@ import (
 	"strconv"
 	"strings"
 
+	"log"
+
 	"semholo/internal/experiments"
 	"semholo/internal/netsim"
+	"semholo/internal/obs"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
-		resArg   = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
-		frames   = flag.Int("frames", 5, "frames per measurement")
-		full     = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		par      = flag.Int("par", 0, "worker goroutines per kernel (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
-		cache    = flag.Bool("cache", false, "enable warm-start reconstruction and the pose-keyed mesh LRU in pipeline decoders (output identical, faster)")
-		cacheOut = flag.String("cacheout", "BENCH_cache.json", "output path for the cache experiment's JSON record")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
+		resArg    = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
+		frames    = flag.Int("frames", 5, "frames per measurement")
+		full      = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		par       = flag.Int("par", 0, "worker goroutines per kernel (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		cache     = flag.Bool("cache", false, "enable warm-start reconstruction and the pose-keyed mesh LRU in pipeline decoders (output identical, faster)")
+		cacheOut  = flag.String("cacheout", "BENCH_cache.json", "output path for the cache experiment's JSON record")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and pprof on this address while experiments run")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// The default registry plus pprof: long experiment runs become
+		// profile-able and scrape-able without a rebuild.
+		srv, err := obs.Serve(*debugAddr, obs.Default, nil)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/metrics\n", srv.Addr())
+	}
 
 	env := experiments.NewEnv(experiments.EnvOptions{Seed: *seed, Parallelism: *par, Cache: *cache})
 	fmt.Printf("parallelism: %d workers\n", env.Parallelism)

@@ -22,24 +22,37 @@ import (
 
 	"semholo"
 	"semholo/internal/mesh"
+	"semholo/internal/metrics"
+	"semholo/internal/obs"
 	"semholo/internal/transport"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7843", "listen address")
-		mode   = flag.String("mode", "keypoint", "semantics: keypoint|traditional|text")
-		res    = flag.Int("res", 64, "keypoint reconstruction resolution")
-		dump   = flag.String("dump", "", "directory to dump OBJ reconstructions (every 30th frame)")
-		name   = flag.String("name", "site-B", "participant name")
+		listen    = flag.String("listen", "127.0.0.1:7843", "listen address")
+		mode      = flag.String("mode", "keypoint", "semantics: keypoint|traditional|text")
+		res       = flag.Int("res", 64, "keypoint reconstruction resolution")
+		dump      = flag.String("dump", "", "directory to dump OBJ reconstructions (every 30th frame)")
+		name      = flag.String("name", "site-B", "participant name")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/* and pprof on this address (e.g. 127.0.0.1:6061)")
 	)
 	flag.Parse()
+
+	// Observability: the receiver is where cross-site spans land — the
+	// trace extension on arriving frames yields network and end-to-end
+	// motion-to-photon latency against the 100 ms budget.
+	reg := obs.NewRegistry()
+	pm := obs.NewPipelineMetrics(reg)
+	var recon metrics.ReconCounters
+	recon.Register(reg)
 
 	world := semholo.NewWorld(semholo.WorldOptions{})
 	var dec semholo.Decoder
 	switch *mode {
 	case "keypoint":
 		_, kd := semholo.NewKeypointPipeline(world, semholo.KeypointOptions{Resolution: *res})
+		kd.Counters = &recon
+		kd.Obs = pm
 		dec = kd
 	case "traditional":
 		_, dec = semholo.NewTraditionalPipeline()
@@ -65,11 +78,24 @@ func main() {
 	}
 	log.Printf("session with %s (%s @ %.0f fps)", peer.Peer, peer.Mode, peer.FPS)
 
+	sess.Instrument(reg, "receiver")
 	tracer := &semholo.Tracer{}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg, map[string]func() any{
+			"trace":  func() any { return tracer.SnapshotOrdered() },
+			"budget": func() any { return pm.Report() },
+		})
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s/metrics", srv.Addr())
+	}
 	receiver := &semholo.Receiver{
 		Session:   sess,
 		Decoder:   dec,
 		Tracer:    tracer,
+		Obs:       pm,
 		Estimator: transport.NewBandwidthEstimator(),
 	}
 	start := time.Now()
@@ -91,11 +117,27 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start).Seconds()
-	_, recv, _, _ := sess.Stats()
+	recv := sess.Stats().BytesReceived
 	fmt.Printf("received %d media frames (%.2f MB) in %.1fs — %.2f Mbps, est %.2f Mbps\n",
 		frames, float64(recv)/1e6, elapsed, float64(recv)*8/elapsed/1e6,
 		receiver.Estimator.Estimate()/1e6)
 	fmt.Print(tracer.Report())
+	printBudget(pm.Report())
+}
+
+// printBudget renders the motion-to-photon budget attribution when the
+// sender shipped trace timestamps.
+func printBudget(r obs.BudgetReport) {
+	if r.Frames == 0 {
+		return
+	}
+	fmt.Printf("motion-to-photon: p50 %.1f ms  p95 %.1f ms over %d frames (budget %.0f ms, %d overruns)\n",
+		r.E2EP50Ms, r.E2EP95Ms, r.Frames, r.BudgetMs, int(r.Overruns))
+	fmt.Printf("%-14s %8s %10s %10s %10s %10s\n", "stage", "count", "mean(ms)", "p50(ms)", "p95(ms)", "budget%")
+	for _, s := range r.Stages {
+		fmt.Printf("%-14s %8d %10.2f %10.2f %10.2f %10.1f\n",
+			s.Stage, s.Count, s.MeanMs, s.P50Ms, s.P95Ms, 100*s.BudgetShare)
+	}
 }
 
 func describe(frame int, data semholo.FrameData) {

@@ -23,6 +23,7 @@ import (
 	"semholo/internal/capture"
 	"semholo/internal/experiments"
 	"semholo/internal/geom"
+	"semholo/internal/obs"
 	"semholo/internal/pointcloud"
 	"semholo/internal/render"
 	"semholo/internal/textsem"
@@ -30,11 +31,20 @@ import (
 
 func main() {
 	var (
-		out  = flag.String("out", "renders", "output directory")
-		res  = flag.Int("size", 256, "render resolution (pixels)")
-		seed = flag.Int64("seed", 1, "scene seed")
+		out       = flag.String("out", "renders", "output directory")
+		res       = flag.Int("size", 256, "render resolution (pixels)")
+		seed      = flag.Int64("seed", 1, "scene seed")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and pprof on this address while rendering")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.Default, nil)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/metrics\n", srv.Addr())
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}

@@ -18,16 +18,18 @@ import (
 
 	"semholo"
 	"semholo/internal/body"
+	"semholo/internal/obs"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7843", "receiver address")
-		mode   = flag.String("mode", "keypoint", "semantics: keypoint|traditional|text")
-		frames = flag.Int("frames", 120, "frames to stream")
-		fps    = flag.Float64("fps", 30, "capture rate")
-		motion = flag.String("motion", "talking", "workload: talking|walking|waving")
-		name   = flag.String("name", "site-A", "participant name")
+		addr      = flag.String("addr", "127.0.0.1:7843", "receiver address")
+		mode      = flag.String("mode", "keypoint", "semantics: keypoint|traditional|text")
+		frames    = flag.Int("frames", 120, "frames to stream")
+		fps       = flag.Float64("fps", 30, "capture rate")
+		motion    = flag.String("motion", "talking", "workload: talking|walking|waving")
+		name      = flag.String("name", "site-A", "participant name")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/* and pprof on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
@@ -66,21 +68,41 @@ func main() {
 	}
 	log.Printf("connected to %s", peer.Peer)
 
+	// Observability: every telemetry source registers into one registry;
+	// sender frames carry the capture-timestamp trace extension so the
+	// receiver can compute cross-site motion-to-photon latency.
+	reg := obs.NewRegistry()
+	pm := obs.NewPipelineMetrics(reg)
+	sess.Instrument(reg, "sender")
 	tracer := &semholo.Tracer{}
-	sender := &semholo.Sender{Session: sess, Encoder: enc, Tracer: tracer}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg, map[string]func() any{
+			"trace":  func() any { return tracer.SnapshotOrdered() },
+			"budget": func() any { return pm.Report() },
+		})
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s/metrics", srv.Addr())
+	}
+	sender := &semholo.Sender{Session: sess, Encoder: enc, Tracer: tracer, Obs: pm}
 	interval := time.Duration(float64(time.Second) / *fps)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 
 	start := time.Now()
 	for i := 0; i < *frames; i++ {
+		capturedAt := time.Now()
 		cap := world.FrameAt(i)
-		if err := sender.SendFrame(cap); err != nil {
+		pm.ObserveStage(obs.StageCapture, time.Since(capturedAt))
+		if err := sender.SendFrameCaptured(cap, capturedAt); err != nil {
 			log.Fatalf("frame %d: %v", i, err)
 		}
 		<-ticker.C
 	}
-	sent, _, nframes, _ := sess.Stats()
+	st := sess.Stats()
+	sent, nframes := st.BytesSent, st.FramesSent
 	elapsed := time.Since(start).Seconds()
 	fmt.Printf("streamed %d media frames (%d wire frames, %.2f MB) in %.1fs — %.2f Mbps\n",
 		*frames, nframes, float64(sent)/1e6, elapsed, float64(sent)*8/elapsed/1e6)

@@ -95,7 +95,8 @@ func run(wg *sync.WaitGroup, results chan<- string, s *site, connect func() (*se
 	}
 	got := <-recvDone
 	elapsed := time.Since(start).Seconds()
-	sent, recv, _, _ := sess.Stats()
+	st := sess.Stats()
+	sent, recv := st.BytesSent, st.BytesReceived
 	results <- fmt.Sprintf(
 		"%s: sent %d frames (%.1f KB, %.2f Mbps), received %d frames (%.1f KB) in %.1fs",
 		s.name, frames, float64(sent)/1024, float64(sent)*8/elapsed/1e6,

@@ -63,7 +63,7 @@ func main() {
 	if err := <-done; err != nil {
 		log.Fatalf("receive: %v", err)
 	}
-	sent, _, _, _ := sess.Stats()
+	sent := sess.Stats().BytesSent
 	perFrame := float64(sent) / 30
 	fmt.Printf("alice: 30 frames in %.1f KB total (%.0f bytes/frame) — %.2f Mbps at 30 FPS\n",
 		float64(sent)/1024, perFrame, perFrame*8*30/1e6)

@@ -21,6 +21,7 @@ import (
 	"semholo/internal/body"
 	"semholo/internal/capture"
 	"semholo/internal/mesh"
+	"semholo/internal/obs"
 	"semholo/internal/pointcloud"
 	"semholo/internal/render"
 	"semholo/internal/transport"
@@ -88,6 +89,9 @@ type FrameData struct {
 	Cloud *pointcloud.Cloud
 	// NovelView carries a rendered receiver-side view (image mode).
 	NovelView *render.Frame
+	// Trace carries the frame's end-to-end timing record when the sender
+	// put the trace extension on the wire (nil otherwise).
+	Trace *obs.FrameTrace
 }
 
 // Encoder turns a capture into wire payloads. Implementations are

@@ -10,6 +10,7 @@ import (
 	"semholo/internal/geom"
 	"semholo/internal/keypoint"
 	"semholo/internal/metrics"
+	"semholo/internal/obs"
 	"semholo/internal/pointcloud"
 	"semholo/internal/texture"
 	"semholo/internal/transport"
@@ -153,6 +154,9 @@ type KeypointDecoder struct {
 	Cache *avatar.MeshCache
 	// Counters, when non-nil, accumulates cache and warm-start telemetry.
 	Counters *metrics.ReconCounters
+	// Obs, when non-nil, records the reconstruct stage span separately
+	// from the enclosing decode span.
+	Obs *obs.PipelineMetrics
 
 	rec *avatar.Reconstructor
 	// Views enables texture decoding when the sender ships it.
@@ -207,7 +211,9 @@ func (d *KeypointDecoder) Decode(channels []transport.Frame) (FrameData, error) 
 			}
 			out.Params = params
 			if d.Resolution > 0 && d.Model != nil {
+				stop := d.Obs.StartStage(obs.StageReconstruct)
 				out.Mesh = d.reconstructor().Reconstruct(params)
+				stop()
 			}
 		default:
 			return FrameData{}, errUnexpectedChannel(ModeKeypoint, f.Channel)

@@ -3,10 +3,12 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"semholo/internal/capture"
 	"semholo/internal/geom"
+	"semholo/internal/obs"
 	"semholo/internal/trace"
 	"semholo/internal/transport"
 )
@@ -31,21 +33,38 @@ type Sender struct {
 	Session *transport.Session
 	Encoder Encoder
 	Tracer  *trace.Tracer
+	// Obs, when set, records encode/send stage spans into the shared
+	// metrics registry and threads a capture-timestamp/trace-ID trace
+	// extension through every wire frame, so the receiver can compute
+	// true cross-site motion-to-photon latency per frame.
+	Obs *obs.PipelineMetrics
 
 	// OnGaze, when set, receives remote gaze anchors (wired to the
 	// hybrid encoder by NewHybridSender-style constructors or manually).
 	OnGaze func(geom.Vec3)
 	// OnBandwidth receives remote bandwidth reports (for adaptation).
 	OnBandwidth func(bps float64)
+
+	traceSeq atomic.Uint64
 }
 
-// SendFrame encodes and transmits one capture.
+// SendFrame encodes and transmits one capture, taking "now" as the
+// capture instant.
 func (s *Sender) SendFrame(c capture.Capture) error {
+	return s.SendFrameCaptured(c, time.Now())
+}
+
+// SendFrameCaptured encodes and transmits one capture taken at
+// capturedAt — the wall-clock origin of the frame's motion-to-photon
+// trace when Obs is set.
+func (s *Sender) SendFrameCaptured(c capture.Capture, capturedAt time.Time) error {
 	var stop func()
 	if s.Tracer != nil {
 		stop = s.Tracer.Start("encode")
 	}
+	stopObs := s.Obs.StartStage(obs.StageEncode)
 	enc, err := s.Encoder.Encode(c)
+	stopObs()
 	if stop != nil {
 		stop()
 	}
@@ -54,6 +73,16 @@ func (s *Sender) SendFrame(c capture.Capture) error {
 	}
 	if s.Tracer != nil {
 		defer s.Tracer.Start("send")()
+	}
+	if s.Obs != nil {
+		captureTS := uint64(capturedAt.UnixMicro())
+		traceID := s.traceSeq.Add(1)
+		for _, ch := range enc.Channels {
+			if err := s.Session.SendTraced(ch.Channel, ch.Flags, ch.Payload, captureTS, traceID); err != nil {
+				return fmt.Errorf("core: send channel %d: %w", ch.Channel, err)
+			}
+		}
+		return nil
 	}
 	for _, ch := range enc.Channels {
 		if err := s.Session.Send(ch.Channel, ch.Flags, ch.Payload); err != nil {
@@ -90,6 +119,10 @@ type Receiver struct {
 	Session *transport.Session
 	Decoder Decoder
 	Tracer  *trace.Tracer
+	// Obs, when set, records network/decode spans and end-to-end
+	// motion-to-photon latency from the trace extension traced senders
+	// put on the wire, and attaches the FrameTrace to decoded frames.
+	Obs *obs.PipelineMetrics
 	// Estimator, when set, observes arriving bytes for rate adaptation.
 	Estimator *transport.BandwidthEstimator
 
@@ -123,18 +156,36 @@ func (r *Receiver) NextFrame() (FrameData, error) {
 			if f.Flags&transport.FlagEndOfFrame == 0 {
 				continue
 			}
+			// The end-of-frame wire frame carries the media frame's trace
+			// extension; its arrival closes the network span.
+			var ft *obs.FrameTrace
+			if f.Traced() {
+				ft = &obs.FrameTrace{
+					TraceID:       f.TraceID,
+					CaptureMicros: f.CaptureTS,
+					SendMicros:    f.SendTS,
+					ArrivedAt:     time.Now(),
+				}
+			}
 			frames := r.pending
 			r.pending = r.pending[:0]
 			var stop func()
 			if r.Tracer != nil {
 				stop = r.Tracer.Start("decode")
 			}
+			stopObs := r.Obs.StartStage(obs.StageDecode)
 			data, err := r.Decoder.Decode(frames)
+			stopObs()
 			if stop != nil {
 				stop()
 			}
 			if err != nil {
 				return FrameData{}, err
+			}
+			if ft != nil {
+				ft.DecodedAt = time.Now()
+				r.Obs.ObserveTrace(*ft)
+				data.Trace = ft
 			}
 			return data, nil
 		default:

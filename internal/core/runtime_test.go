@@ -82,7 +82,7 @@ func TestEndToEndKeypointSession(t *testing.T) {
 		t.Error("encode spans missing")
 	}
 	// Keypoint mode over the paper's 25 Mbps broadband: trivially fits.
-	sent, _, _, _ := sender.Session.Stats()
+	sent := sender.Session.Stats().BytesSent
 	perFrame := float64(sent) / nFrames
 	if perFrame > 4096 {
 		t.Errorf("keypoint session sends %.0f bytes/frame", perFrame)
@@ -102,7 +102,7 @@ func TestEndToEndTraditionalSessionSlower(t *testing.T) {
 	if _, err := receiverT.NextFrame(); err != nil {
 		t.Fatal(err)
 	}
-	sentT, _, _, _ := senderT.Session.Stats()
+	sentT := senderT.Session.Stats().BytesSent
 
 	encK := newKeypointEncoder(false)
 	decK := &KeypointDecoder{Model: testModel, Codec: compress.LZR()}
@@ -112,7 +112,7 @@ func TestEndToEndTraditionalSessionSlower(t *testing.T) {
 	if _, err := receiverK.NextFrame(); err != nil {
 		t.Fatal(err)
 	}
-	sentK, _, _, _ := senderK.Session.Stats()
+	sentK := senderK.Session.Stats().BytesSent
 
 	if ratio := float64(sentT) / float64(sentK); ratio < 10 {
 		t.Errorf("wire ratio traditional/keypoint = %.1f", ratio)

@@ -5,7 +5,11 @@ package metrics
 // instance may be shared by several reconstructors — e.g. every receiver
 // of a cloud session — so all fields are atomic.
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"semholo/internal/obs"
+)
 
 // ReconCounters aggregates reconstruction-cache telemetry. The zero
 // value is ready to use; methods on a nil receiver are no-ops, so call
@@ -73,6 +77,32 @@ func (c *ReconCounters) Snapshot() ReconStats {
 		SamplesReused:    c.reused.Load(),
 		SamplesEvaluated: c.evaluated.Load(),
 	}
+}
+
+// Register wires the counters into the shared observability registry as
+// pull-backed series, so one /metrics scrape reports reconstruction
+// cache behavior alongside the rest of the pipeline. Safe on nil (no-op)
+// to match the rest of the ReconCounters API.
+func (c *ReconCounters) Register(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	ops := reg.Counter("semholo_recon_mesh_cache_ops_total",
+		"Pose-keyed mesh LRU operations.", "op")
+	ops.Func(func() float64 { return float64(c.meshHits.Load()) }, "hit")
+	ops.Func(func() float64 { return float64(c.meshMisses.Load()) }, "miss")
+	ops.Func(func() float64 { return float64(c.meshEvictions.Load()) }, "eviction")
+	frames := reg.Counter("semholo_recon_frames_total",
+		"Reconstructed frames by extraction mode.", "kind")
+	frames.Func(func() float64 { return float64(c.warmFrames.Load()) }, "warm")
+	frames.Func(func() float64 { return float64(c.coldFrames.Load()) }, "cold")
+	samples := reg.Counter("semholo_recon_samples_total",
+		"SDF lattice samples by source.", "kind")
+	samples.Func(func() float64 { return float64(c.reused.Load()) }, "reused")
+	samples.Func(func() float64 { return float64(c.evaluated.Load()) }, "evaluated")
+	reg.GaugeFunc("semholo_recon_mesh_cache_hit_rate",
+		"Fraction of Reconstruct calls served from the mesh LRU.",
+		func() float64 { return c.Snapshot().HitRate() })
 }
 
 // ReconStats is a point-in-time copy of ReconCounters.

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"semholo/internal/obs"
 )
 
 // LinkConfig describes one direction of an emulated link.
@@ -25,14 +27,24 @@ type LinkConfig struct {
 	// MTU bounds the chunk size moved per scheduling decision (default
 	// 16 KiB; smaller values model finer-grained interleaving).
 	MTU int
-	// Seed makes jitter reproducible.
+	// Loss is the per-chunk packet loss probability in [0,1). The
+	// emulated transport is reliable (a byte stream), so a lost chunk is
+	// not discarded — it is delivered after an extra RetransmitDelay,
+	// modeling retransmission recovery — and counted in Stats drops.
+	Loss float64
+	// RetransmitDelay is the extra delay a lost chunk pays (default
+	// 2×Delay + 10 ms, a coarse RTO).
+	RetransmitDelay time.Duration
+	// Seed makes jitter and loss reproducible.
 	Seed int64
 }
 
 // Stats counts traffic through one direction of a link.
 type Stats struct {
-	bytes   atomic.Int64
-	packets atomic.Int64
+	bytes        atomic.Int64
+	packets      atomic.Int64
+	drops        atomic.Int64
+	droppedBytes atomic.Int64
 }
 
 // Bytes returns the total payload bytes delivered.
@@ -40,6 +52,13 @@ func (s *Stats) Bytes() int64 { return s.bytes.Load() }
 
 // Packets returns the number of chunks delivered.
 func (s *Stats) Packets() int64 { return s.packets.Load() }
+
+// Drops returns the number of chunks lost on first transmission (each
+// was recovered after a retransmission delay).
+func (s *Stats) Drops() int64 { return s.drops.Load() }
+
+// DroppedBytes returns the payload bytes of dropped chunks.
+func (s *Stats) DroppedBytes() int64 { return s.droppedBytes.Load() }
 
 // Link is a bidirectional emulated link between two net.Conn endpoints.
 type Link struct {
@@ -67,6 +86,30 @@ func (l *Link) SetBandwidthAtoB(bps float64) { l.bwAtoB.Store(int64(bps)) }
 
 // SetBandwidthBtoA changes the b→a direction only.
 func (l *Link) SetBandwidthBtoA(bps float64) { l.bwBtoA.Store(int64(bps)) }
+
+// Instrument registers both directions' delivery statistics into the
+// observability registry as pull-backed counters labeled with the link
+// name and direction, so link behavior (including recovered losses,
+// which are otherwise silent) shows up on the same scrape as the
+// pipeline it constrains.
+func (l *Link) Instrument(reg *obs.Registry, name string) {
+	bytes := reg.Counter("semholo_netsim_bytes_total",
+		"Emulated-link payload bytes delivered.", "link", "direction")
+	packets := reg.Counter("semholo_netsim_packets_total",
+		"Emulated-link chunks delivered.", "link", "direction")
+	drops := reg.Counter("semholo_netsim_drops_total",
+		"Emulated-link chunks lost on first transmission (recovered after a retransmission delay).",
+		"link", "direction")
+	droppedBytes := reg.Counter("semholo_netsim_dropped_bytes_total",
+		"Payload bytes of chunks lost on first transmission.", "link", "direction")
+	for dir, s := range map[string]*Stats{"a_to_b": l.AtoB, "b_to_a": l.BtoA} {
+		s := s
+		bytes.Func(func() float64 { return float64(s.Bytes()) }, name, dir)
+		packets.Func(func() float64 { return float64(s.Packets()) }, name, dir)
+		drops.Func(func() float64 { return float64(s.Drops()) }, name, dir)
+		droppedBytes.Func(func() float64 { return float64(s.DroppedBytes()) }, name, dir)
+	}
+}
 
 // Close tears down the link and both endpoints.
 func (l *Link) Close() {
@@ -124,6 +167,17 @@ func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats) {
 			deliverAt := txFree.Add(cfg.Delay)
 			if cfg.Jitter > 0 {
 				deliverAt = deliverAt.Add(time.Duration(rng.Int63n(int64(cfg.Jitter))))
+			}
+			if cfg.Loss > 0 && rng.Float64() < cfg.Loss {
+				// Lost on first transmission: the reliable stream recovers
+				// it one retransmission delay later.
+				rto := cfg.RetransmitDelay
+				if rto <= 0 {
+					rto = 2*cfg.Delay + 10*time.Millisecond
+				}
+				deliverAt = deliverAt.Add(rto)
+				stats.drops.Add(1)
+				stats.droppedBytes.Add(int64(n))
 			}
 			if d := time.Until(deliverAt); d > 0 {
 				time.Sleep(d)

@@ -164,3 +164,50 @@ func TestSetBandwidthMidSession(t *testing.T) {
 		t.Errorf("bandwidth recovery had no effect: slow=%v recovered=%v", slow, recovered)
 	}
 }
+
+func TestLossCountedAndRecovered(t *testing.T) {
+	// High loss with a tiny RTO: every byte must still arrive (the link
+	// models a reliable stream) while drops are counted.
+	a, b, link := Pipe(LinkConfig{
+		MTU: 256, Loss: 0.5, RetransmitDelay: time.Millisecond, Seed: 7,
+	})
+	defer link.Close()
+
+	payload := bytes.Repeat([]byte("semholo!"), 1024) // 8 KiB = 32 chunks
+	go func() { a.Write(payload) }()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("lossy link corrupted the byte stream")
+	}
+	if link.AtoB.Drops() == 0 {
+		t.Error("no drops counted at 50% loss over 32 chunks")
+	}
+	if link.AtoB.DroppedBytes() == 0 {
+		t.Error("no dropped bytes counted")
+	}
+	if link.AtoB.Drops() > link.AtoB.Packets() {
+		t.Errorf("drops %d exceed packets %d", link.AtoB.Drops(), link.AtoB.Packets())
+	}
+	if link.AtoB.Bytes() != int64(len(payload)) {
+		t.Errorf("delivered bytes = %d, want %d", link.AtoB.Bytes(), len(payload))
+	}
+}
+
+func TestRetransmitDelayApplied(t *testing.T) {
+	// Loss=1 with a large RTO: every chunk pays the retransmission
+	// penalty, so a one-chunk transfer takes at least RTO.
+	a, b, link := Pipe(LinkConfig{Loss: 1, RetransmitDelay: 50 * time.Millisecond, Seed: 1})
+	defer link.Close()
+	go func() { a.Write([]byte("x")) }()
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("lost chunk delivered in %v, want >= ~50ms retransmission delay", elapsed)
+	}
+}

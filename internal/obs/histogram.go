@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets spans the latency regimes the paper cares about:
+// sub-millisecond stage work up through multi-second stalls, with extra
+// resolution around the 100 ms motion-to-photon budget (§1). Values are
+// seconds, matching Prometheus convention.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.02, 0.035, 0.05,
+		0.075, 0.1, 0.15, 0.25, 0.5, 1, 2.5, 5,
+	}
+}
+
+// histogramData is the lock-free storage behind one histogram series:
+// non-cumulative per-bucket counts (cumulated at export), a float sum,
+// and a total count. Observations are two atomic adds plus a binary
+// search — cheap enough for per-frame instrumentation.
+type histogramData struct {
+	bounds []float64       // sorted upper bounds; observations > last go to +Inf
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+func newHistogramData(bounds []float64) *histogramData {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	if len(b) == 0 {
+		b = DefaultLatencyBuckets()
+	}
+	return &histogramData{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+func (h *histogramData) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	addFloatBits(&h.sum, v)
+	h.count.Add(1)
+}
+
+// snapshot returns cumulative buckets (ending with +Inf), sum, count.
+func (h *histogramData) snapshot() ([]BucketSnapshot, float64, uint64) {
+	out := make([]BucketSnapshot, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = BucketSnapshot{UpperBound: ub, Count: cum}
+	}
+	return out, math.Float64frombits(h.sum.Load()), h.count.Load()
+}
+
+// quantile estimates the q-quantile (0..1) by linear interpolation
+// within the containing bucket — the same estimate a Prometheus server
+// computes with histogram_quantile(). Returns 0 with no observations;
+// observations beyond the last finite bound clamp to that bound.
+func (h *histogramData) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramVec is a labeled family of fixed-bucket histograms.
+type HistogramVec struct{ f *family }
+
+// Histogram registers (or fetches) a histogram family. buckets are
+// sorted upper bounds in the observed unit (seconds for latencies); nil
+// selects DefaultLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefaultLatencyBuckets()
+	}
+	return &HistogramVec{r.register(name, help, KindHistogram, buckets, labelNames)}
+}
+
+// With returns the histogram for a label-value tuple.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &Histogram{v.f.getSeries(labelValues)}
+}
+
+// Histogram is one histogram series.
+type Histogram struct{ s *series }
+
+// Observe records one value (seconds, for latency histograms).
+func (h *Histogram) Observe(v float64) { h.s.h.observe(v) }
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns total observations.
+func (h *Histogram) Count() uint64 { return h.s.h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.h.sum.Load()) }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile from the bucket counts.
+func (h *Histogram) Quantile(q float64) float64 { return h.s.h.quantile(q) }

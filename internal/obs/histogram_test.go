@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1}).With()
+	h.Observe(0.005) // -> le 0.01
+	h.Observe(0.01)  // boundary is inclusive -> le 0.01
+	h.Observe(0.05)  // -> le 0.1
+	h.Observe(5)     // -> +Inf
+
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	buckets, _, count := h.s.h.snapshot()
+	if count != 4 {
+		t.Fatalf("snapshot count = %d", count)
+	}
+	wantCum := []uint64{2, 3, 3, 4}
+	for i, b := range buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le %v) cumulative = %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(buckets[len(buckets)-1].UpperBound, 1) {
+		t.Error("last bucket must be +Inf")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", "Q.", []float64{0.01, 0.02, 0.04, 0.08}).With()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 100 observations uniform in the (0.01, 0.02] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.015)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0.01 || p50 > 0.02 {
+		t.Errorf("p50 = %v, want within containing bucket (0.01, 0.02]", p50)
+	}
+	// Interpolation: rank 50 halfway through the bucket -> ~0.015.
+	if math.Abs(p50-0.015) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.015 by linear interpolation", p50)
+	}
+	// Observations beyond the last finite bound clamp to it.
+	h2 := reg.Histogram("q2_seconds", "Q2.", []float64{0.01}).With()
+	h2.Observe(10)
+	if got := h2.Quantile(0.99); got != 0.01 {
+		t.Errorf("overflow quantile = %v, want clamp to 0.01", got)
+	}
+}
+
+func TestHistogramMeanAndDuration(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("m_seconds", "M.", nil).With()
+	if h.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	h.ObserveDuration(10 * time.Millisecond)
+	h.ObserveDuration(30 * time.Millisecond)
+	if got := h.Mean(); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("mean = %v, want 0.02", got)
+	}
+}
+
+func TestDefaultLatencyBucketsSortedAroundBudget(t *testing.T) {
+	b := DefaultLatencyBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not strictly increasing at %d: %v", i, b)
+		}
+	}
+	// The 100 ms motion-to-photon budget must be a bucket boundary so
+	// budget overruns land cleanly.
+	found := false
+	for _, v := range b {
+		if v == 0.1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("0.1 s (the paper's budget) missing from default buckets")
+	}
+}

@@ -1,0 +1,247 @@
+// End-to-end observability integration test: a sender/receiver pair over
+// an emulated WAN link, every telemetry source registered into one
+// Registry, verified through an actual HTTP /metrics scrape — the
+// acceptance path for the unified observability layer.
+//
+// This lives in package obs_test so it can depend on the full pipeline
+// (semholo, transport, netsim) without creating an import cycle with the
+// stdlib-only obs package.
+package obs_test
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"semholo"
+	"semholo/internal/metrics"
+	"semholo/internal/netsim"
+	"semholo/internal/obs"
+	"semholo/internal/transport"
+)
+
+// scrape fetches /metrics from a handler-backed test server.
+func scrape(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	srv := httptest.NewServer(obs.Handler(reg, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape read: %v", err)
+	}
+	return string(body)
+}
+
+// metricValue finds the sample value of an exact series (name plus full
+// label block) in Prometheus exposition text; -1 when absent.
+func metricValue(exposition, series string) float64 {
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+func TestEndToEndScrape(t *testing.T) {
+	const frames = 10
+
+	// One registry for the whole in-process "deployment".
+	reg := obs.NewRegistry()
+	pm := obs.NewPipelineMetrics(reg)
+
+	// Emulated WAN with loss, so drop counters move too.
+	connA, connB, link := netsim.Pipe(netsim.LinkConfig{
+		Bandwidth: 50e6, Delay: 3 * time.Millisecond, Jitter: time.Millisecond,
+		MTU: 2048, Loss: 0.2, RetransmitDelay: 2 * time.Millisecond, Seed: 3,
+	})
+	defer link.Close()
+	link.Instrument(reg, "wan")
+
+	// Receiver-side reconstruction with cache counters.
+	world := semholo.NewWorld(semholo.WorldOptions{Resolution: 24, Cameras: 2, Seed: 1})
+	enc, kd := semholo.NewKeypointPipeline(world, semholo.KeypointOptions{
+		Resolution: 16, WarmStart: true, CacheSize: 4, CacheQuant: 0.05,
+	})
+	var recon metrics.ReconCounters
+	recon.Register(reg)
+	kd.Counters = &recon
+	kd.Obs = pm
+
+	type handshake struct {
+		sess *semholo.Session
+		err  error
+	}
+	acceptCh := make(chan handshake, 1)
+	go func() {
+		sess, _, err := semholo.Serve(connB, semholo.Hello{Peer: "site-B", Mode: "keypoint"})
+		acceptCh <- handshake{sess, err}
+	}()
+	sessA, _, err := semholo.Connect(connA, semholo.Hello{Peer: "site-A", Mode: "keypoint"})
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	acc := <-acceptCh
+	if acc.err != nil {
+		t.Fatalf("serve: %v", acc.err)
+	}
+	sessB := acc.sess
+	sessA.Instrument(reg, "sender")
+	sessB.Instrument(reg, "receiver")
+
+	// Rate adaptation driven by the receiver's bandwidth estimate.
+	rc := transport.NewRateController([]transport.RateLevel{
+		{Name: "text", Bitrate: 100e3},
+		{Name: "keypoint", Bitrate: 500e3},
+		{Name: "traditional", Bitrate: 95e6},
+	})
+	rc.Instrument(reg)
+
+	receiver := &semholo.Receiver{
+		Session: sessB, Decoder: kd, Obs: pm,
+		Estimator: transport.NewBandwidthEstimator(),
+	}
+
+	// Sender: an echo goroutine answers the receiver's pings (Recv does
+	// that transparently), the main goroutine streams traced frames.
+	go func() {
+		for {
+			if _, err := sessA.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	sendErr := make(chan error, 1)
+	go func() {
+		sender := &semholo.Sender{Session: sessA, Encoder: enc, Obs: pm}
+		for i := 0; i < frames; i++ {
+			capturedAt := time.Now()
+			cap := world.FrameAt(i)
+			pm.ObserveStage(obs.StageCapture, time.Since(capturedAt))
+			if err := sender.SendFrameCaptured(cap, capturedAt); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		// Grace period so the pong for the receiver's RTT probe lands
+		// before the close tears the link down.
+		time.Sleep(100 * time.Millisecond)
+		sendErr <- sessA.Close()
+	}()
+
+	received := 0
+	var lastTraceID uint64
+	for {
+		data, err := receiver.NextFrame()
+		if err != nil {
+			if errors.Is(err, semholo.ErrSessionClosed) || errors.Is(err, io.EOF) {
+				break
+			}
+			t.Fatalf("frame %d: %v", received, err)
+		}
+		received++
+		if data.Trace == nil {
+			t.Fatalf("frame %d arrived without a trace (sender Obs set)", received)
+		}
+		if data.Trace.TraceID <= lastTraceID {
+			t.Errorf("trace IDs not increasing: %d after %d", data.Trace.TraceID, lastTraceID)
+		}
+		lastTraceID = data.Trace.TraceID
+		if data.Trace.Network() <= 0 {
+			t.Errorf("frame %d network span %v, want > 0 over a 3 ms link", received, data.Trace.Network())
+		}
+		rc.Update(receiver.Estimator.Estimate())
+		if received == 1 {
+			if err := sessB.Ping(); err != nil {
+				t.Fatalf("ping: %v", err)
+			}
+		}
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	if received != frames {
+		t.Fatalf("received %d media frames, want %d", received, frames)
+	}
+
+	exp := scrape(t, reg)
+
+	// Per-stage latency histograms, including the network span computed
+	// from the propagated capture/send timestamps.
+	for _, stage := range []string{"capture", "encode", "send", "network", "decode", "reconstruct"} {
+		series := `semholo_stage_latency_seconds_bucket{stage="` + stage + `",le="+Inf"}`
+		if got := metricValue(exp, series); got < 1 {
+			t.Errorf("stage %q: %s = %v, want >= 1", stage, series, got)
+		}
+	}
+	if got := metricValue(exp, `semholo_stage_latency_seconds_count{stage="network"}`); got != frames {
+		t.Errorf("network span count = %v, want %d", got, frames)
+	}
+
+	// End-to-end motion-to-photon distribution and derived quantiles.
+	if got := metricValue(exp, "semholo_e2e_latency_seconds_count"); got != frames {
+		t.Errorf("e2e count = %v, want %d", got, frames)
+	}
+	p50 := metricValue(exp, "semholo_e2e_latency_p50_seconds")
+	p95 := metricValue(exp, "semholo_e2e_latency_p95_seconds")
+	if p50 <= 0 {
+		t.Errorf("e2e p50 = %v, want > 0", p50)
+	}
+	if p95 < p50 {
+		t.Errorf("e2e p95 %v < p50 %v", p95, p50)
+	}
+
+	// Session byte/frame counters for both sites plus the RTT probe.
+	if got := metricValue(exp, `semholo_session_bytes_total{site="sender",direction="sent"}`); got <= 0 {
+		t.Errorf("sender bytes sent = %v, want > 0", got)
+	}
+	if got := metricValue(exp, `semholo_session_bytes_total{site="receiver",direction="received"}`); got <= 0 {
+		t.Errorf("receiver bytes received = %v, want > 0", got)
+	}
+	if got := metricValue(exp, `semholo_session_frames_total{site="receiver",direction="received"}`); got < frames {
+		t.Errorf("receiver wire frames = %v, want >= %d", got, frames)
+	}
+	if got := metricValue(exp, `semholo_session_rtt_seconds{site="receiver"}`); got <= 0 {
+		t.Errorf("receiver RTT = %v, want > 0 (ping answered over a 3 ms link)", got)
+	}
+
+	// Reconstruction-cache counters.
+	warm := metricValue(exp, `semholo_recon_frames_total{kind="warm"}`)
+	cold := metricValue(exp, `semholo_recon_frames_total{kind="cold"}`)
+	if warm+cold < 1 {
+		t.Errorf("recon frames warm=%v cold=%v, want at least one reconstruction", warm, cold)
+	}
+	if got := metricValue(exp, "semholo_recon_mesh_cache_hit_rate"); got < 0 {
+		t.Error("mesh cache hit rate missing from scrape")
+	}
+
+	// Rate-adaptation level.
+	if got := metricValue(exp, "semholo_rate_level"); got < 0 {
+		t.Error("rate level missing from scrape")
+	}
+	if got := metricValue(exp, "semholo_rate_level_bitrate_bps"); got <= 0 {
+		t.Errorf("rate level bitrate = %v, want > 0", got)
+	}
+
+	// Link statistics, including recovered losses.
+	if got := metricValue(exp, `semholo_netsim_bytes_total{link="wan",direction="a_to_b"}`); got <= 0 {
+		t.Errorf("link bytes = %v, want > 0", got)
+	}
+	if got := metricValue(exp, `semholo_netsim_drops_total{link="wan",direction="a_to_b"}`); got < 0 {
+		t.Error("link drop counter missing from scrape")
+	}
+}

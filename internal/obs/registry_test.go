@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterBasics(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Counter("frames_total", "Frames.", "mode")
+	c := vec.With("keypoint")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-4) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value = %v, want 3.5", got)
+	}
+	// With on the same label tuple returns the same series.
+	vec.With("keypoint").Inc()
+	if got := c.Value(); got != 4.5 {
+		t.Fatalf("counter value after aliased Inc = %v, want 4.5", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth", "Queue depth.").With()
+	g.Set(10)
+	g.Add(-3.5)
+	if got := g.Value(); got != 6.5 {
+		t.Fatalf("gauge value = %v, want 6.5", got)
+	}
+	reg.GaugeFunc("pulled", "Pull-backed.", func() float64 { return 42 })
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == "pulled" && fam.Series[0].Value != 42 {
+			t.Fatalf("pull-backed gauge = %v, want 42", fam.Series[0].Value)
+		}
+	}
+}
+
+func TestRegisterIdempotentAndShapeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "X.", "l")
+	b := reg.Counter("x_total", "X.", "l")
+	a.With("v").Inc()
+	if got := b.With("v").Value(); got != 1 {
+		t.Fatalf("re-registered family is not shared: value = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind should panic")
+		}
+	}()
+	reg.Gauge("x_total", "X.", "l")
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Counter("y_total", "Y.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label-value count should panic")
+		}
+	}()
+	vec.With("only-one")
+}
+
+// TestConcurrentRegistry hammers counters, gauges, and histograms from
+// GOMAXPROCS goroutines while other goroutines scrape, then checks the
+// totals are exact. Run under -race (the obs-check make target does).
+func TestConcurrentRegistry(t *testing.T) {
+	reg := NewRegistry()
+	counter := reg.Counter("hammer_total", "Hammered counter.", "worker")
+	gauge := reg.Gauge("hammer_gauge", "Hammered gauge.").With()
+	hist := reg.Histogram("hammer_seconds", "Hammered histogram.", nil, "worker")
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent scrapers: exercise Snapshot and WritePrometheus while
+	// values move — any locking mistake shows up under -race.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Snapshot()
+				var sb strings.Builder
+				_ = reg.WritePrometheus(&sb)
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			label := string(rune('a' + w%8))
+			c := counter.With(label)
+			h := hist.With(label)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				gauge.Add(1)
+				gauge.Add(-1)
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	var total float64
+	var observed uint64
+	for _, fam := range reg.Snapshot() {
+		switch fam.Name {
+		case "hammer_total":
+			for _, s := range fam.Series {
+				total += s.Value
+			}
+		case "hammer_seconds":
+			for _, s := range fam.Series {
+				observed += s.Count
+			}
+		case "hammer_gauge":
+			if fam.Series[0].Value != 0 {
+				t.Errorf("gauge after balanced adds = %v, want 0", fam.Series[0].Value)
+			}
+		}
+	}
+	want := float64(workers * iters)
+	if total != want {
+		t.Errorf("counter total = %v, want %v", total, want)
+	}
+	if observed != uint64(workers*iters) {
+		t.Errorf("histogram observations = %d, want %d", observed, workers*iters)
+	}
+}
+
+// TestPrometheusExpositionGolden locks the text exposition format with a
+// golden file (regenerate with go test ./internal/obs -run Golden -update).
+func TestPrometheusExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	frames := reg.Counter("demo_frames_total", "Frames processed.", "mode")
+	frames.With("keypoint").Add(3)
+	frames.With("text").Inc()
+	reg.Gauge("demo_queue_depth", "Queue depth.").With().Set(2.5)
+	reg.GaugeFunc("demo_uptime_ratio", "Uptime ratio.", func() float64 { return 0.75 })
+	h := reg.Histogram("demo_latency_seconds", "Latency.", []float64{0.25, 1}, "stage")
+	for _, v := range []float64{0.25, 0.5, 2} { // exact binary fractions: stable sum
+		h.With("decode").Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden file\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPromFloatSpecials(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		3:            "3",
+		2.5:          "2.5",
+	}
+	for v, want := range cases {
+		if got := promFloat(v); got != want {
+			t.Errorf("promFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Errorf("promFloat(NaN) = %q", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("j_total", "J.").With().Add(7)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"j_total"`) || !strings.Contains(buf.String(), `"value": 7`) {
+		t.Errorf("JSON export missing expected content:\n%s", buf.String())
+	}
+}

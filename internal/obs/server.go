@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live debug/metrics endpoint: Prometheus and JSON metric
+// exposition, health, arbitrary JSON debug snapshots, and pprof — one
+// scrape target per process, wired into the cmds behind -debug-addr.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Handler builds the debug mux without binding a listener (useful for
+// tests and for embedding into an existing server):
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  the same registry as JSON
+//	/healthz       liveness + uptime
+//	/debug/<name>  one JSON document per registered snapshot func
+//	/debug/pprof/  the standard pprof handlers
+//
+// snapshots maps endpoint names to functions returning any
+// JSON-marshalable value, sampled per request — e.g. a trace.Tracer
+// ordered snapshot or a PipelineMetrics budget report.
+func Handler(reg *Registry, snapshots map[string]func() any) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok",
+			"uptime": time.Since(start).String(),
+		})
+	})
+	for name, fn := range snapshots {
+		fn := fn
+		mux.HandleFunc("/debug/"+name, func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(fn())
+		})
+	}
+	// pprof registers on the DefaultServeMux via init; wire its handlers
+	// onto this private mux explicitly instead.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr (e.g. "127.0.0.1:6060"; a :0
+// port picks a free one — read it back from Addr). reg may be nil, in
+// which case the Default registry is served.
+func Serve(addr string, reg *Registry, snapshots map[string]func() any) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:    ln,
+		srv:   &http.Server{Handler: Handler(reg, snapshots)},
+		start: time.Now(),
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

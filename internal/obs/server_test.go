@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("srv_frames_total", "Frames.").With().Add(5)
+	return reg
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	srv := httptest.NewServer(Handler(testRegistry(), nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q, want Prometheus 0.0.4 exposition", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "srv_frames_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+}
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	srv := httptest.NewServer(Handler(testRegistry(), nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fams []FamilySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&fams); err != nil {
+		t.Fatalf("decode /metrics.json: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Name != "srv_frames_total" || fams[0].Series[0].Value != 5 {
+		t.Errorf("unexpected JSON snapshot: %+v", fams)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	srv := httptest.NewServer(Handler(testRegistry(), nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthz status = %v", health["status"])
+	}
+	if _, ok := health["uptime"]; !ok {
+		t.Error("healthz missing uptime")
+	}
+}
+
+func TestHandlerDebugSnapshots(t *testing.T) {
+	snap := map[string]func() any{
+		"budget": func() any { return map[string]int{"frames": 3} },
+	}
+	srv := httptest.NewServer(Handler(testRegistry(), snap))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["frames"] != 3 {
+		t.Errorf("debug snapshot = %v", got)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(testRegistry(), nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", testRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET via Serve: %v", err)
+	}
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -18,6 +18,7 @@ type Tracer struct {
 	mu    sync.Mutex
 	spans map[string][]time.Duration
 	order []string
+	sink  func(stage string, d time.Duration)
 }
 
 // New returns an empty tracer.
@@ -28,7 +29,6 @@ func New() *Tracer {
 // Record adds one sample to a stage.
 func (t *Tracer) Record(stage string, d time.Duration) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.spans == nil {
 		t.spans = map[string][]time.Duration{}
 	}
@@ -36,6 +36,21 @@ func (t *Tracer) Record(stage string, d time.Duration) {
 		t.order = append(t.order, stage)
 	}
 	t.spans[stage] = append(t.spans[stage], d)
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink(stage, d)
+	}
+}
+
+// SetSink installs a function that mirrors every recorded span — the
+// bridge that feeds Tracer call sites into a shared metrics registry
+// (e.g. obs.PipelineMetrics.ObserveStage) without touching them. A nil
+// sink disconnects.
+func (t *Tracer) SetSink(sink func(stage string, d time.Duration)) {
+	t.mu.Lock()
+	t.sink = sink
+	t.mu.Unlock()
 }
 
 // Start begins a span; call the returned func to record it.
@@ -84,6 +99,27 @@ func computeStats(ds []time.Duration) Stats {
 		P95:   pct(0.95),
 		Max:   sorted[len(sorted)-1],
 	}
+}
+
+// StageStats is one stage's statistics with its name — the element of
+// SnapshotOrdered.
+type StageStats struct {
+	Stage string
+	Stats
+}
+
+// SnapshotOrdered returns per-stage statistics in first-seen order, so
+// reporters render the pipeline in execution order without re-sorting
+// map keys. Combined with Reset it supports windowed reporting: snapshot
+// at the end of a window, reset, repeat.
+func (t *Tracer) SnapshotOrdered() []StageStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageStats, 0, len(t.order))
+	for _, stage := range t.order {
+		out = append(out, StageStats{Stage: stage, Stats: computeStats(t.spans[stage])})
+	}
+	return out
 }
 
 // Report renders a fixed-width table of all stages in first-seen order.

@@ -85,3 +85,51 @@ func TestEmptyStats(t *testing.T) {
 		t.Error("header missing from empty report")
 	}
 }
+
+func TestSnapshotOrdered(t *testing.T) {
+	tr := New()
+	tr.Record("capture", time.Millisecond)
+	tr.Record("encode", 2*time.Millisecond)
+	tr.Record("capture", 3*time.Millisecond)
+	tr.Record("decode", 4*time.Millisecond)
+
+	snap := tr.SnapshotOrdered()
+	want := []string{"capture", "encode", "decode"}
+	if len(snap) != len(want) {
+		t.Fatalf("got %d stages, want %d", len(snap), len(want))
+	}
+	for i, s := range snap {
+		if s.Stage != want[i] {
+			t.Errorf("stage %d = %q, want %q (first-seen order)", i, s.Stage, want[i])
+		}
+	}
+	if snap[0].Count != 2 || snap[0].Total != 4*time.Millisecond {
+		t.Errorf("capture stats = %+v", snap[0].Stats)
+	}
+	// Windowed reporting: Reset empties the ordered snapshot too.
+	tr.Reset()
+	if len(tr.SnapshotOrdered()) != 0 {
+		t.Error("SnapshotOrdered not empty after Reset")
+	}
+}
+
+func TestSinkMirrorsRecords(t *testing.T) {
+	tr := New()
+	type rec struct {
+		stage string
+		d     time.Duration
+	}
+	var got []rec
+	tr.SetSink(func(stage string, d time.Duration) { got = append(got, rec{stage, d}) })
+	tr.Record("encode", 5*time.Millisecond)
+	stop := tr.Start("decode")
+	stop()
+	if len(got) != 2 || got[0] != (rec{"encode", 5 * time.Millisecond}) || got[1].stage != "decode" {
+		t.Errorf("sink received %+v", got)
+	}
+	tr.SetSink(nil)
+	tr.Record("encode", time.Millisecond)
+	if len(got) != 2 {
+		t.Error("nil sink still invoked")
+	}
+}

@@ -8,7 +8,13 @@
 // Frame layout (big-endian):
 //
 //	magic(2)=0x5348 version(1) type(1) channel(2) flags(2)
-//	seq(4) timestamp(8, µs) length(4) payload CRC32(4, IEEE, header+payload)
+//	seq(4) timestamp(8, µs) length(4)
+//	[trace ext(24): captureTS(8, unix µs) sendTS(8, unix µs) traceID(8)]
+//	payload CRC32(4, IEEE, header+ext+payload)
+//
+// The trace extension is present only when FlagTrace is set, so frames
+// written by pre-trace senders still decode (and trace-free frames stay
+// byte-identical to the original format).
 package transport
 
 import (
@@ -21,10 +27,11 @@ import (
 
 // Protocol constants.
 const (
-	Magic      uint16 = 0x5348 // "SH"
-	Version    byte   = 1
-	headerLen         = 2 + 1 + 1 + 2 + 2 + 4 + 8 + 4
-	trailerLen        = 4
+	Magic       uint16 = 0x5348 // "SH"
+	Version     byte   = 1
+	headerLen          = 2 + 1 + 1 + 2 + 2 + 4 + 8 + 4
+	traceExtLen        = 8 + 8 + 8
+	trailerLen         = 4
 	// MaxPayload bounds a frame payload (16 MiB).
 	MaxPayload = 16 << 20
 )
@@ -73,6 +80,10 @@ const (
 	FlagCompressed uint16 = 1 << 1
 	// FlagEndOfFrame marks the last channel frame of a media frame.
 	FlagEndOfFrame uint16 = 1 << 2
+	// FlagTrace marks frames carrying the 24-byte end-to-end trace
+	// extension (capture/send wall-clock stamps + trace ID) between
+	// header and payload. Frames without it decode exactly as before.
+	FlagTrace uint16 = 1 << 3
 )
 
 // Well-known channels. Semantic payload channels start at ChannelData.
@@ -88,8 +99,20 @@ type Frame struct {
 	Flags     uint16
 	Seq       uint32
 	Timestamp uint64 // sender clock, microseconds
-	Payload   []byte
+
+	// Trace extension, valid when Flags&FlagTrace != 0: the capture-site
+	// wall clock at capture and at send (unix µs) plus the media frame's
+	// trace ID — what lets the receiver compute true cross-site
+	// motion-to-photon latency per frame (see internal/obs.FrameTrace).
+	CaptureTS uint64
+	SendTS    uint64
+	TraceID   uint64
+
+	Payload []byte
 }
+
+// Traced reports whether the frame carries the trace extension.
+func (f Frame) Traced() bool { return f.Flags&FlagTrace != 0 }
 
 // Errors.
 var (
@@ -116,7 +139,7 @@ func (fw *FrameWriter) WriteFrame(f *Frame) error {
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f.Payload))
 	}
-	need := headerLen + len(f.Payload) + trailerLen
+	need := headerLen + traceExtLen + len(f.Payload) + trailerLen
 	if cap(fw.buf) < need {
 		fw.buf = make([]byte, 0, need)
 	}
@@ -128,6 +151,11 @@ func (fw *FrameWriter) WriteFrame(f *Frame) error {
 	b = binary.BigEndian.AppendUint32(b, f.Seq)
 	b = binary.BigEndian.AppendUint64(b, f.Timestamp)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(f.Payload)))
+	if f.Flags&FlagTrace != 0 {
+		b = binary.BigEndian.AppendUint64(b, f.CaptureTS)
+		b = binary.BigEndian.AppendUint64(b, f.SendTS)
+		b = binary.BigEndian.AppendUint64(b, f.TraceID)
+	}
 	b = append(b, f.Payload...)
 	crc := crc32.ChecksumIEEE(b)
 	b = binary.BigEndian.AppendUint32(b, crc)
@@ -142,6 +170,7 @@ func (fw *FrameWriter) WriteFrame(f *Frame) error {
 type FrameReader struct {
 	r       io.Reader
 	header  [headerLen]byte
+	ext     [traceExtLen]byte
 	payload []byte
 	trailer [trailerLen]byte
 }
@@ -174,6 +203,15 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	if n > MaxPayload {
 		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
 	}
+	traced := f.Flags&FlagTrace != 0
+	if traced {
+		if _, err := io.ReadFull(fr.r, fr.ext[:]); err != nil {
+			return Frame{}, fmt.Errorf("transport: truncated trace extension: %w", err)
+		}
+		f.CaptureTS = binary.BigEndian.Uint64(fr.ext[0:])
+		f.SendTS = binary.BigEndian.Uint64(fr.ext[8:])
+		f.TraceID = binary.BigEndian.Uint64(fr.ext[16:])
+	}
 	if cap(fr.payload) < int(n) {
 		fr.payload = make([]byte, n)
 	}
@@ -185,6 +223,9 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 		return Frame{}, fmt.Errorf("transport: truncated trailer: %w", err)
 	}
 	crc := crc32.ChecksumIEEE(h)
+	if traced {
+		crc = crc32.Update(crc, crc32.IEEETable, fr.ext[:])
+	}
 	crc = crc32.Update(crc, crc32.IEEETable, fr.payload)
 	if crc != binary.BigEndian.Uint32(fr.trailer[:]) {
 		return Frame{}, ErrBadCRC

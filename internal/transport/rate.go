@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"semholo/internal/obs"
 )
 
 // BandwidthEstimator estimates delivered throughput from byte-arrival
@@ -77,8 +79,9 @@ type RateController struct {
 	// level must fit in estimate/1.25).
 	Headroom float64
 
-	mu      sync.Mutex
-	current int
+	mu       sync.Mutex
+	current  int
+	switches int64
 }
 
 // NewRateController builds a controller starting at the cheapest level.
@@ -98,6 +101,7 @@ func (c *RateController) Update(estimate float64) RateLevel {
 	if head <= 0 {
 		head = 1.25
 	}
+	prev := c.current
 	// Downgrade while the current level does not fit.
 	for c.current > 0 && c.Levels[c.current].Bitrate > estimate {
 		c.current--
@@ -107,7 +111,36 @@ func (c *RateController) Update(estimate float64) RateLevel {
 		c.Levels[c.current+1].Bitrate*head <= estimate {
 		c.current++
 	}
+	if c.current != prev {
+		c.switches++
+	}
 	return c.Levels[c.current]
+}
+
+// Switches returns how many times Update changed the active level.
+func (c *RateController) Switches() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.switches
+}
+
+// Instrument registers the controller's decisions into reg: the active
+// level index and bitrate as gauges plus a level-switch counter, all
+// sampled at scrape time — the live view of §3.3 rate adaptation.
+func (c *RateController) Instrument(reg *obs.Registry) {
+	reg.GaugeFunc("semholo_rate_level",
+		"Active rate-adaptation level index (0 = cheapest).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.current)
+		})
+	reg.GaugeFunc("semholo_rate_level_bitrate_bps",
+		"Expected demand of the active rate-adaptation level.",
+		func() float64 { return c.Current().Bitrate })
+	reg.Counter("semholo_rate_switches_total",
+		"Rate-adaptation level changes.").
+		Func(func() float64 { return float64(c.Switches()) })
 }
 
 // Current returns the active level without updating.

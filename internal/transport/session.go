@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"semholo/internal/obs"
 )
 
 // Hello is the handshake payload exchanged at session start. It carries
@@ -35,20 +38,33 @@ type Session struct {
 	seq   map[uint16]uint32
 	fr    *FrameReader
 	t0    time.Time
-	stats SessionStats
+	stats sessionCounters
 
 	pingMu   sync.Mutex
 	pingSent map[uint32]time.Time
 	lastRTT  time.Duration
 }
 
-// SessionStats counts session traffic.
+// sessionCounters is the live traffic accounting. All fields are
+// atomics, so Send and Recv paths never contend on a stats lock and
+// Stats() can be sampled from any goroutine (e.g. a metrics scrape).
+type sessionCounters struct {
+	bytesSent      atomic.Int64
+	bytesReceived  atomic.Int64
+	framesSent     atomic.Int64
+	framesReceived atomic.Int64
+}
+
+// SessionStats is a point-in-time snapshot of session traffic — a plain
+// value with no lock inside, safe to copy, compare, and marshal.
 type SessionStats struct {
-	mu             sync.Mutex
 	BytesSent      int64
 	BytesReceived  int64
 	FramesSent     int64
 	FramesReceived int64
+	// RTT is the most recent ping round-trip time (0 before the first
+	// pong).
+	RTT time.Duration
 }
 
 func newSession(conn net.Conn) *Session {
@@ -118,19 +134,41 @@ func (s *Session) send(f *Frame) error {
 	f.Seq = s.seq[f.Channel]
 	s.seq[f.Channel]++
 	f.Timestamp = uint64(time.Since(s.t0).Microseconds())
+	if f.Flags&FlagTrace != 0 {
+		// Stamp the wall-clock send time at the last possible moment so
+		// the receiver's network span excludes sender-side queueing.
+		f.SendTS = obs.NowMicros()
+	}
 	if err := s.fw.WriteFrame(f); err != nil {
 		return err
 	}
-	s.stats.mu.Lock()
-	s.stats.BytesSent += int64(headerLen + len(f.Payload) + trailerLen)
-	s.stats.FramesSent++
-	s.stats.mu.Unlock()
+	s.stats.bytesSent.Add(int64(wireLen(f)))
+	s.stats.framesSent.Add(1)
 	return nil
+}
+
+// wireLen is the on-the-wire size of a frame.
+func wireLen(f *Frame) int {
+	n := headerLen + len(f.Payload) + trailerLen
+	if f.Flags&FlagTrace != 0 {
+		n += traceExtLen
+	}
+	return n
 }
 
 // Send transmits a semantic payload on a channel.
 func (s *Session) Send(channel uint16, flags uint16, payload []byte) error {
 	return s.send(&Frame{Type: TypeSemantic, Channel: channel, Flags: flags, Payload: payload})
+}
+
+// SendTraced transmits a semantic payload carrying the end-to-end trace
+// extension: the media frame's capture wall clock (unix µs) and trace
+// ID. The send timestamp is stamped internally at write time.
+func (s *Session) SendTraced(channel uint16, flags uint16, payload []byte, captureTS, traceID uint64) error {
+	return s.send(&Frame{
+		Type: TypeSemantic, Channel: channel, Flags: flags | FlagTrace,
+		CaptureTS: captureTS, TraceID: traceID, Payload: payload,
+	})
 }
 
 // SendControl transmits a control payload.
@@ -148,10 +186,8 @@ func (s *Session) Recv() (Frame, error) {
 		if err != nil {
 			return Frame{}, err
 		}
-		s.stats.mu.Lock()
-		s.stats.BytesReceived += int64(headerLen + len(f.Payload) + trailerLen)
-		s.stats.FramesReceived++
-		s.stats.mu.Unlock()
+		s.stats.bytesReceived.Add(int64(wireLen(&f)))
+		s.stats.framesReceived.Add(1)
 		switch f.Type {
 		case TypePing:
 			// Echo the ping seq back.
@@ -202,11 +238,33 @@ func (s *Session) RTT() time.Duration {
 	return s.lastRTT
 }
 
-// Stats returns a copy of the session counters.
-func (s *Session) Stats() (sent, received, framesSent, framesReceived int64) {
-	s.stats.mu.Lock()
-	defer s.stats.mu.Unlock()
-	return s.stats.BytesSent, s.stats.BytesReceived, s.stats.FramesSent, s.stats.FramesReceived
+// Stats returns a snapshot of the session counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		BytesSent:      s.stats.bytesSent.Load(),
+		BytesReceived:  s.stats.bytesReceived.Load(),
+		FramesSent:     s.stats.framesSent.Load(),
+		FramesReceived: s.stats.framesReceived.Load(),
+		RTT:            s.RTT(),
+	}
+}
+
+// Instrument registers the session's traffic counters and RTT gauge
+// into reg as pull-backed series labeled with site (e.g. "sender",
+// "receiver"), so a /metrics scrape reports live session state with
+// zero added cost on the send/receive hot paths.
+func (s *Session) Instrument(reg *obs.Registry, site string) {
+	bytes := reg.Counter("semholo_session_bytes_total",
+		"Session wire bytes by direction (framing included).", "site", "direction")
+	bytes.Func(func() float64 { return float64(s.stats.bytesSent.Load()) }, site, "sent")
+	bytes.Func(func() float64 { return float64(s.stats.bytesReceived.Load()) }, site, "received")
+	frames := reg.Counter("semholo_session_frames_total",
+		"Session wire frames by direction.", "site", "direction")
+	frames.Func(func() float64 { return float64(s.stats.framesSent.Load()) }, site, "sent")
+	frames.Func(func() float64 { return float64(s.stats.framesReceived.Load()) }, site, "received")
+	reg.Gauge("semholo_session_rtt_seconds",
+		"Most recent ping round-trip time (0 before the first pong).", "site").
+		Func(func() float64 { return s.RTT().Seconds() }, site)
 }
 
 // Close sends a close frame and closes the connection.

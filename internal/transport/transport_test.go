@@ -160,8 +160,8 @@ func TestSessionHandshakeAndData(t *testing.T) {
 	if f1.Seq != 1 || string(f1.Payload) != "frame-1" {
 		t.Errorf("frame 1: %+v", f1)
 	}
-	sent, _, framesSent, _ := sa.Stats()
-	if framesSent < 2 || sent == 0 {
+	st := sa.Stats()
+	if st.FramesSent < 2 || st.BytesSent == 0 {
 		t.Error("sender stats not counting")
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"semholo/internal/keypoint"
 	"semholo/internal/nerf"
 	"semholo/internal/netsim"
+	"semholo/internal/obs"
 	"semholo/internal/textsem"
 	"semholo/internal/trace"
 	"semholo/internal/transport"
@@ -66,6 +67,29 @@ type (
 	BodyParams = body.Params
 	// Tracer records per-stage pipeline timing.
 	Tracer = trace.Tracer
+	// Registry is the unified observability metrics registry.
+	Registry = obs.Registry
+	// PipelineMetrics aggregates per-stage and end-to-end frame latency
+	// against the 100 ms motion-to-photon budget.
+	PipelineMetrics = obs.PipelineMetrics
+	// FrameTrace is the per-frame cross-site timing record.
+	FrameTrace = obs.FrameTrace
+	// DebugServer is the live /metrics + /healthz + pprof endpoint.
+	DebugServer = obs.Server
+	// SessionStats is a point-in-time snapshot of session traffic.
+	SessionStats = transport.SessionStats
+)
+
+// Observability constructors, re-exported for API coherence: build a
+// registry, attach pipeline metrics and session/link/cache counters to
+// it, and serve it.
+var (
+	// NewRegistry builds an empty metrics registry.
+	NewRegistry = obs.NewRegistry
+	// NewPipelineMetrics registers the frame-pipeline metric set.
+	NewPipelineMetrics = obs.NewPipelineMetrics
+	// ServeDebug starts the debug/metrics HTTP server.
+	ServeDebug = obs.Serve
 )
 
 // The taxonomy modes.
