@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check
+.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline
 
 ## verify: the full pre-commit gate — formatting, vet, build, tests.
 verify: fmt-check vet build test
@@ -39,6 +39,18 @@ ci: vet build
 	$(GO) test -race -short ./...
 	$(MAKE) cache-determinism
 	$(MAKE) obs-check
+	$(MAKE) pipeline-check
+
+## pipeline-check: the staged-runtime gate — race-enabled goroutine-leak
+## tests (pipeline, relay, session) plus the staged-vs-sequential
+## byte-identity regression.
+pipeline-check:
+	$(GO) test -race -run 'TestStaged|TestQueue|TestGroup|TestConcurrentShutdown|TestRelay|TestCancel|TestClose|TestPing|TestSession' ./internal/pipeline ./internal/core ./internal/transport
+
+## bench-pipeline: sequential vs staged motion-to-photon latency, plus
+## the JSON record via the bench CLI.
+bench-pipeline:
+	$(GO) run ./cmd/semholo-bench -exp pipeline -pipeout BENCH_pipeline.json
 
 ## obs-check: the observability gate — vet plus the race-enabled metric
 ## registry / wire-trace suites (concurrent counters, histograms,

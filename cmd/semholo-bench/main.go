@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|pipeline|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
 		resArg    = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
 		frames    = flag.Int("frames", 5, "frames per measurement")
 		full      = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
@@ -34,6 +34,8 @@ func main() {
 		par       = flag.Int("par", 0, "worker goroutines per kernel (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		cache     = flag.Bool("cache", false, "enable warm-start reconstruction and the pose-keyed mesh LRU in pipeline decoders (output identical, faster)")
 		cacheOut  = flag.String("cacheout", "BENCH_cache.json", "output path for the cache experiment's JSON record")
+		pipeOut   = flag.String("pipeout", "BENCH_pipeline.json", "output path for the pipeline experiment's JSON record")
+		pipeRes   = flag.Int("piperes", 128, "reconstruction resolution for the pipeline experiment (high enough to overload the decode stage)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -65,6 +67,7 @@ func main() {
 		"fig3":      func() { printFig3(env) },
 		"fig4":      func() { printFig4(env, resolutions) },
 		"cache":     func() { printCacheBench(env, *frames, *cacheOut) },
+		"pipeline":  func() { printPipelineBench(env, *pipeRes, *frames*8, *pipeOut) },
 		"foveated":  func() { printFoveated(env) },
 		"keypoints": func() { printKeypointCount(env) },
 		"finetune":  func() { printFineTune(env) },
@@ -76,7 +79,7 @@ func main() {
 	if *exp == "all" {
 		// Fixed, readable order.
 		for _, name := range []string{
-			"table1", "table2", "fig2", "fig3", "fig4", "cache",
+			"table1", "table2", "fig2", "fig3", "fig4", "cache", "pipeline",
 			"foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
 		} {
 			run(name, experimentsByName[name])
@@ -191,6 +194,32 @@ func printCacheBench(env *experiments.Env, frames int, outPath string) {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cache record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+func printPipelineBench(env *experiments.Env, res, frames int, outPath string) {
+	fmt.Println("Staged pipeline runtime vs sequential loop under decode overload.")
+	fmt.Println("sequential: every frame decoded, backlog compounds; staged: stale frames dropped, latency bounded.")
+	r := experiments.PipelineBench(env, res, frames)
+	fmt.Printf("keypoint res %d, %d frames at %.0f FPS over %.0f Mbps / %s link\n",
+		r.Resolution, r.Frames, r.FPS, r.LinkMbps, r.LinkDelay)
+	leg := func(name string, s experiments.PipelineLegStats) {
+		fmt.Printf("%-11s rendered %3d  e2e p50 %8.1f ms  p95 %8.1f ms  max %8.1f ms  %5.1f FPS  dropped %d\n",
+			name, s.Frames, s.E2EP50Ms, s.E2EP95Ms, s.E2EMaxMs, s.DeliveredFPS, s.Dropped)
+	}
+	leg("sequential:", r.Sequential)
+	leg("staged:", r.Staged)
+	fmt.Printf("p95 motion-to-photon speedup: %.2fx\n", r.P95SpeedUp)
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline record: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", outPath)

@@ -2,7 +2,12 @@
 // accepts a semholo-sender session over TCP, reconstructs every media
 // frame with the selected semantics, and reports throughput, decode
 // timing, and reconstruction statistics. Reconstructions can optionally
-// be dumped as OBJ files for inspection.
+// be dumped as OBJ files for inspection. By default it runs the staged
+// pipeline runtime — recv, decode, and render overlap in separate
+// goroutines connected by latest-frame-wins queues, so a slow
+// reconstruction drops stale frames instead of building backlog;
+// -pipeline=false falls back to the sequential loop. Ctrl-C shuts the
+// pipeline down gracefully.
 //
 // Usage:
 //
@@ -10,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,7 +23,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"semholo"
@@ -34,9 +42,15 @@ func main() {
 		res       = flag.Int("res", 64, "keypoint reconstruction resolution")
 		dump      = flag.String("dump", "", "directory to dump OBJ reconstructions (every 30th frame)")
 		name      = flag.String("name", "site-B", "participant name")
+		pipelined = flag.Bool("pipeline", true, "run the staged pipeline runtime (recv ∥ decode ∥ render); false = sequential loop")
+		queue     = flag.Int("queue", 1, "staged runtime: per-stage queue depth")
+		lossless  = flag.Bool("lossless", false, "staged runtime: block instead of dropping stale frames")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/* and pprof on this address (e.g. 127.0.0.1:6061)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	// Observability: the receiver is where cross-site spans land — the
 	// trace extension on arriving frames yields network and end-to-end
@@ -72,7 +86,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("accept: %v", err)
 	}
-	sess, peer, err := semholo.Serve(conn, semholo.Hello{Peer: *name, Mode: *mode})
+	// The session shares the signal context: Ctrl-C unblocks the wire
+	// read and tears the connection down.
+	sess, peer, err := semholo.ServeContext(ctx, conn, semholo.Hello{Peer: *name, Mode: *mode})
 	if err != nil {
 		log.Fatalf("handshake: %v", err)
 	}
@@ -100,19 +116,42 @@ func main() {
 	}
 	start := time.Now()
 	frames := 0
-	for {
-		data, err := receiver.NextFrame()
-		if err != nil {
-			if errors.Is(err, semholo.ErrSessionClosed) || errors.Is(err, io.EOF) {
-				break
+	if *pipelined {
+		stats, err := semholo.RunReceiverPipeline(ctx, receiver, func(data semholo.FrameData) error {
+			frames++
+			if frames%30 == 0 {
+				describe(frames, data)
+				if *dump != "" && data.Mesh != nil {
+					dumpOBJ(*dump, frames, data.Mesh)
+				}
 			}
-			log.Fatalf("frame %d: %v", frames, err)
+			return nil
+		}, semholo.PipelineReceiverOptions{
+			QueueDepth: *queue,
+			Lossless:   *lossless,
+			Registry:   reg,
+		})
+		if err != nil {
+			log.Fatalf("pipeline: %v", err)
 		}
-		frames++
-		if frames%30 == 0 {
-			describe(frames, data)
-			if *dump != "" && data.Mesh != nil {
-				dumpOBJ(*dump, frames, data.Mesh)
+		log.Printf("staged: received %d, decoded %d, rendered %d, dropped %d stale",
+			stats.Received, stats.Decoded, stats.Rendered, stats.Dropped)
+	} else {
+		for {
+			data, err := receiver.NextFrame()
+			if err != nil {
+				if errors.Is(err, semholo.ErrSessionClosed) || errors.Is(err, io.EOF) ||
+					errors.Is(err, context.Canceled) {
+					break
+				}
+				log.Fatalf("frame %d: %v", frames, err)
+			}
+			frames++
+			if frames%30 == 0 {
+				describe(frames, data)
+				if *dump != "" && data.Mesh != nil {
+					dumpOBJ(*dump, frames, data.Mesh)
+				}
 			}
 		}
 	}

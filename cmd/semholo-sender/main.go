@@ -1,7 +1,11 @@
 // Command semholo-sender is a standalone telepresence sender: it
 // simulates a capture site (parametric human + RGB-D rig), encodes each
 // frame with the selected semantics, and streams it to a semholo-receiver
-// over TCP.
+// over TCP. By default it runs the staged pipeline runtime — capture,
+// encode, and send overlap in separate goroutines connected by
+// latest-frame-wins queues — so a slow encode or a congested link can
+// never stall the capture clock; -pipeline=false falls back to the
+// sequential loop. Ctrl-C shuts the pipeline down gracefully.
 //
 // Usage:
 //
@@ -10,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"semholo"
@@ -29,9 +36,15 @@ func main() {
 		fps       = flag.Float64("fps", 30, "capture rate")
 		motion    = flag.String("motion", "talking", "workload: talking|walking|waving")
 		name      = flag.String("name", "site-A", "participant name")
+		pipelined = flag.Bool("pipeline", true, "run the staged pipeline runtime (capture ∥ encode ∥ send); false = sequential loop")
+		queue     = flag.Int("queue", 1, "staged runtime: per-stage queue depth")
+		lossless  = flag.Bool("lossless", false, "staged runtime: block instead of dropping stale frames")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/* and pprof on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	var mo body.Motion
 	switch *motion {
@@ -62,7 +75,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("dial %s: %v", *addr, err)
 	}
-	sess, peer, err := semholo.Connect(conn, semholo.Hello{Peer: *name, Mode: *mode, FPS: *fps})
+	// The session shares the signal context: Ctrl-C unblocks any
+	// in-flight write and tears the connection down.
+	sess, peer, err := semholo.ConnectContext(ctx, conn, semholo.Hello{Peer: *name, Mode: *mode, FPS: *fps})
 	if err != nil {
 		log.Fatalf("handshake: %v", err)
 	}
@@ -88,26 +103,51 @@ func main() {
 	}
 	sender := &semholo.Sender{Session: sess, Encoder: enc, Tracer: tracer, Obs: pm}
 	interval := time.Duration(float64(time.Second) / *fps)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
 
 	start := time.Now()
-	for i := 0; i < *frames; i++ {
-		capturedAt := time.Now()
-		cap := world.FrameAt(i)
-		pm.ObserveStage(obs.StageCapture, time.Since(capturedAt))
-		if err := sender.SendFrameCaptured(cap, capturedAt); err != nil {
-			log.Fatalf("frame %d: %v", i, err)
+	streamed := *frames
+	if *pipelined {
+		stats, err := semholo.RunSenderPipeline(ctx, sender, func(i int) (semholo.Capture, bool) {
+			return world.FrameAt(i), true
+		}, semholo.PipelineSenderOptions{
+			Frames:     *frames,
+			Interval:   interval,
+			QueueDepth: *queue,
+			Lossless:   *lossless,
+			Registry:   reg,
+		})
+		if err != nil {
+			log.Fatalf("pipeline: %v", err)
 		}
-		<-ticker.C
+		streamed = stats.Sent
+		log.Printf("staged: captured %d, encoded %d, sent %d, dropped %d stale",
+			stats.Captured, stats.Encoded, stats.Sent, stats.Dropped)
+	} else {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+	sequential:
+		for i := 0; i < *frames; i++ {
+			capturedAt := time.Now()
+			cap := world.FrameAt(i)
+			pm.ObserveStage(obs.StageCapture, time.Since(capturedAt))
+			if err := sender.SendFrameCaptured(cap, capturedAt); err != nil {
+				log.Fatalf("frame %d: %v", i, err)
+			}
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				streamed = i + 1
+				break sequential
+			}
+		}
 	}
 	st := sess.Stats()
 	sent, nframes := st.BytesSent, st.FramesSent
 	elapsed := time.Since(start).Seconds()
 	fmt.Printf("streamed %d media frames (%d wire frames, %.2f MB) in %.1fs — %.2f Mbps\n",
-		*frames, nframes, float64(sent)/1e6, elapsed, float64(sent)*8/elapsed/1e6)
+		streamed, nframes, float64(sent)/1e6, elapsed, float64(sent)*8/elapsed/1e6)
 	fmt.Print(tracer.Report())
-	if err := sess.Close(); err != nil {
+	if err := sess.Close(); err != nil && ctx.Err() == nil {
 		log.Printf("close: %v", err)
 	}
 }

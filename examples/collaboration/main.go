@@ -4,13 +4,15 @@
 // Each direction uses keypoint semantics; the example measures per-site
 // wire usage, frame delivery rate, and end-to-end pipeline timing, and
 // shows that both directions comfortably fit the paper's 25 Mbps
-// broadband budget with headroom for dozens of participants.
+// broadband budget with headroom for dozens of participants. Each site
+// runs its send and receive pipelines under one lifecycle group — six
+// stages per site overlapping on a single session — and the group
+// propagates the first failure instead of crashing mid-flight.
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"io"
 	"log"
 	"sync"
 	"time"
@@ -43,15 +45,16 @@ func main() {
 	a, b, link := semholo.EmulatedLink(semholo.BroadbandUS(13))
 	defer link.Close()
 
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	results := make(chan string, 4)
 	wg.Add(2)
-	go run(&wg, results, instructor, func() (*semholo.Session, error) {
-		s, _, err := semholo.Connect(a, semholo.Hello{Peer: instructor.name, Mode: "keypoint"})
+	go run(ctx, &wg, results, instructor, func() (*semholo.Session, error) {
+		s, _, err := semholo.ConnectContext(ctx, a, semholo.Hello{Peer: instructor.name, Mode: "keypoint"})
 		return s, err
 	})
-	go run(&wg, results, trainee, func() (*semholo.Session, error) {
-		s, _, err := semholo.Serve(b, semholo.Hello{Peer: trainee.name, Mode: "keypoint"})
+	go run(ctx, &wg, results, trainee, func() (*semholo.Session, error) {
+		s, _, err := semholo.ServeContext(ctx, b, semholo.Hello{Peer: trainee.name, Mode: "keypoint"})
 		return s, err
 	})
 	wg.Wait()
@@ -61,9 +64,9 @@ func main() {
 	}
 }
 
-// run drives one site: a send loop and a receive loop sharing the
-// session, as a real client would.
-func run(wg *sync.WaitGroup, results chan<- string, s *site, connect func() (*semholo.Session, error)) {
+// run drives one site: staged send and receive pipelines sharing the
+// session under one lifecycle group, as a real full-duplex client would.
+func run(ctx context.Context, wg *sync.WaitGroup, results chan<- string, s *site, connect func() (*semholo.Session, error)) {
 	defer wg.Done()
 	sess, err := connect()
 	if err != nil {
@@ -72,28 +75,27 @@ func run(wg *sync.WaitGroup, results chan<- string, s *site, connect func() (*se
 	sender := &semholo.Sender{Session: sess, Encoder: s.enc, Tracer: s.tracer}
 	receiver := &semholo.Receiver{Session: sess, Decoder: s.dec, Tracer: s.tracer}
 
-	recvDone := make(chan int, 1)
-	go func() {
-		got := 0
-		for got < frames {
-			if _, err := receiver.NextFrame(); err != nil {
-				if errors.Is(err, semholo.ErrSessionClosed) || errors.Is(err, io.EOF) {
-					break
-				}
-				log.Fatalf("%s recv: %v", s.name, err)
-			}
-			got++
-		}
-		recvDone <- got
-	}()
-
+	// Lossless queues: a collaboration replay wants every frame, and the
+	// bounded Frames count ends both pipelines without a session close.
+	g, _ := semholo.NewPipelineGroup(ctx)
+	var got int
+	g.Go(func(ctx context.Context) error {
+		stats, err := semholo.RunReceiverPipeline(ctx, receiver, func(semholo.FrameData) error {
+			return nil
+		}, semholo.PipelineReceiverOptions{Frames: frames, Lossless: true})
+		got = stats.Rendered
+		return err
+	})
 	start := time.Now()
-	for i := 0; i < frames; i++ {
-		if err := sender.SendFrame(s.world.FrameAt(i)); err != nil {
-			log.Fatalf("%s send: %v", s.name, err)
-		}
+	g.Go(func(ctx context.Context) error {
+		_, err := semholo.RunSenderPipeline(ctx, sender, func(i int) (semholo.Capture, bool) {
+			return s.world.FrameAt(i), true
+		}, semholo.PipelineSenderOptions{Frames: frames, Lossless: true})
+		return err
+	})
+	if err := g.Wait(); err != nil {
+		log.Fatalf("%s: %v", s.name, err)
 	}
-	got := <-recvDone
 	elapsed := time.Since(start).Seconds()
 	st := sess.Stats()
 	sent, recv := st.BytesSent, st.BytesReceived

@@ -2,10 +2,14 @@
 // capture site streams a talking participant to a receiver over an
 // emulated 25 Mbps broadband link (the paper's deployment constraint)
 // using keypoint-based semantics, and the receiver reconstructs a mesh
-// every frame.
+// every frame. Both sides run the staged pipeline runtime: capture,
+// encode, and send overlap on the sender; recv, decode, and render
+// overlap on the receiver. Lossless queues keep every frame — this is
+// a short clip, not a live call — so all 30 frames arrive.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +17,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A simulated telepresence site: parametric human + RGB-D ring rig.
 	world := semholo.NewWorld(semholo.WorldOptions{Seed: 7})
 
@@ -25,40 +31,40 @@ func main() {
 	defer link.Close()
 
 	// Handshake (the receiving side runs concurrently, as it would in a
-	// real deployment).
+	// real deployment) and staged receive: frames decode while the next
+	// one is still on the wire.
 	done := make(chan error, 1)
 	go func() {
-		sess, _, err := semholo.Serve(b, semholo.Hello{Peer: "bob", Mode: string(semholo.ModeKeypoint)})
+		sess, _, err := semholo.ServeContext(ctx, b, semholo.Hello{Peer: "bob", Mode: string(semholo.ModeKeypoint)})
 		if err != nil {
 			done <- err
 			return
 		}
 		receiver := &semholo.Receiver{Session: sess, Decoder: dec}
-		for i := 0; i < 30; i++ {
-			data, err := receiver.NextFrame()
-			if err != nil {
-				done <- err
-				return
-			}
+		i := 0
+		_, err = semholo.RunReceiverPipeline(ctx, receiver, func(data semholo.FrameData) error {
 			if i%10 == 0 {
 				fmt.Printf("bob: frame %2d — %d vertices, pelvis at %v\n",
 					i, len(data.Mesh.Vertices), data.Params.Translation)
 			}
-		}
-		done <- nil
+			i++
+			return nil
+		}, semholo.PipelineReceiverOptions{Frames: 30, Lossless: true})
+		done <- err
 	}()
 
-	sess, peer, err := semholo.Connect(a, semholo.Hello{Peer: "alice", Mode: string(semholo.ModeKeypoint)})
+	sess, peer, err := semholo.ConnectContext(ctx, a, semholo.Hello{Peer: "alice", Mode: string(semholo.ModeKeypoint)})
 	if err != nil {
 		log.Fatalf("connect: %v", err)
 	}
 	fmt.Printf("alice: connected to %s\n", peer.Peer)
 
+	// Staged send: encode overlaps the wire write of the previous frame.
 	sender := &semholo.Sender{Session: sess, Encoder: enc}
-	for i := 0; i < 30; i++ {
-		if err := sender.SendFrame(world.FrameAt(i)); err != nil {
-			log.Fatalf("send: %v", err)
-		}
+	if _, err := semholo.RunSenderPipeline(ctx, sender, func(i int) (semholo.Capture, bool) {
+		return world.FrameAt(i), true
+	}, semholo.PipelineSenderOptions{Frames: 30, Lossless: true}); err != nil {
+		log.Fatalf("send: %v", err)
 	}
 	if err := <-done; err != nil {
 		log.Fatalf("receive: %v", err)

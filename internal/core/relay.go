@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 
 	"semholo/internal/transport"
@@ -20,10 +23,28 @@ import (
 // dedicated control line during attach, letting receivers demultiplex
 // participants by channel block (each participant's channels are offset
 // by ParticipantChannelStride).
+//
+// Lifecycle: every Attach starts one managed pump goroutine. A pump
+// exits when its session errors, its peer closes, the peer is Detached,
+// or the relay's context is canceled; Close detaches every peer and
+// joins every pump before returning, so a relay can never leak
+// goroutines. One participant failing detaches only that participant —
+// an SFU must not tear down the conference for one dropped caller —
+// but the first abnormal pump error is recorded and reported by Close,
+// errgroup-style.
 type Relay struct {
+	ctx       context.Context
+	cancel    context.CancelFunc
+	stopWatch func() bool
+
 	mu      sync.Mutex
 	peers   map[string]*relayPeer
 	nextIdx int
+	closed  bool
+
+	wg      sync.WaitGroup
+	errOnce sync.Once
+	err     error
 }
 
 // ParticipantChannelStride separates participants' channel spaces when
@@ -34,26 +55,46 @@ type relayPeer struct {
 	name string
 	idx  int
 	sess *transport.Session
+	// done closes when the peer's pump goroutine has fully exited —
+	// what Detach and Close join on.
+	done chan struct{}
 }
 
-// NewRelay builds an empty relay.
-func NewRelay() *Relay {
-	return &Relay{peers: map[string]*relayPeer{}}
+// NewRelay builds an empty relay with a background lifecycle (shut it
+// down with Close).
+func NewRelay() *Relay { return NewRelayContext(context.Background()) }
+
+// NewRelayContext builds an empty relay whose lifetime is bounded by
+// ctx: cancellation detaches every participant and stops every pump, as
+// Close does.
+func NewRelayContext(ctx context.Context) *Relay {
+	ctx, cancel := context.WithCancel(ctx)
+	r := &Relay{ctx: ctx, cancel: cancel, peers: map[string]*relayPeer{}}
+	// On cancellation — ours via Close, or the parent's — force every
+	// pump out of its blocking Recv by closing the peer sessions.
+	r.stopWatch = context.AfterFunc(ctx, r.closeAllSessions)
+	return r
 }
 
 // Attach registers a session under the participant's name and starts
 // forwarding its frames to everyone else. It returns the participant's
 // channel-block index. Forwarding stops when the session errors or
-// closes; the peer is then detached.
+// closes, on Detach, or when the relay shuts down; the peer is then
+// detached and its pump joined.
 func (r *Relay) Attach(name string, sess *transport.Session) (int, error) {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("core: relay is closed")
+	}
 	if _, dup := r.peers[name]; dup {
 		r.mu.Unlock()
 		return 0, fmt.Errorf("core: relay already has participant %q", name)
 	}
-	p := &relayPeer{name: name, idx: r.nextIdx, sess: sess}
+	p := &relayPeer{name: name, idx: r.nextIdx, sess: sess, done: make(chan struct{})}
 	r.nextIdx++
 	r.peers[name] = p
+	r.wg.Add(1)
 	r.mu.Unlock()
 
 	go r.pump(p)
@@ -72,14 +113,17 @@ func (r *Relay) Peers() []string {
 }
 
 func (r *Relay) pump(p *relayPeer) {
+	defer r.wg.Done()
+	defer close(p.done)
 	defer r.detach(p.name)
 	base := uint16(p.idx) * ParticipantChannelStride
 	for {
 		f, err := p.sess.Recv()
 		if err != nil {
-			if err != io.EOF {
-				// Connection torn down; nothing to report beyond detach.
-				_ = err
+			if !benignSessionError(err) {
+				r.errOnce.Do(func() {
+					r.err = fmt.Errorf("core: relay participant %q: %w", p.name, err)
+				})
 			}
 			return
 		}
@@ -91,6 +135,15 @@ func (r *Relay) pump(p *relayPeer) {
 		out.Channel += base
 		r.broadcast(p.name, out)
 	}
+}
+
+// benignSessionError reports errors that mean "the peer or the relay
+// went away on purpose" — the expected ends of a pump's life.
+func benignSessionError(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, context.Canceled)
 }
 
 func (r *Relay) broadcast(from string, f transport.Frame) {
@@ -117,10 +170,56 @@ func (r *Relay) broadcast(from string, f transport.Frame) {
 	}
 }
 
+// detach removes the peer from the fan-out set (pump-internal; the
+// pump's own exit path).
 func (r *Relay) detach(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.peers, name)
+}
+
+// Detach disconnects one participant: its session is closed, its pump
+// joined, and its name freed for re-attachment. Detaching an unknown
+// name is a no-op.
+func (r *Relay) Detach(name string) {
+	r.mu.Lock()
+	p, ok := r.peers[name]
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	_ = p.sess.Close()
+	<-p.done
+}
+
+// closeAllSessions force-closes every attached session, unblocking
+// every pump. Idempotent (Session.Close is).
+func (r *Relay) closeAllSessions() {
+	r.mu.Lock()
+	peers := make([]*relayPeer, 0, len(r.peers))
+	for _, p := range r.peers {
+		peers = append(peers, p)
+	}
+	r.mu.Unlock()
+	for _, p := range peers {
+		_ = p.sess.Close()
+	}
+}
+
+// Close shuts the relay down: no further Attach succeeds, every
+// participant session is closed, and every pump goroutine is joined
+// before Close returns. It reports the first abnormal participant
+// error observed over the relay's lifetime, if any.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel() // fires closeAllSessions via AfterFunc
+	r.wg.Wait()
+	r.stopWatch()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
 }
 
 // SplitParticipant decomposes a relayed channel into (participant block

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -160,4 +164,86 @@ func TestRelayRejectsDuplicateName(t *testing.T) {
 	if _, err := r.Attach("dup", s); err == nil {
 		t.Error("duplicate name accepted")
 	}
+}
+
+func relayGoroutineCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > base {
+			_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+			t.Fatalf("goroutine leak: %d live, baseline %d (stacks above)", n, base)
+		}
+	}
+}
+
+// TestRelayCloseJoinsAllPumps is the leak regression for the relay:
+// Close must detach every participant and join every pump goroutine
+// before returning.
+func TestRelayCloseJoinsAllPumps(t *testing.T) {
+	leakCheck := relayGoroutineCheck(t)
+	r := NewRelay()
+	var links []*netsim.Link
+	for _, name := range []string{"a", "b", "c"} {
+		p := attachParticipant(t, r, name)
+		links = append(links, p.link)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if got := r.Peers(); len(got) != 0 {
+		t.Errorf("peers after close: %v", got)
+	}
+	if _, err := r.Attach("late", nil); err == nil {
+		t.Error("attach after close accepted")
+	}
+	for _, l := range links {
+		l.Close()
+	}
+	leakCheck()
+}
+
+func TestRelayDetachJoinsPumpAndFreesName(t *testing.T) {
+	r := NewRelay()
+	defer r.Close()
+	p1 := attachParticipant(t, r, "p")
+	defer p1.link.Close()
+	r.Detach("p")
+	if got := r.Peers(); len(got) != 0 {
+		t.Errorf("peers after detach: %v", got)
+	}
+	// The name is free again.
+	p2 := attachParticipant(t, r, "p")
+	defer p2.link.Close()
+	if got := r.Peers(); len(got) != 1 || got[0] != "p" {
+		t.Errorf("peers after re-attach: %v", got)
+	}
+	r.Detach("unknown") // no-op, must not panic or block
+}
+
+func TestRelayContextCancelShutsDown(t *testing.T) {
+	leakCheck := relayGoroutineCheck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRelayContext(ctx)
+	p1 := attachParticipant(t, r, "p1")
+	p2 := attachParticipant(t, r, "p2")
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(r.Peers()) != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := r.Peers(); len(got) != 0 {
+		t.Errorf("peers after context cancel: %v", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("close after cancel: %v", err)
+	}
+	p1.link.Close()
+	p2.link.Close()
+	leakCheck()
 }

@@ -56,8 +56,21 @@ func (s *Sender) SendFrame(c capture.Capture) error {
 
 // SendFrameCaptured encodes and transmits one capture taken at
 // capturedAt — the wall-clock origin of the frame's motion-to-photon
-// trace when Obs is set.
+// trace when Obs is set. It is the sequential composition of the
+// EncodeFrame and Transmit stages the staged runtime overlaps.
 func (s *Sender) SendFrameCaptured(c capture.Capture, capturedAt time.Time) error {
+	enc, err := s.EncodeFrame(c)
+	if err != nil {
+		return err
+	}
+	return s.Transmit(enc, capturedAt)
+}
+
+// EncodeFrame runs the encode stage alone: one capture in, one encoded
+// media frame out, with tracer/metrics spans recorded. Safe for a
+// dedicated encode goroutine as long as it is the only caller (encoders
+// are stateful).
+func (s *Sender) EncodeFrame(c capture.Capture) (EncodedFrame, error) {
 	var stop func()
 	if s.Tracer != nil {
 		stop = s.Tracer.Start("encode")
@@ -69,8 +82,16 @@ func (s *Sender) SendFrameCaptured(c capture.Capture, capturedAt time.Time) erro
 		stop()
 	}
 	if err != nil {
-		return fmt.Errorf("core: encode: %w", err)
+		return EncodedFrame{}, fmt.Errorf("core: encode: %w", err)
 	}
+	return enc, nil
+}
+
+// Transmit runs the send stage alone: it ships an already-encoded media
+// frame, stamping the trace extension (capture timestamp + fresh trace
+// ID) when Obs is set. Session writes are internally serialized, but
+// trace IDs stay ordered only with a single transmitting goroutine.
+func (s *Sender) Transmit(enc EncodedFrame, capturedAt time.Time) error {
 	if s.Tracer != nil {
 		defer s.Tracer.Start("send")()
 	}
@@ -133,21 +154,34 @@ type Receiver struct {
 	pending []transport.Frame
 }
 
-// NextFrame blocks until one full media frame has arrived and decodes
-// it. It returns transport errors verbatim (io.EOF / closed pipe when
-// the sender is done) and a TypeClose sentinel error on graceful close.
-func (r *Receiver) NextFrame() (FrameData, error) {
+// RawFrame is one media frame's wire frames as collected off the
+// session, before decoding: the unit the staged runtime hands from the
+// recv stage to the decode stage.
+type RawFrame struct {
+	// Frames are the media frame's channel payloads (payloads owned).
+	Frames []transport.Frame
+	// Trace carries the cross-site timing record when the sender traced
+	// the frame (arrival stamped; decode time still zero).
+	Trace *obs.FrameTrace
+}
+
+// NextRaw blocks until one full media frame has arrived and returns its
+// wire frames undecoded. The returned RawFrame owns its slice — the
+// caller may decode it on another goroutine. Transport errors surface
+// verbatim (io.EOF / closed pipe when the sender is done); a TypeClose
+// frame yields ErrSessionClosed.
+func (r *Receiver) NextRaw() (RawFrame, error) {
 	for {
 		f, err := r.Session.Recv()
 		if err != nil {
-			return FrameData{}, err
+			return RawFrame{}, err
 		}
 		if r.Estimator != nil {
 			r.Estimator.Observe(time.Now(), len(f.Payload))
 		}
 		switch f.Type {
 		case transport.TypeClose:
-			return FrameData{}, ErrSessionClosed
+			return RawFrame{}, ErrSessionClosed
 		case transport.TypeControl:
 			// Control frames are handled by the application; ignore here.
 			continue
@@ -167,31 +201,60 @@ func (r *Receiver) NextFrame() (FrameData, error) {
 					ArrivedAt:     time.Now(),
 				}
 			}
-			frames := r.pending
-			r.pending = r.pending[:0]
-			var stop func()
-			if r.Tracer != nil {
-				stop = r.Tracer.Start("decode")
-			}
-			stopObs := r.Obs.StartStage(obs.StageDecode)
-			data, err := r.Decoder.Decode(frames)
-			stopObs()
-			if stop != nil {
-				stop()
-			}
-			if err != nil {
-				return FrameData{}, err
-			}
-			if ft != nil {
-				ft.DecodedAt = time.Now()
-				r.Obs.ObserveTrace(*ft)
-				data.Trace = ft
-			}
-			return data, nil
+			raw := RawFrame{Frames: r.pending, Trace: ft}
+			// Ownership moves to the caller; the next media frame starts
+			// from a fresh slice unless NextFrame reclaims this one.
+			r.pending = nil
+			return raw, nil
 		default:
 			continue
 		}
 	}
+}
+
+// DecodeRaw runs the decode stage alone: one collected media frame in,
+// one decoded FrameData out, with tracer/metrics spans and the
+// end-to-end motion-to-photon observation recorded. Safe for a
+// dedicated decode goroutine as long as it is the only caller (decoders
+// are stateful).
+func (r *Receiver) DecodeRaw(raw RawFrame) (FrameData, error) {
+	var stop func()
+	if r.Tracer != nil {
+		stop = r.Tracer.Start("decode")
+	}
+	stopObs := r.Obs.StartStage(obs.StageDecode)
+	data, err := r.Decoder.Decode(raw.Frames)
+	stopObs()
+	if stop != nil {
+		stop()
+	}
+	if err != nil {
+		return FrameData{}, err
+	}
+	if raw.Trace != nil {
+		raw.Trace.DecodedAt = time.Now()
+		r.Obs.ObserveTrace(*raw.Trace)
+		data.Trace = raw.Trace
+	}
+	return data, nil
+}
+
+// NextFrame blocks until one full media frame has arrived and decodes
+// it — the sequential composition of the NextRaw and DecodeRaw stages
+// the staged runtime overlaps. It returns transport errors verbatim
+// (io.EOF / closed pipe when the sender is done) and a TypeClose
+// sentinel error on graceful close.
+func (r *Receiver) NextFrame() (FrameData, error) {
+	raw, err := r.NextRaw()
+	if err != nil {
+		return FrameData{}, err
+	}
+	data, err := r.DecodeRaw(raw)
+	// Sequential use: decode consumed the frames synchronously, so the
+	// backing array is reusable and steady-state receive stays
+	// allocation-free.
+	r.pending = raw.Frames[:0]
+	return data, err
 }
 
 // ErrSessionClosed reports a graceful peer close.

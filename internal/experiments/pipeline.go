@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"semholo/internal/capture"
+	"semholo/internal/core"
+	"semholo/internal/netsim"
+	"semholo/internal/obs"
+	"semholo/internal/pipeline"
+	"semholo/internal/transport"
+)
+
+// PipelineLegStats is one runtime variant's delivery measurement.
+type PipelineLegStats struct {
+	// Frames is how many media frames reached the render stage.
+	Frames int `json:"frames"`
+	// E2EP50Ms / E2EP95Ms / E2EMaxMs are motion-to-photon latencies
+	// (capture wall clock → decode completion) over rendered frames.
+	E2EP50Ms float64 `json:"e2e_p50_ms"`
+	E2EP95Ms float64 `json:"e2e_p95_ms"`
+	E2EMaxMs float64 `json:"e2e_max_ms"`
+	// DeliveredFPS is the achieved render rate.
+	DeliveredFPS float64 `json:"delivered_fps"`
+	// Dropped counts stale frames discarded by the staged runtime's
+	// latest-frame-wins queues (always 0 for the sequential leg).
+	Dropped uint64 `json:"dropped"`
+}
+
+// PipelineBenchResult records the staged-vs-sequential motion-to-photon
+// comparison BENCH_pipeline.json persists.
+type PipelineBenchResult struct {
+	Mode       string  `json:"mode"`
+	Resolution int     `json:"resolution"`
+	Frames     int     `json:"frames"`
+	FPS        float64 `json:"fps"`
+	LinkMbps   float64 `json:"link_mbps"`
+	LinkDelay  string  `json:"link_delay"`
+
+	Sequential PipelineLegStats `json:"sequential"`
+	Staged     PipelineLegStats `json:"staged"`
+
+	// P95SpeedUp is sequential p95 over staged p95 — how much fresher
+	// the rendered frame is once stale work can be dropped instead of
+	// queued.
+	P95SpeedUp float64 `json:"p95_speedup"`
+}
+
+// PipelineBench overloads a keypoint session on purpose — the decode
+// stage costs more than the frame interval — and measures what each
+// runtime renders. The sequential loop must decode every frame, so
+// backlog accumulates and the motion-to-photon latency of later frames
+// grows without bound (the §4 sum-of-stages failure); the staged
+// runtime drops stale frames at the queues and keeps latency near the
+// max single-stage cost. Deterministic content, wall-clock timing.
+func PipelineBench(env *Env, res, frames int) PipelineBenchResult {
+	if res <= 0 {
+		res = 128
+	}
+	if frames <= 0 {
+		frames = 40
+	}
+	link := netsim.LinkConfig{Bandwidth: 25e6, Delay: 10 * time.Millisecond, Seed: env.Seed}
+	fps := env.FPS
+
+	// Pre-capture so both legs stream identical content and capture cost
+	// stays out of the pacing loop.
+	caps := make([]capture.Capture, frames)
+	for i := range caps {
+		caps[i] = env.Seq.FrameAt(i)
+	}
+
+	seq := runPipelineLeg(env, caps, res, fps, link, false)
+	staged := runPipelineLeg(env, caps, res, fps, link, true)
+
+	r := PipelineBenchResult{
+		Mode:       "keypoint",
+		Resolution: res,
+		Frames:     frames,
+		FPS:        fps,
+		LinkMbps:   link.Bandwidth / 1e6,
+		LinkDelay:  link.Delay.String(),
+		Sequential: seq,
+		Staged:     staged,
+	}
+	if staged.E2EP95Ms > 0 {
+		r.P95SpeedUp = seq.E2EP95Ms / staged.E2EP95Ms
+	}
+	return r
+}
+
+// runPipelineLeg streams caps over a fresh emulated link with either
+// the sequential loop or the staged runtime and reports the rendered
+// frames' motion-to-photon latency.
+func runPipelineLeg(env *Env, caps []capture.Capture, res int, fps float64, link netsim.LinkConfig, staged bool) PipelineLegStats {
+	a, b, l := netsim.Pipe(link)
+	defer l.Close()
+
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	defer cancelCtx()
+
+	type handshake struct {
+		sess *transport.Session
+		err  error
+	}
+	hch := make(chan handshake, 1)
+	go func() {
+		s, _, err := transport.AcceptContext(ctx, b, transport.Hello{Peer: "recv", Mode: "keypoint"})
+		hch <- handshake{s, err}
+	}()
+	sessA, _, err := transport.DialContext(ctx, a, transport.Hello{Peer: "send", Mode: "keypoint"})
+	if err != nil {
+		panic(err)
+	}
+	h := <-hch
+	if h.err != nil {
+		panic(h.err)
+	}
+
+	// Fresh per-leg metric registries: the sender's Obs threads the
+	// capture timestamp onto the wire; the receiver's records e2e.
+	sendReg, recvReg := obs.NewRegistry(), obs.NewRegistry()
+	sender := &core.Sender{Session: sessA, Encoder: env.keypointEncoder(), Obs: obs.NewPipelineMetrics(sendReg)}
+	recvPM := obs.NewPipelineMetrics(recvReg)
+	receiver := &core.Receiver{Session: h.sess, Decoder: newKeypointDecoderFor(env, res), Obs: recvPM}
+
+	interval := time.Duration(float64(time.Second) / fps)
+	latencies := make([]float64, 0, len(caps))
+	rendered := 0
+	begin := time.Now()
+
+	if staged {
+		var stats pipeline.ReceiverStats
+		done := make(chan error, 1)
+		go func() {
+			var err error
+			stats, err = pipeline.RunReceiver(ctx, receiver, func(data core.FrameData) error {
+				rendered++
+				if data.Trace != nil {
+					latencies = append(latencies, ms(data.Trace.E2E()))
+				}
+				return nil
+			}, pipeline.ReceiverOptions{QueueDepth: 1, Registry: recvReg})
+			done <- err
+		}()
+		if _, err := pipeline.RunSender(ctx, sender, func(i int) (capture.Capture, bool) {
+			if i >= len(caps) {
+				return capture.Capture{}, false
+			}
+			return caps[i], true
+		}, pipeline.SenderOptions{Frames: len(caps), Interval: interval, QueueDepth: 1, Registry: sendReg}); err != nil {
+			panic(err)
+		}
+		_ = sessA.Close()
+		if err := <-done; err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(begin).Seconds()
+		return PipelineLegStats{
+			Frames:       rendered,
+			E2EP50Ms:     percentile(latencies, 0.50),
+			E2EP95Ms:     percentile(latencies, 0.95),
+			E2EMaxMs:     percentile(latencies, 1.0),
+			DeliveredFPS: float64(rendered) / elapsed,
+			Dropped:      stats.Dropped,
+		}
+	}
+
+	// Sequential leg: the pre-PR runtime — one paced send loop, one
+	// blocking decode loop. Every frame must be decoded, so overload
+	// turns into backlog and latency compounds.
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for i := 0; i < len(caps); i++ {
+			if err := sender.SendFrameCaptured(caps[i], time.Now()); err != nil {
+				return
+			}
+			<-ticker.C
+		}
+		_ = sessA.Close()
+	}()
+	for i := 0; i < len(caps); i++ {
+		data, err := receiver.NextFrame()
+		if err != nil {
+			panic(fmt.Sprintf("pipeline bench sequential frame %d: %v", i, err))
+		}
+		rendered++
+		if data.Trace != nil {
+			latencies = append(latencies, ms(data.Trace.E2E()))
+		}
+	}
+	elapsed := time.Since(begin).Seconds()
+	return PipelineLegStats{
+		Frames:       rendered,
+		E2EP50Ms:     percentile(latencies, 0.50),
+		E2EP95Ms:     percentile(latencies, 0.95),
+		E2EMaxMs:     percentile(latencies, 1.0),
+		DeliveredFPS: float64(rendered) / elapsed,
+	}
+}

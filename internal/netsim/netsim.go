@@ -187,6 +187,10 @@ func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats) {
 			stats.bytes.Add(int64(n))
 			stats.packets.Add(1)
 			if _, werr := dst.Write(buf[:n]); werr != nil {
+				// The far side is gone: close our side too, so an
+				// application writer blocked on this pipe unblocks with an
+				// error instead of hanging forever.
+				_ = src.Close()
 				return
 			}
 		}

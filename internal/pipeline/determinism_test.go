@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"semholo/internal/body"
+	"semholo/internal/capture"
+	"semholo/internal/compress"
+	"semholo/internal/core"
+	"semholo/internal/geom"
+	"semholo/internal/keypoint"
+	"semholo/internal/netsim"
+)
+
+// TestStagedMatchesSequentialByteForByte is the wire-compatibility
+// regression for the staged runtime: with drops disabled, overlapping
+// the stages must be a pure scheduling change — the decoded output of a
+// 50-frame motion sequence is identical to the sequential loop's, frame
+// for frame. Everything in the pipeline is seeded (capture noise,
+// detector, one-euro filter driven by capture time), so any divergence
+// is a real reordering or state-corruption bug.
+func TestStagedMatchesSequentialByteForByte(t *testing.T) {
+	const frames = 50
+	model := body.NewModel(nil, body.ModelOptions{Detail: 1})
+	seq := &capture.Sequence{
+		Model:  model,
+		Motion: body.Talking(nil),
+		Rig:    capture.NewRing(4, 2.5, 1.0, geom.V3(0, 1.0, 0), 96, math.Pi/3, 17),
+		FPS:    30,
+		Render: capture.SkinShader(),
+	}
+	caps := make([]capture.Capture, frames)
+	for i := range caps {
+		caps[i] = seq.FrameAt(i)
+	}
+
+	sequential := runDeterminismLeg(t, model, caps, false)
+	staged := runDeterminismLeg(t, model, caps, true)
+
+	if len(staged) != len(sequential) {
+		t.Fatalf("staged decoded %d frames, sequential %d", len(staged), len(sequential))
+	}
+	for i := range sequential {
+		want, got := sequential[i], staged[i]
+		if !reflect.DeepEqual(want.Params, got.Params) {
+			t.Fatalf("frame %d: decoded params diverge", i)
+		}
+		if !reflect.DeepEqual(want.Mesh, got.Mesh) {
+			t.Fatalf("frame %d: reconstructed mesh diverges", i)
+		}
+		if !reflect.DeepEqual(want.VertexColors, got.VertexColors) {
+			t.Fatalf("frame %d: vertex colors diverge", i)
+		}
+	}
+}
+
+// runDeterminismLeg streams caps over a clean emulated link with fresh,
+// identically-seeded codec state and returns every decoded frame.
+func runDeterminismLeg(t *testing.T, model *body.Model, caps []capture.Capture, staged bool) []core.FrameData {
+	t.Helper()
+	ctx := context.Background()
+	sendSess, recvSess, link := sessionPair(t, ctx, netsim.LinkConfig{})
+	defer link.Close()
+
+	enc := &core.KeypointEncoder{
+		Model:    model,
+		Detector: keypoint.NewDetector(keypoint.DefaultDetector()),
+		Filter:   keypoint.NewOneEuroFilter(1.0, 0.3),
+		Codec:    compress.LZR(),
+	}
+	dec := &core.KeypointDecoder{Model: model, Codec: compress.LZR(), Resolution: 32}
+	sender := &core.Sender{Session: sendSess, Encoder: enc}
+	receiver := &core.Receiver{Session: recvSess, Decoder: dec}
+
+	decoded := make([]core.FrameData, 0, len(caps))
+	if staged {
+		done := make(chan error, 1)
+		go func() {
+			_, err := RunReceiver(ctx, receiver, func(data core.FrameData) error {
+				decoded = append(decoded, data)
+				return nil
+			}, ReceiverOptions{Frames: len(caps), Lossless: true})
+			done <- err
+		}()
+		if _, err := RunSender(ctx, sender, func(i int) (capture.Capture, bool) {
+			if i >= len(caps) {
+				return capture.Capture{}, false
+			}
+			return caps[i], true
+		}, SenderOptions{Lossless: true}); err != nil {
+			t.Fatalf("staged sender: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("staged receiver: %v", err)
+		}
+	} else {
+		done := make(chan error, 1)
+		go func() {
+			for range caps {
+				data, err := receiver.NextFrame()
+				if err != nil {
+					done <- err
+					return
+				}
+				decoded = append(decoded, data)
+			}
+			done <- nil
+		}()
+		for _, c := range caps {
+			if err := sender.SendFrame(c); err != nil {
+				t.Fatalf("sequential send: %v", err)
+			}
+		}
+		if err := <-done; err != nil && !errors.Is(err, io.EOF) {
+			t.Fatalf("sequential receive: %v", err)
+		}
+	}
+	sendSess.Close()
+	recvSess.Close()
+	return decoded
+}

@@ -1,0 +1,88 @@
+// Package pipeline is SemHolo's concurrent staged runtime: it executes
+// the paper's Figure-1 pipeline (capture → extract/encode → send ‖
+// recv → decode → render) as one goroutine per stage connected by
+// bounded queues, so a site's end-to-end latency approaches the *max*
+// of its stage latencies instead of their sum, and a slow stage can
+// never stall capture or the network.
+//
+// Real-time telepresence must never build backlog: the queues default
+// to a latest-frame-wins drop policy (a full queue evicts its oldest
+// entry, the drop is counted, and the producer never blocks). Lossless
+// mode — producers block on a full queue — exists for determinism
+// testing and offline replay, where every frame matters and wall-clock
+// latency does not.
+//
+// Lifecycle is context-driven and errgroup-style: every stage runs
+// under a Group; the first stage error cancels the rest, cancellation
+// tears down the transport session (see transport.DialContext), and
+// RunSender/RunReceiver return only after every stage goroutine has
+// exited — no leaks, no orphan goroutines, deterministic shutdown.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"semholo/internal/transport"
+)
+
+// Group runs a set of goroutines under one context with first-error
+// propagation: the first non-nil error cancels the group's context and
+// is returned by Wait. A stdlib-only errgroup (the module is
+// dependency-free by design).
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	wg      sync.WaitGroup
+	errOnce sync.Once
+	err     error
+}
+
+// NewGroup derives a group (and its context) from parent. Canceling the
+// parent cancels the group.
+func NewGroup(parent context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancelCause(parent)
+	return &Group{ctx: ctx, cancel: cancel}, ctx
+}
+
+// Go runs fn in a new goroutine. A non-nil return records the group's
+// first error and cancels the group context (with the error as cause),
+// prompting sibling stages to drain and exit.
+func (g *Group) Go(fn func(ctx context.Context) error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(g.ctx); err != nil {
+			g.errOnce.Do(func() {
+				g.err = err
+				g.cancel(err)
+			})
+		}
+	}()
+}
+
+// Wait blocks until every goroutine started with Go has exited, then
+// cancels the group context (releasing any watchers) and returns the
+// first error, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel(nil)
+	return g.err
+}
+
+// closeOnFailure watches a group context and force-closes the session
+// when the group fails with a real error, so sibling stages blocked on
+// wire I/O (a send stalled on a congested link, a recv waiting for a
+// frame) unblock and the group can join. Graceful completion and plain
+// cancellation are left to the session's own context binding
+// (DialContext/AcceptContext). The returned stop func releases the
+// watcher.
+func closeOnFailure(ctx context.Context, sess *transport.Session) func() bool {
+	return context.AfterFunc(ctx, func() {
+		if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+			_ = sess.Close()
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestQueueDropPolicyKeepsFreshest(t *testing.T) {
+	q := NewQueue[int](1, false)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := q.Put(ctx, i); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if got := q.Dropped(); got != 2 {
+		t.Errorf("dropped %d, want 2", got)
+	}
+	v, err := q.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Errorf("got %d, want the freshest frame 2", v)
+	}
+}
+
+func TestQueueDrainsAfterClose(t *testing.T) {
+	q := NewQueue[int](4, false)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := q.Put(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if err := q.Put(ctx, 99); !errors.Is(err, ErrClosed) {
+		t.Errorf("put after close: %v, want ErrClosed", err)
+	}
+	for i := 0; i < 3; i++ {
+		v, err := q.Get(ctx)
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		if v != i {
+			t.Errorf("drain %d: got %d", i, v)
+		}
+	}
+	if _, err := q.Get(ctx); !errors.Is(err, ErrClosed) {
+		t.Errorf("get on drained closed queue: %v, want ErrClosed", err)
+	}
+}
+
+func TestQueueLosslessBlocksUntilSpace(t *testing.T) {
+	q := NewQueue[int](1, true)
+	ctx := context.Background()
+	if err := q.Put(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	unblocked := make(chan error, 1)
+	go func() { unblocked <- q.Put(ctx, 2) }()
+	select {
+	case err := <-unblocked:
+		t.Fatalf("lossless put on a full queue returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if v, err := q.Get(ctx); err != nil || v != 1 {
+		t.Fatalf("get: %d, %v", v, err)
+	}
+	select {
+	case err := <-unblocked:
+		if err != nil {
+			t.Fatalf("blocked put failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("put never unblocked after space freed")
+	}
+	if q.Dropped() != 0 {
+		t.Errorf("lossless queue dropped %d frames", q.Dropped())
+	}
+}
+
+func TestQueueCancellationSurfacesCause(t *testing.T) {
+	boom := errors.New("stage exploded")
+	ctx, cancel := context.WithCancelCause(context.Background())
+
+	q := NewQueue[int](1, true)
+	if err := q.Put(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	cancel(boom)
+	if err := q.Put(ctx, 2); !errors.Is(err, boom) {
+		t.Errorf("lossless put after cancel: %v, want the cancellation cause", err)
+	}
+	if v, err := q.Get(ctx); err != nil || v != 1 { // buffered item still drains (fast path)
+		t.Fatalf("drain after cancel: %d, %v", v, err)
+	}
+	if _, err := q.Get(ctx); !errors.Is(err, boom) {
+		t.Errorf("get on canceled context: %v, want the cancellation cause", err)
+	}
+}
+
+func TestQueueGetUnblocksOnCancel(t *testing.T) {
+	q := NewQueue[int](1, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Get(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("get: %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("get never unblocked on cancel")
+	}
+}

@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"semholo/internal/capture"
+	"semholo/internal/core"
+	"semholo/internal/obs"
+)
+
+// Source produces capture frames for the staged sender. Returning
+// ok=false ends the stream gracefully. It is called from the capture
+// stage goroutine only.
+type Source func(i int) (capture.Capture, bool)
+
+// SenderOptions configures RunSender.
+type SenderOptions struct {
+	// Frames bounds the stream length (<= 0: until the Source ends or
+	// the context is canceled).
+	Frames int
+	// Interval paces the capture stage (0 = unpaced). With the staged
+	// runtime the pace is held even when encode or send momentarily
+	// exceed the frame budget — stale work is dropped instead.
+	Interval time.Duration
+	// QueueDepth bounds each stage-connecting queue (default 1 — the
+	// freshest-frame regime).
+	QueueDepth int
+	// Lossless disables latest-frame-wins drops: producers block on full
+	// queues, every captured frame reaches the wire, output matches the
+	// sequential loop byte for byte.
+	Lossless bool
+	// Registry, when set, receives per-queue depth gauges and drop
+	// counters.
+	Registry *obs.Registry
+	// Site labels the queue metrics (default "sender").
+	Site string
+}
+
+// SenderStats reports what a RunSender invocation did.
+type SenderStats struct {
+	// Captured / Encoded / Sent are per-stage media frame counts; in
+	// drop mode they decrease monotonically along the pipeline.
+	Captured int
+	Encoded  int
+	Sent     int
+	// Dropped counts stale frames discarded by latest-frame-wins queues.
+	Dropped uint64
+}
+
+// capturedFrame carries a frame between the capture and encode stages.
+type capturedFrame struct {
+	c  capture.Capture
+	at time.Time
+}
+
+// encodedFrame carries a frame between the encode and send stages.
+type encodedFrame struct {
+	enc core.EncodedFrame
+	at  time.Time
+}
+
+// RunSender drives one sending site as three overlapped stages —
+// capture ∥ encode ∥ send — connected by bounded queues, and returns
+// once every stage has exited: after the source ends (graceful, queues
+// drain), on the first stage error, or on context cancellation. The
+// sender's Session should be bound to the same context (DialContext) so
+// cancellation also unblocks in-flight writes.
+func RunSender(ctx context.Context, s *core.Sender, src Source, opt SenderOptions) (SenderStats, error) {
+	if opt.Site == "" {
+		opt.Site = "sender"
+	}
+	capQ := NewQueue[capturedFrame](opt.QueueDepth, opt.Lossless)
+	sendQ := NewQueue[encodedFrame](opt.QueueDepth, opt.Lossless)
+	capQ.Instrument(opt.Registry, opt.Site, "encode")
+	sendQ.Instrument(opt.Registry, opt.Site, "send")
+
+	var stats SenderStats
+	g, ctx := NewGroup(ctx)
+	// A stage failure must unblock siblings stalled on the wire.
+	defer closeOnFailure(ctx, s.Session)()
+
+	// Capture stage: paced frame production. Never blocks on downstream
+	// in drop mode, so the capture clock stays honest under overload.
+	g.Go(func(ctx context.Context) error {
+		defer capQ.Close()
+		var ticker *time.Ticker
+		if opt.Interval > 0 {
+			ticker = time.NewTicker(opt.Interval)
+			defer ticker.Stop()
+		}
+		for i := 0; opt.Frames <= 0 || i < opt.Frames; i++ {
+			begin := time.Now()
+			c, ok := src(i)
+			if !ok {
+				return nil
+			}
+			s.Obs.ObserveStage(obs.StageCapture, time.Since(begin))
+			if err := capQ.Put(ctx, capturedFrame{c: c, at: begin}); err != nil {
+				return ignoreClosed(err)
+			}
+			stats.Captured++
+			if ticker != nil {
+				select {
+				case <-ticker.C:
+				case <-ctx.Done():
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+
+	// Encode stage: the compute-heavy hop, isolated so it can run a full
+	// frame behind capture without stalling it.
+	g.Go(func(ctx context.Context) error {
+		defer sendQ.Close()
+		for {
+			f, err := capQ.Get(ctx)
+			if err != nil {
+				return ignoreClosed(err)
+			}
+			enc, err := s.EncodeFrame(f.c)
+			if err != nil {
+				return ignoreClosed(err)
+			}
+			// Encoders may reuse their Channels backing array across frames
+			// (the sequential contract: output consumed before the next
+			// Encode). The queue decouples encode from send, so detach the
+			// slice here; payload buffers are freshly allocated per frame
+			// by every encoder, so a shallow copy suffices.
+			enc.Channels = append([]core.ChannelPayload(nil), enc.Channels...)
+			stats.Encoded++
+			if err := sendQ.Put(ctx, encodedFrame{enc: enc, at: f.at}); err != nil {
+				return ignoreClosed(err)
+			}
+		}
+	})
+
+	// Send stage: wire writes, which block on link serialization under
+	// constrained bandwidth — exactly the stall the queue absorbs.
+	g.Go(func(ctx context.Context) error {
+		for {
+			f, err := sendQ.Get(ctx)
+			if err != nil {
+				return ignoreClosed(err)
+			}
+			if err := s.Transmit(f.enc, f.at); err != nil {
+				// A canceled session surfaces context.Canceled via the
+				// transport's error translation — a graceful exit here.
+				return ignoreClosed(err)
+			}
+			stats.Sent++
+		}
+	})
+
+	err := g.Wait()
+	stats.Dropped = capQ.Dropped() + sendQ.Dropped()
+	return stats, err
+}
+
+// ignoreClosed maps the inter-stage end-of-stream sentinel (and the
+// cancellation it propagates) to a clean stage exit; everything else is
+// a real error.
+func ignoreClosed(err error) error {
+	if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}

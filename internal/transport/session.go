@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -33,6 +34,16 @@ type Hello struct {
 type Session struct {
 	conn net.Conn
 
+	// ctx, when bound via DialContext/AcceptContext, cancels the session:
+	// cancellation force-closes the connection (unblocking any Recv or
+	// Send in flight) and subsequent I/O errors surface the context's
+	// cause so callers can distinguish a cancel from a network fault.
+	ctx       context.Context
+	stopWatch func() bool
+
+	closeOnce sync.Once
+	closeErr  error
+
 	wmu   sync.Mutex
 	fw    *FrameWriter
 	seq   map[uint16]uint32
@@ -41,6 +52,7 @@ type Session struct {
 	stats sessionCounters
 
 	pingMu   sync.Mutex
+	pingSeq  uint32
 	pingSent map[uint32]time.Time
 	lastRTT  time.Duration
 }
@@ -70,6 +82,7 @@ type SessionStats struct {
 func newSession(conn net.Conn) *Session {
 	return &Session{
 		conn:     conn,
+		ctx:      context.Background(),
 		fw:       NewFrameWriter(conn),
 		fr:       NewFrameReader(conn),
 		seq:      map[uint16]uint32{},
@@ -78,10 +91,42 @@ func newSession(conn net.Conn) *Session {
 	}
 }
 
+// bind attaches a cancellation context. When ctx is canceled the
+// connection is force-closed, which unblocks any pending read or write;
+// wrapErr then reports the context's cause instead of the raw I/O error.
+func (s *Session) bind(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	s.ctx = ctx
+	s.stopWatch = context.AfterFunc(ctx, func() { _ = s.conn.Close() })
+}
+
+// wrapErr translates I/O errors caused by context cancellation into the
+// context's cause, so callers see context.Canceled / DeadlineExceeded
+// rather than "use of closed network connection".
+func (s *Session) wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if s.ctx.Err() != nil {
+		return fmt.Errorf("transport: session canceled: %w", context.Cause(s.ctx))
+	}
+	return err
+}
+
 // Dial performs the client side of the handshake over an established
 // connection.
 func Dial(conn net.Conn, hello Hello) (*Session, Hello, error) {
+	return DialContext(context.Background(), conn, hello)
+}
+
+// DialContext is Dial with lifecycle: canceling ctx aborts an in-flight
+// handshake and, afterwards, tears the session down (Recv/Send unblock
+// and return the context's cause).
+func DialContext(ctx context.Context, conn net.Conn, hello Hello) (*Session, Hello, error) {
 	s := newSession(conn)
+	s.bind(ctx)
 	payload, err := json.Marshal(hello)
 	if err != nil {
 		return nil, Hello{}, fmt.Errorf("transport: marshal hello: %w", err)
@@ -91,7 +136,7 @@ func Dial(conn net.Conn, hello Hello) (*Session, Hello, error) {
 	}
 	f, err := s.fr.ReadFrame()
 	if err != nil {
-		return nil, Hello{}, fmt.Errorf("transport: awaiting handshake ack: %w", err)
+		return nil, Hello{}, fmt.Errorf("transport: awaiting handshake ack: %w", s.wrapErr(err))
 	}
 	if f.Type != TypeHandshakeAck {
 		return nil, Hello{}, fmt.Errorf("transport: expected handshake ack, got %v", f.Type)
@@ -105,10 +150,16 @@ func Dial(conn net.Conn, hello Hello) (*Session, Hello, error) {
 
 // Accept performs the server side of the handshake.
 func Accept(conn net.Conn, hello Hello) (*Session, Hello, error) {
+	return AcceptContext(context.Background(), conn, hello)
+}
+
+// AcceptContext is Accept with lifecycle (see DialContext).
+func AcceptContext(ctx context.Context, conn net.Conn, hello Hello) (*Session, Hello, error) {
 	s := newSession(conn)
+	s.bind(ctx)
 	f, err := s.fr.ReadFrame()
 	if err != nil {
-		return nil, Hello{}, fmt.Errorf("transport: awaiting handshake: %w", err)
+		return nil, Hello{}, fmt.Errorf("transport: awaiting handshake: %w", s.wrapErr(err))
 	}
 	if f.Type != TypeHandshake {
 		return nil, Hello{}, fmt.Errorf("transport: expected handshake, got %v", f.Type)
@@ -127,10 +178,19 @@ func Accept(conn net.Conn, hello Hello) (*Session, Hello, error) {
 	return s, peer, nil
 }
 
+// Context returns the session's lifecycle context (Background when the
+// session was built without one).
+func (s *Session) Context() context.Context { return s.ctx }
+
 // send stamps sequence and timestamp and writes the frame.
 func (s *Session) send(f *Frame) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	return s.sendLocked(f)
+}
+
+// sendLocked is send's body; the caller holds wmu.
+func (s *Session) sendLocked(f *Frame) error {
 	f.Seq = s.seq[f.Channel]
 	s.seq[f.Channel]++
 	f.Timestamp = uint64(time.Since(s.t0).Microseconds())
@@ -140,7 +200,7 @@ func (s *Session) send(f *Frame) error {
 		f.SendTS = obs.NowMicros()
 	}
 	if err := s.fw.WriteFrame(f); err != nil {
-		return err
+		return s.wrapErr(err)
 	}
 	s.stats.bytesSent.Add(int64(wireLen(f)))
 	s.stats.framesSent.Add(1)
@@ -184,7 +244,7 @@ func (s *Session) Recv() (Frame, error) {
 	for {
 		f, err := s.fr.ReadFrame()
 		if err != nil {
-			return Frame{}, err
+			return Frame{}, s.wrapErr(err)
 		}
 		s.stats.bytesReceived.Add(int64(wireLen(&f)))
 		s.stats.framesReceived.Add(1)
@@ -206,7 +266,11 @@ func (s *Session) Recv() (Frame, error) {
 // arrives (during a Recv call).
 func (s *Session) Ping() error {
 	s.pingMu.Lock()
-	id := uint32(len(s.pingSent) + 1)
+	// Monotonic ID: len(pingSent)+1 would reuse IDs once pongs are
+	// deleted from the map, cross-wiring RTT samples when multiple pings
+	// are in flight.
+	s.pingSeq++
+	id := s.pingSeq
 	s.pingSent[id] = time.Now()
 	s.pingMu.Unlock()
 	var payload [4]byte
@@ -267,8 +331,24 @@ func (s *Session) Instrument(reg *obs.Registry, site string) {
 		Func(func() float64 { return s.RTT().Seconds() }, site)
 }
 
-// Close sends a close frame and closes the connection.
+// Close sends a close frame and closes the connection. It is idempotent
+// and safe to call concurrently with Recv/Send (which then return
+// errors), so lifecycle teardown can always call it unconditionally.
 func (s *Session) Close() error {
-	_ = s.send(&Frame{Type: TypeClose, Channel: ChannelControl})
-	return s.conn.Close()
+	s.closeOnce.Do(func() {
+		// Best-effort graceful close frame: teardown must never block on a
+		// stalled write path. If another writer holds the lock, or the
+		// peer stopped draining the link, skip the courtesy frame —
+		// closing the connection below is the authoritative signal.
+		if s.wmu.TryLock() {
+			_ = s.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+			_ = s.sendLocked(&Frame{Type: TypeClose, Channel: ChannelControl})
+			s.wmu.Unlock()
+		}
+		s.closeErr = s.conn.Close()
+		if s.stopWatch != nil {
+			s.stopWatch()
+		}
+	})
+	return s.closeErr
 }

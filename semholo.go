@@ -34,6 +34,7 @@ import (
 	"semholo/internal/nerf"
 	"semholo/internal/netsim"
 	"semholo/internal/obs"
+	"semholo/internal/pipeline"
 	"semholo/internal/textsem"
 	"semholo/internal/trace"
 	"semholo/internal/transport"
@@ -90,6 +91,41 @@ var (
 	NewPipelineMetrics = obs.NewPipelineMetrics
 	// ServeDebug starts the debug/metrics HTTP server.
 	ServeDebug = obs.Serve
+)
+
+// Staged pipeline runtime (internal/pipeline), re-exported: the
+// concurrent execution model that overlaps capture ∥ encode ∥ send and
+// recv ∥ decode ∥ render with bounded latest-frame-wins queues and
+// context-driven lifecycle.
+type (
+	// PipelineSenderOptions configures RunSenderPipeline.
+	PipelineSenderOptions = pipeline.SenderOptions
+	// PipelineReceiverOptions configures RunReceiverPipeline.
+	PipelineReceiverOptions = pipeline.ReceiverOptions
+	// PipelineSenderStats reports a staged sending run.
+	PipelineSenderStats = pipeline.SenderStats
+	// PipelineReceiverStats reports a staged receiving run.
+	PipelineReceiverStats = pipeline.ReceiverStats
+	// CaptureSource produces frames for the staged sender.
+	CaptureSource = pipeline.Source
+	// RenderSink consumes decoded frames on the staged render stage.
+	RenderSink = pipeline.Sink
+	// PipelineGroup runs goroutines with first-error propagation.
+	PipelineGroup = pipeline.Group
+)
+
+var (
+	// RunSenderPipeline drives a sender as overlapped stages.
+	RunSenderPipeline = pipeline.RunSender
+	// RunReceiverPipeline drives a receiver as overlapped stages.
+	RunReceiverPipeline = pipeline.RunReceiver
+	// NewPipelineGroup builds an errgroup-style lifecycle group.
+	NewPipelineGroup = pipeline.NewGroup
+	// ConnectContext dials a session whose lifetime is bound to a
+	// context: cancellation unblocks Recv/Send and tears the session down.
+	ConnectContext = transport.DialContext
+	// ServeContext accepts a session bound to a context.
+	ServeContext = transport.AcceptContext
 )
 
 // The taxonomy modes.
