@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline
+.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay
 
 ## verify: the full pre-commit gate — formatting, vet, build, tests.
 verify: fmt-check vet build test
@@ -40,12 +40,13 @@ ci: vet build
 	$(MAKE) cache-determinism
 	$(MAKE) obs-check
 	$(MAKE) pipeline-check
+	$(MAKE) relay-check
 
 ## pipeline-check: the staged-runtime gate — race-enabled goroutine-leak
 ## tests (pipeline, relay, session) plus the staged-vs-sequential
 ## byte-identity regression.
 pipeline-check:
-	$(GO) test -race -run 'TestStaged|TestQueue|TestGroup|TestConcurrentShutdown|TestRelay|TestCancel|TestClose|TestPing|TestSession' ./internal/pipeline ./internal/core ./internal/transport
+	$(GO) test -race -run 'TestStaged|TestQueue|TestGroup|TestConcurrentShutdown|TestRelay|TestCancel|TestClose|TestPing|TestSession' ./internal/pipeline ./internal/queue ./internal/core ./internal/transport
 
 ## bench-pipeline: sequential vs staged motion-to-photon latency, plus
 ## the JSON record via the bench CLI.
@@ -58,6 +59,19 @@ bench-pipeline:
 obs-check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs ./internal/transport
+
+## relay-check: the fan-out scale-out gate — race-enabled serialize-once
+## wire-compat suites (byte identity, CRC combine, interleaved seq),
+## slow-subscriber isolation, egress churn leak checks, and the netsim
+## stall/resume tests backing them.
+relay-check:
+	$(GO) test -race -run 'TestRelay|TestSharedFrame|TestWriteSharedFrame|TestSendShared|TestCRCShift|TestLinkStall|TestLinkClose' ./internal/core ./internal/transport ./internal/netsim
+
+## bench-relay: serial vs serialize-once fan-out microbenchmarks, plus
+## the multi-party relay load benchmark JSON record via the bench CLI.
+bench-relay:
+	$(GO) test -run xxx -bench 'RelayFanout' -benchmem ./internal/transport
+	$(GO) run ./cmd/semholo-bench -exp relay -relayout BENCH_relay.json
 
 ## cache-determinism: the warm-vs-cold byte-identity regression tests.
 cache-determinism:

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|pipeline|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|pipeline|relay|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
 		resArg    = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
 		frames    = flag.Int("frames", 5, "frames per measurement")
 		full      = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
@@ -36,6 +36,8 @@ func main() {
 		cacheOut  = flag.String("cacheout", "BENCH_cache.json", "output path for the cache experiment's JSON record")
 		pipeOut   = flag.String("pipeout", "BENCH_pipeline.json", "output path for the pipeline experiment's JSON record")
 		pipeRes   = flag.Int("piperes", 128, "reconstruction resolution for the pipeline experiment (high enough to overload the decode stage)")
+		relayOut  = flag.String("relayout", "BENCH_relay.json", "output path for the relay experiment's JSON record")
+		relaySubs = flag.String("relaysubs", "4,64,256", "comma-separated subscriber counts for the relay experiment")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -68,6 +70,7 @@ func main() {
 		"fig4":      func() { printFig4(env, resolutions) },
 		"cache":     func() { printCacheBench(env, *frames, *cacheOut) },
 		"pipeline":  func() { printPipelineBench(env, *pipeRes, *frames*8, *pipeOut) },
+		"relay":     func() { printRelayBench(env, parseSubscribers(*relaySubs), *frames*8, *relayOut) },
 		"foveated":  func() { printFoveated(env) },
 		"keypoints": func() { printKeypointCount(env) },
 		"finetune":  func() { printFineTune(env) },
@@ -79,7 +82,7 @@ func main() {
 	if *exp == "all" {
 		// Fixed, readable order.
 		for _, name := range []string{
-			"table1", "table2", "fig2", "fig3", "fig4", "cache", "pipeline",
+			"table1", "table2", "fig2", "fig3", "fig4", "cache", "pipeline", "relay",
 			"foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
 		} {
 			run(name, experimentsByName[name])
@@ -220,6 +223,46 @@ func printPipelineBench(env *experiments.Env, res, frames int, outPath string) {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pipeline record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+func parseSubscribers(arg string) []int {
+	var out []int
+	for _, tok := range strings.Split(arg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "bad subscriber count %q\n", tok)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func printRelayBench(env *experiments.Env, subs []int, frames int, outPath string) {
+	fmt.Println("Relay fan-out scale-out: serialize-once broadcast + per-subscriber egress queues.")
+	fmt.Println("serial: per-subscriber re-serialize (old broadcast loop); fanout: one SharedFrame for all.")
+	r := experiments.RelayBench(env, subs, frames, 0)
+	fmt.Printf("payload %d B, %d frames, egress queue depth %d\n", r.PayloadBytes, r.Frames, r.QueueDepth)
+	fmt.Printf("%6s %14s %14s %9s %13s %13s %12s %12s %10s %14s\n",
+		"subs", "serial ms/frm", "fanout ms/frm", "speedup", "serial allocs", "fanout allocs",
+		"healthy p95", "deliv frac", "slow drop", "legacy p95(ms)")
+	for _, leg := range r.Legs {
+		fmt.Printf("%6d %14.4f %14.4f %8.1fx %13.1f %13.1f %10.1fms %12.3f %10d %14.1f\n",
+			leg.Subscribers, leg.SerialCPUMsPerFrame, leg.FanoutCPUMsPerFrame, leg.CPUSpeedup,
+			leg.SerialAllocsPerFrame, leg.FanoutAllocsPerFrame,
+			leg.HealthyP95Ms, leg.HealthyDeliveredFrac, leg.SlowPeerDrops, leg.LegacyHealthyP95Ms)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relay record: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", outPath)

@@ -62,6 +62,111 @@ func main() {
 	for line := range results {
 		fmt.Println(line)
 	}
+
+	relayBroadcast()
+}
+
+// relayBroadcast is the multi-party act: one presenter streaming through
+// the SFU relay to four viewers, one of them on a congested link. The
+// serialize-once fan-out encodes each wire frame once for all viewers,
+// and the congested viewer sheds frames in its own egress queue instead
+// of head-of-line-blocking the other three.
+func relayBroadcast() {
+	fmt.Println()
+	fmt.Println("--- relay broadcast: one presenter, four viewers ---")
+	reg := semholo.NewRegistry()
+	relay := semholo.NewRelayOpts(context.Background(), semholo.RelayOptions{QueueDepth: 8, Registry: reg})
+
+	var links []*semholo.Link
+	dial := func(name string, cfg semholo.LinkConfig) *semholo.Session {
+		a, b, link := semholo.EmulatedLink(cfg)
+		links = append(links, link)
+		go func() {
+			s, _, err := semholo.Serve(b, semholo.Hello{Peer: "relay"})
+			if err != nil {
+				log.Fatalf("relay accept %s: %v", name, err)
+			}
+			if _, err := relay.Attach(name, s); err != nil {
+				log.Fatalf("relay attach %s: %v", name, err)
+			}
+		}()
+		sess, _, err := semholo.Connect(a, semholo.Hello{Peer: name, Mode: "keypoint"})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		return sess
+	}
+
+	presenter := dial("presenter", semholo.LinkConfig{})
+	viewers := map[string]*semholo.Session{
+		"viewer-1":         dial("viewer-1", semholo.LinkConfig{}),
+		"viewer-2":         dial("viewer-2", semholo.LinkConfig{}),
+		"viewer-3":         dial("viewer-3", semholo.LinkConfig{}),
+		"viewer-congested": dial("viewer-congested", semholo.LinkConfig{Bandwidth: 200e3, Delay: 40 * time.Millisecond}),
+	}
+
+	const broadcastFrames = 30
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	received := map[string]int{}
+	for name, sess := range viewers {
+		wg.Add(1)
+		go func(name string, sess *semholo.Session) {
+			defer wg.Done()
+			for {
+				f, err := sess.Recv()
+				if err != nil {
+					return
+				}
+				if f.Type == semholo.FrameTypeSemantic {
+					mu.Lock()
+					received[name]++
+					mu.Unlock()
+				}
+			}
+		}(name, sess)
+	}
+
+	world := semholo.NewWorld(semholo.WorldOptions{Motion: body.Talking(nil), Seed: 21})
+	enc, _ := semholo.NewKeypointPipeline(world, semholo.KeypointOptions{Resolution: 40})
+	start := time.Now()
+	for i := 0; i < broadcastFrames; i++ {
+		ef, err := enc.Encode(world.FrameAt(i))
+		if err != nil {
+			log.Fatalf("encode: %v", err)
+		}
+		for _, ch := range ef.Channels {
+			if err := presenter.SendTraced(ch.Channel, ch.Flags, ch.Payload, semholo.NowMicros(), uint64(i)); err != nil {
+				log.Fatalf("send: %v", err)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Give egress a moment to drain, then hang up; viewers' Recv loops
+	// end when the relay closes their sessions.
+	time.Sleep(200 * time.Millisecond)
+	stats := relay.PeerStats()
+	if err := relay.Close(); err != nil {
+		log.Fatalf("relay close: %v", err)
+	}
+	wg.Wait()
+	for _, l := range links {
+		l.Close()
+	}
+	elapsed := time.Since(start).Seconds()
+
+	fmt.Printf("presenter broadcast %d frames to %d viewers in %.1fs (encoded once per frame, fan-out %d deliveries)\n",
+		broadcastFrames, len(viewers), elapsed, relay.IngressFrames()*uint64(len(viewers)))
+	for _, s := range stats {
+		if s.Name == "presenter" {
+			continue
+		}
+		mu.Lock()
+		got := received[s.Name]
+		mu.Unlock()
+		fmt.Printf("  %-17s delivered %3d wire frames (%d received), dropped %d at the egress queue\n",
+			s.Name, s.Delivered, got, s.Dropped)
+	}
 }
 
 // run drives one site: staged send and receive pipelines sharing the

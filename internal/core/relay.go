@@ -6,8 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"semholo/internal/obs"
+	"semholo/internal/queue"
 	"semholo/internal/transport"
 )
 
@@ -24,40 +29,92 @@ import (
 // participants by channel block (each participant's channels are offset
 // by ParticipantChannelStride).
 //
-// Lifecycle: every Attach starts one managed pump goroutine. A pump
-// exits when its session errors, its peer closes, the peer is Detached,
-// or the relay's context is canceled; Close detaches every peer and
-// joins every pump before returning, so a relay can never leak
-// goroutines. One participant failing detaches only that participant —
-// an SFU must not tear down the conference for one dropped caller —
-// but the first abnormal pump error is recorded and reported by Close,
-// errgroup-style.
+// Fan-out is serialize-once and slow-consumer isolated. An ingress pump
+// captures each frame as one immutable transport.SharedFrame (one
+// payload copy + one CRC pass total, regardless of subscriber count),
+// then enqueues it onto every other participant's bounded
+// latest-frame-wins egress queue — an O(peers) loop of non-blocking
+// queue puts against a copy-on-write peer snapshot, no locks and no
+// per-peer serialization on the ingress path. A dedicated egress
+// goroutine per subscriber drains its queue and writes frames with that
+// subscriber's own per-channel sequence numbers, so a stalled or slow
+// peer fills and sheds only its own queue (drops counted per peer)
+// while everyone else keeps receiving at full rate.
+//
+// Lifecycle: every Attach starts one pump and one egress goroutine. A
+// pump exits when its session errors, its peer closes, the peer is
+// Detached, or the relay's context is canceled; its exit closes the
+// egress queue, which ends the egress goroutine after draining. Close
+// detaches every peer and joins every goroutine before returning, so a
+// relay can never leak. One participant failing detaches only that
+// participant — an SFU must not tear down the conference for one
+// dropped caller — but the first abnormal pump error is recorded and
+// reported by Close, errgroup-style.
 type Relay struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 	stopWatch func() bool
 
+	queueDepth int
+
 	mu      sync.Mutex
 	peers   map[string]*relayPeer
 	nextIdx int
 	closed  bool
+	// snap is the copy-on-write fan-out set: an immutable slice swapped
+	// on attach/detach so broadcast never takes r.mu.
+	snap atomic.Pointer[[]*relayPeer]
+
+	ingress    atomic.Uint64
+	unroutable atomic.Uint64
+
+	m atomic.Pointer[relayMetrics]
 
 	wg      sync.WaitGroup
 	errOnce sync.Once
 	err     error
 }
 
+// RelayOptions tunes a relay.
+type RelayOptions struct {
+	// QueueDepth bounds each subscriber's egress queue (latest-frame-wins;
+	// default 16). Deeper queues ride out longer stalls at the cost of
+	// staler frames for recovering peers.
+	QueueDepth int
+	// Registry, when non-nil, receives the relay's fan-out metrics
+	// (equivalent to calling Instrument).
+	Registry *obs.Registry
+}
+
+// DefaultRelayQueueDepth is the per-subscriber egress queue bound used
+// when RelayOptions.QueueDepth is zero.
+const DefaultRelayQueueDepth = 16
+
 // ParticipantChannelStride separates participants' channel spaces when
 // relayed: participant i's channel c arrives as c + i*stride.
 const ParticipantChannelStride uint16 = 1000
+
+// egressItem is one broadcast frame in flight to one subscriber, stamped
+// at ingress so the egress goroutine can observe fan-out latency.
+type egressItem struct {
+	sf *transport.SharedFrame
+	at time.Time
+}
 
 type relayPeer struct {
 	name string
 	idx  int
 	sess *transport.Session
-	// done closes when the peer's pump goroutine has fully exited —
-	// what Detach and Close join on.
-	done chan struct{}
+	// out is the subscriber's bounded latest-frame-wins egress queue: the
+	// broadcast loop's non-blocking handoff to this peer's egress
+	// goroutine.
+	out  *queue.Queue[egressItem]
+	sent atomic.Uint64
+	// done closes when the peer's pump goroutine has fully exited;
+	// egressDone when its egress goroutine has. Detach and Close join on
+	// both.
+	done       chan struct{}
+	egressDone chan struct{}
 }
 
 // NewRelay builds an empty relay with a background lifecycle (shut it
@@ -68,19 +125,87 @@ func NewRelay() *Relay { return NewRelayContext(context.Background()) }
 // ctx: cancellation detaches every participant and stops every pump, as
 // Close does.
 func NewRelayContext(ctx context.Context) *Relay {
+	return NewRelayOpts(ctx, RelayOptions{})
+}
+
+// NewRelayOpts builds an empty relay with explicit options.
+func NewRelayOpts(ctx context.Context, opt RelayOptions) *Relay {
 	ctx, cancel := context.WithCancel(ctx)
-	r := &Relay{ctx: ctx, cancel: cancel, peers: map[string]*relayPeer{}}
+	r := &Relay{ctx: ctx, cancel: cancel, peers: map[string]*relayPeer{}, queueDepth: opt.QueueDepth}
+	if r.queueDepth <= 0 {
+		r.queueDepth = DefaultRelayQueueDepth
+	}
+	r.snap.Store(&[]*relayPeer{})
 	// On cancellation — ours via Close, or the parent's — force every
 	// pump out of its blocking Recv by closing the peer sessions.
 	r.stopWatch = context.AfterFunc(ctx, r.closeAllSessions)
+	if opt.Registry != nil {
+		r.Instrument(opt.Registry)
+	}
 	return r
+}
+
+// relayMetrics holds the push-observed series; per-peer queue series are
+// pull-backed Funcs registered at attach time.
+type relayMetrics struct {
+	reg              *obs.Registry
+	broadcastSeconds *obs.Histogram
+	egressSeconds    *obs.Histogram
+	queueDepth       *obs.GaugeVec
+	dropped          *obs.CounterVec
+	delivered        *obs.CounterVec
+}
+
+// Instrument registers the relay's fan-out metrics: broadcast (ingress
+// enqueue-to-all) and ingress→egress latency histograms, ingress and
+// unroutable frame counters, a live peer-count gauge, and per-peer
+// queue depth / dropped / delivered series (labeled by participant,
+// registered as peers attach; re-attaching a name resets its series).
+func (r *Relay) Instrument(reg *obs.Registry) {
+	m := &relayMetrics{
+		reg: reg,
+		broadcastSeconds: reg.Histogram("semholo_relay_fanout_broadcast_seconds",
+			"Time one ingress frame spends enqueueing onto every subscriber egress queue.",
+			nil).With(),
+		egressSeconds: reg.Histogram("semholo_relay_fanout_egress_seconds",
+			"Per-subscriber latency from relay ingress to the frame handed to the subscriber's wire.",
+			nil).With(),
+		queueDepth: reg.Gauge("semholo_relay_egress_queue_depth",
+			"Live egress queue depth per subscriber.", "peer"),
+		dropped: reg.Counter("semholo_relay_egress_dropped_frames_total",
+			"Frames shed by a subscriber's latest-frame-wins egress queue.", "peer"),
+		delivered: reg.Counter("semholo_relay_egress_delivered_frames_total",
+			"Frames written to a subscriber's session.", "peer"),
+	}
+	reg.Counter("semholo_relay_ingress_frames_total",
+		"Routable frames accepted from participants for fan-out.").
+		Func(func() float64 { return float64(r.ingress.Load()) })
+	reg.Counter("semholo_relay_unroutable_frames_total",
+		"Frames of types the relay does not forward (protocol drift detector).").
+		Func(func() float64 { return float64(r.unroutable.Load()) })
+	reg.GaugeFunc("semholo_relay_peers",
+		"Participants currently attached.",
+		func() float64 { return float64(len(*r.snap.Load())) })
+	r.m.Store(m)
+	// Cover peers attached before instrumentation.
+	r.mu.Lock()
+	for _, p := range r.peers {
+		m.registerPeer(p)
+	}
+	r.mu.Unlock()
+}
+
+func (m *relayMetrics) registerPeer(p *relayPeer) {
+	m.queueDepth.Func(func() float64 { return float64(p.out.Len()) }, p.name)
+	m.dropped.Func(func() float64 { return float64(p.out.Dropped()) }, p.name)
+	m.delivered.Func(func() float64 { return float64(p.sent.Load()) }, p.name)
 }
 
 // Attach registers a session under the participant's name and starts
 // forwarding its frames to everyone else. It returns the participant's
 // channel-block index. Forwarding stops when the session errors or
 // closes, on Detach, or when the relay shuts down; the peer is then
-// detached and its pump joined.
+// detached and its pump and egress goroutines joined.
 func (r *Relay) Attach(name string, sess *transport.Session) (int, error) {
 	r.mu.Lock()
 	if r.closed {
@@ -91,14 +216,33 @@ func (r *Relay) Attach(name string, sess *transport.Session) (int, error) {
 		r.mu.Unlock()
 		return 0, fmt.Errorf("core: relay already has participant %q", name)
 	}
-	p := &relayPeer{name: name, idx: r.nextIdx, sess: sess, done: make(chan struct{})}
+	p := &relayPeer{
+		name: name, idx: r.nextIdx, sess: sess,
+		out:  queue.NewQueue[egressItem](r.queueDepth, false),
+		done: make(chan struct{}), egressDone: make(chan struct{}),
+	}
 	r.nextIdx++
 	r.peers[name] = p
-	r.wg.Add(1)
+	r.storeSnapshotLocked()
+	if m := r.m.Load(); m != nil {
+		m.registerPeer(p)
+	}
+	r.wg.Add(2)
 	r.mu.Unlock()
 
 	go r.pump(p)
+	go r.egress(p)
 	return p.idx, nil
+}
+
+// storeSnapshotLocked rebuilds the immutable fan-out slice; callers hold
+// r.mu.
+func (r *Relay) storeSnapshotLocked() {
+	snap := make([]*relayPeer, 0, len(r.peers))
+	for _, p := range r.peers {
+		snap = append(snap, p)
+	}
+	r.snap.Store(&snap)
 }
 
 // Peers returns the current participant names.
@@ -112,10 +256,48 @@ func (r *Relay) Peers() []string {
 	return names
 }
 
+// RelayPeerStats is one subscriber's delivery counters.
+type RelayPeerStats struct {
+	Name string
+	// Queued is the live egress queue depth.
+	Queued int
+	// Delivered counts frames written to the subscriber's session.
+	Delivered uint64
+	// Dropped counts frames shed by the subscriber's latest-frame-wins
+	// queue (a slow or stalled consumer sheds its own frames; nobody
+	// else's are delayed).
+	Dropped uint64
+}
+
+// PeerStats snapshots per-subscriber delivery counters, sorted by name.
+func (r *Relay) PeerStats() []RelayPeerStats {
+	peers := *r.snap.Load()
+	stats := make([]RelayPeerStats, 0, len(peers))
+	for _, p := range peers {
+		stats = append(stats, RelayPeerStats{
+			Name:      p.name,
+			Queued:    p.out.Len(),
+			Delivered: p.sent.Load(),
+			Dropped:   p.out.Dropped(),
+		})
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+	return stats
+}
+
+// IngressFrames counts routable frames accepted for fan-out.
+func (r *Relay) IngressFrames() uint64 { return r.ingress.Load() }
+
+// Unroutable counts frames of types the relay does not forward.
+func (r *Relay) Unroutable() uint64 { return r.unroutable.Load() }
+
+// pump is the per-participant ingress loop: it captures each received
+// frame as a serialize-once SharedFrame and fans it out to every
+// subscriber queue.
 func (r *Relay) pump(p *relayPeer) {
 	defer r.wg.Done()
 	defer close(p.done)
-	defer r.detach(p.name)
+	defer r.detach(p)
 	base := uint16(p.idx) * ParticipantChannelStride
 	for {
 		f, err := p.sess.Recv()
@@ -127,13 +309,73 @@ func (r *Relay) pump(p *relayPeer) {
 			}
 			return
 		}
-		if f.Type == transport.TypeClose {
+		var sf *transport.SharedFrame
+		switch f.Type {
+		case transport.TypeClose:
+			return
+		case transport.TypeSemantic:
+			// Re-home the channel into the sender's block. The one payload
+			// copy (out of the reader's reused buffer) and the one payload
+			// CRC pass happen here; every subscriber reuses both.
+			sf, err = transport.SharedFromFrame(f)
+			if err != nil {
+				continue // unreachable: a decoded frame is within MaxPayload
+			}
+			sf.Channel += base
+		case transport.TypeControl:
+			// Wire-compatible with the legacy SendControl forwarding path:
+			// control frames land on the control channel with no flags.
+			sf, err = transport.NewSharedFrame(transport.TypeControl, transport.ChannelControl, 0, f.Payload)
+			if err != nil {
+				continue
+			}
+		default:
+			r.unroutable.Add(1)
+			continue
+		}
+		r.ingress.Add(1)
+		r.broadcast(p, sf)
+	}
+}
+
+// broadcast enqueues one shared frame onto every other subscriber's
+// egress queue: a lock-free walk of the copy-on-write peer snapshot with
+// non-blocking puts, so ingress cost is O(peers) queue operations no
+// matter how slow any consumer is.
+func (r *Relay) broadcast(from *relayPeer, sf *transport.SharedFrame) {
+	start := time.Now()
+	for _, p := range *r.snap.Load() {
+		if p == from {
+			continue
+		}
+		// Latest-frame-wins Put never blocks; a full queue sheds its
+		// oldest frame into the peer's drop counter.
+		_ = p.out.Put(r.ctx, egressItem{sf: sf, at: start})
+	}
+	if m := r.m.Load(); m != nil {
+		m.broadcastSeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
+// egress is the per-subscriber delivery loop: it drains the peer's queue
+// and writes frames with the peer's own session sequence numbers.
+func (r *Relay) egress(p *relayPeer) {
+	defer r.wg.Done()
+	defer close(p.egressDone)
+	for {
+		it, err := p.out.Get(r.ctx)
+		if err != nil {
+			return // queue closed and drained, or relay shutting down
+		}
+		if err := p.sess.SendShared(it.sf); err != nil {
+			// Broken peer: its own pump observes the session error and
+			// detaches it.
 			return
 		}
-		// Re-home the channel into the sender's block and fan out.
-		out := f.Clone()
-		out.Channel += base
-		r.broadcast(p.name, out)
+		p.sent.Add(1)
+		if m := r.m.Load(); m != nil {
+			m.egressSeconds.Observe(time.Since(it.at).Seconds())
+		}
 	}
 }
 
@@ -146,41 +388,23 @@ func benignSessionError(err error) bool {
 		errors.Is(err, context.Canceled)
 }
 
-func (r *Relay) broadcast(from string, f transport.Frame) {
+// detach removes the peer from the fan-out set and closes its egress
+// queue (pump-internal; the pump's own exit path). Keyed by peer
+// pointer, not name, so a re-attached name is never detached by its
+// predecessor's exiting pump.
+func (r *Relay) detach(p *relayPeer) {
 	r.mu.Lock()
-	targets := make([]*relayPeer, 0, len(r.peers))
-	for name, p := range r.peers {
-		if name != from {
-			targets = append(targets, p)
-		}
+	if r.peers[p.name] == p {
+		delete(r.peers, p.name)
+		r.storeSnapshotLocked()
 	}
 	r.mu.Unlock()
-	for _, p := range targets {
-		var err error
-		switch f.Type {
-		case transport.TypeSemantic:
-			err = p.sess.Send(f.Channel, f.Flags, f.Payload)
-		case transport.TypeControl:
-			err = p.sess.SendControl(f.Payload)
-		}
-		if err != nil {
-			// Broken peer: let its own pump detach it.
-			continue
-		}
-	}
-}
-
-// detach removes the peer from the fan-out set (pump-internal; the
-// pump's own exit path).
-func (r *Relay) detach(name string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	delete(r.peers, name)
+	p.out.Close()
 }
 
 // Detach disconnects one participant: its session is closed, its pump
-// joined, and its name freed for re-attachment. Detaching an unknown
-// name is a no-op.
+// and egress goroutines joined, and its name freed for re-attachment.
+// Detaching an unknown name is a no-op.
 func (r *Relay) Detach(name string) {
 	r.mu.Lock()
 	p, ok := r.peers[name]
@@ -190,6 +414,7 @@ func (r *Relay) Detach(name string) {
 	}
 	_ = p.sess.Close()
 	<-p.done
+	<-p.egressDone
 }
 
 // closeAllSessions force-closes every attached session, unblocking
@@ -207,9 +432,9 @@ func (r *Relay) closeAllSessions() {
 }
 
 // Close shuts the relay down: no further Attach succeeds, every
-// participant session is closed, and every pump goroutine is joined
-// before Close returns. It reports the first abnormal participant
-// error observed over the relay's lifetime, if any.
+// participant session is closed, and every pump and egress goroutine is
+// joined before Close returns. It reports the first abnormal
+// participant error observed over the relay's lifetime, if any.
 func (r *Relay) Close() error {
 	r.mu.Lock()
 	r.closed = true

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"semholo/internal/core"
+	"semholo/internal/netsim"
+	"semholo/internal/obs"
+	"semholo/internal/transport"
+)
+
+// RelayLegStats measures relay fan-out at one subscriber count.
+type RelayLegStats struct {
+	Subscribers int `json:"subscribers"`
+
+	// CPU microbenchmark (single-threaded, sink writers): cost of
+	// serializing one broadcast frame to every subscriber, per-subscriber
+	// re-serialization (the old Relay.broadcast) vs the serialize-once
+	// SharedFrame path.
+	SerialCPUMsPerFrame  float64 `json:"serial_cpu_ms_per_frame"`
+	FanoutCPUMsPerFrame  float64 `json:"fanout_cpu_ms_per_frame"`
+	CPUSpeedup           float64 `json:"cpu_speedup"`
+	SerialAllocsPerFrame float64 `json:"serial_allocs_per_frame"`
+	FanoutAllocsPerFrame float64 `json:"fanout_allocs_per_frame"`
+
+	// Live relay over netsim with one deliberately stalled subscriber:
+	// capture→receive latency for the healthy ones (the slow-consumer
+	// isolation claim) and the sheds the stalled one absorbed.
+	HealthyP95Ms         float64 `json:"healthy_p95_ms"`
+	HealthyMaxMs         float64 `json:"healthy_max_ms"`
+	HealthyDeliveredFrac float64 `json:"healthy_delivered_frac"`
+	SlowPeerDrops        uint64  `json:"slow_peer_drops"`
+
+	// Legacy hub comparison: the pre-SFU sequential broadcast loop with
+	// one slow (rate-limited, not stalled) subscriber head-of-line
+	// blocking the rest.
+	LegacyFrames       int     `json:"legacy_frames"`
+	LegacyHealthyP95Ms float64 `json:"legacy_healthy_p95_ms"`
+}
+
+// RelayBenchResult is what BENCH_relay.json persists.
+type RelayBenchResult struct {
+	PayloadBytes int             `json:"payload_bytes"`
+	Frames       int             `json:"frames"`
+	QueueDepth   int             `json:"queue_depth"`
+	Legs         []RelayLegStats `json:"legs"`
+}
+
+// RelayBench measures relay fan-out scale-out: for each subscriber count
+// it runs (1) a CPU microbenchmark of per-broadcast serialization cost,
+// serial re-serialize vs serialize-once, (2) a live relay over netsim
+// with one stalled subscriber to verify slow-consumer isolation, and
+// (3) a legacy sequential-hub leg showing the head-of-line blocking the
+// SFU rebuild removes. The default payload (16 KiB) is a hybrid-mode
+// foveal mesh keyframe — the broadcast-heavy shape; keypoint-mode frames
+// are smaller and only widen the allocation gap.
+func RelayBench(env *Env, subscribers []int, frames, payloadBytes int) RelayBenchResult {
+	if len(subscribers) == 0 {
+		subscribers = []int{4, 64, 256}
+	}
+	if frames <= 0 {
+		frames = 40
+	}
+	if payloadBytes <= 0 {
+		payloadBytes = 16384
+	}
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = byte(env.Seed + int64(i))
+	}
+	res := RelayBenchResult{
+		PayloadBytes: payloadBytes,
+		Frames:       frames,
+		QueueDepth:   core.DefaultRelayQueueDepth,
+	}
+	for _, n := range subscribers {
+		leg := RelayLegStats{Subscribers: n}
+		leg.SerialCPUMsPerFrame, leg.FanoutCPUMsPerFrame,
+			leg.SerialAllocsPerFrame, leg.FanoutAllocsPerFrame = relayCPULeg(n, payload)
+		if leg.FanoutCPUMsPerFrame > 0 {
+			leg.CPUSpeedup = leg.SerialCPUMsPerFrame / leg.FanoutCPUMsPerFrame
+		}
+		relayLiveLeg(&leg, n, frames, payload)
+		relayLegacyLeg(&leg, n, frames, payload)
+		res.Legs = append(res.Legs, leg)
+	}
+	return res
+}
+
+// relayCPULeg times one broadcast frame's serialization to n sink
+// writers: the serial path re-runs WriteFrame per subscriber (N header
+// serializations, N payload CRC passes, N payload copies); the fan-out
+// path builds one SharedFrame and re-emits it (one payload pass total).
+func relayCPULeg(n int, payload []byte) (serialMs, fanoutMs, serialAllocs, fanoutAllocs float64) {
+	iters := 4096 / n
+	if iters < 16 {
+		iters = 16
+	}
+	writers := make([]*transport.FrameWriter, n)
+	for i := range writers {
+		writers[i] = transport.NewFrameWriter(io.Discard)
+	}
+	var ms runtime.MemStats
+
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	m0, t0 := ms.Mallocs, time.Now()
+	for it := 0; it < iters; it++ {
+		f := transport.Frame{Type: transport.TypeSemantic, Channel: 1, Timestamp: uint64(it), Payload: payload}
+		for i, fw := range writers {
+			f.Seq = uint32(it + i)
+			_ = fw.WriteFrame(&f)
+		}
+	}
+	el := time.Since(t0)
+	runtime.ReadMemStats(&ms)
+	serialMs = el.Seconds() * 1e3 / float64(iters)
+	serialAllocs = float64(ms.Mallocs-m0) / float64(iters)
+
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	m0, t0 = ms.Mallocs, time.Now()
+	for it := 0; it < iters; it++ {
+		sf, err := transport.NewSharedFrame(transport.TypeSemantic, 1, 0, payload)
+		if err != nil {
+			panic(err)
+		}
+		for i, fw := range writers {
+			_ = fw.WriteSharedFrame(sf, uint32(it+i), uint64(it), 0)
+		}
+	}
+	el = time.Since(t0)
+	runtime.ReadMemStats(&ms)
+	fanoutMs = el.Seconds() * 1e3 / float64(iters)
+	fanoutAllocs = float64(ms.Mallocs-m0) / float64(iters)
+	return serialMs, fanoutMs, serialAllocs, fanoutAllocs
+}
+
+// relayClient is one participant dialed into a relay over a fresh
+// emulated link.
+type relayClient struct {
+	sess *transport.Session
+	link *netsim.Link
+}
+
+func attachRelayClient(r *core.Relay, name string) (*relayClient, error) {
+	a, b, link := netsim.Pipe(netsim.LinkConfig{})
+	type hs struct {
+		s   *transport.Session
+		err error
+	}
+	ch := make(chan hs, 1)
+	go func() {
+		s, _, err := transport.Accept(b, transport.Hello{Peer: "relay"})
+		ch <- hs{s, err}
+	}()
+	sess, _, err := transport.Dial(a, transport.Hello{Peer: name})
+	if err != nil {
+		link.Close()
+		return nil, err
+	}
+	h := <-ch
+	if h.err != nil {
+		link.Close()
+		return nil, h.err
+	}
+	if _, err := r.Attach(name, h.s); err != nil {
+		link.Close()
+		return nil, err
+	}
+	return &relayClient{sess: sess, link: link}, nil
+}
+
+// relayLiveLeg attaches one publisher plus n subscribers (the first
+// wedged solid mid-session) and paces traced frames through the relay,
+// measuring healthy subscribers' capture→receive latency.
+func relayLiveLeg(leg *RelayLegStats, n, frames int, payload []byte) {
+	r := core.NewRelayOpts(context.Background(), core.RelayOptions{})
+	defer func() {
+		_ = r.Close()
+	}()
+	pub, err := attachRelayClient(r, "publisher")
+	if err != nil {
+		panic(err)
+	}
+	defer pub.link.Close()
+
+	subs := make([]*relayClient, n)
+	for i := range subs {
+		if subs[i], err = attachRelayClient(r, fmt.Sprintf("sub%03d", i)); err != nil {
+			panic(err)
+		}
+		defer subs[i].link.Close()
+	}
+	// Wedge the first subscriber's relay→client direction (the Accept
+	// side writes b→a).
+	stalled := n >= 2
+	if stalled {
+		subs[0].link.SetBandwidthBtoA(netsim.Stalled)
+	}
+
+	var mu sync.Mutex
+	var latencies []float64
+	var received int
+	var wg sync.WaitGroup
+	for i, s := range subs {
+		if stalled && i == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *relayClient) {
+			defer wg.Done()
+			for got := 0; got < frames; got++ {
+				f, err := s.sess.Recv()
+				if err != nil {
+					return
+				}
+				if f.Traced() {
+					mu.Lock()
+					latencies = append(latencies, float64(obs.NowMicros()-f.CaptureTS)/1e3)
+					received++
+					mu.Unlock()
+				}
+			}
+		}(s)
+	}
+
+	for i := 0; i < frames; i++ {
+		if err := pub.sess.SendTraced(1, 0, payload, obs.NowMicros(), uint64(i)); err != nil {
+			panic(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Give receivers a drain window, then release any still blocked on a
+	// dropped frame by closing the relay.
+	healthy := n
+	if stalled {
+		healthy--
+	}
+	for waited := 0; waited < 400; waited += 10 {
+		mu.Lock()
+		done := received >= frames*healthy
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats := r.PeerStats()
+	_ = r.Close()
+	wg.Wait()
+
+	sort.Float64s(latencies)
+	if len(latencies) > 0 {
+		leg.HealthyP95Ms = percentile(latencies, 0.95)
+		leg.HealthyMaxMs = latencies[len(latencies)-1]
+	}
+	if healthy > 0 {
+		leg.HealthyDeliveredFrac = float64(received) / float64(frames*healthy)
+	}
+	for _, s := range stats {
+		if s.Name == "sub000" && stalled {
+			leg.SlowPeerDrops = s.Dropped
+		}
+	}
+}
+
+// relayLegacyLeg reproduces the pre-SFU relay: one goroutine broadcasting
+// sequentially with per-subscriber re-serialization, the slow subscriber
+// first in iteration order. Its pacing delay lands on every peer behind
+// it — the head-of-line blocking the egress queues remove. The slow link
+// is rate-limited (~30 ms per frame) rather than stalled, which would
+// block the sequential loop forever.
+func relayLegacyLeg(leg *RelayLegStats, n, frames int, payload []byte) {
+	if frames > 12 {
+		frames = 12 // each frame costs ≥30 ms on the slow link
+	}
+	leg.LegacyFrames = frames
+	slowBW := float64(len(payload)*8) / 0.03 // 30 ms serialization per frame
+
+	type hubPeer struct {
+		sess   *transport.Session // hub side
+		client *transport.Session
+		link   *netsim.Link
+	}
+	peers := make([]hubPeer, n)
+	for i := range peers {
+		a, b, link := netsim.Pipe(netsim.LinkConfig{})
+		type hs struct {
+			s   *transport.Session
+			err error
+		}
+		ch := make(chan hs, 1)
+		go func() {
+			s, _, err := transport.Accept(b, transport.Hello{Peer: "hub"})
+			ch <- hs{s, err}
+		}()
+		client, _, err := transport.Dial(a, transport.Hello{Peer: fmt.Sprintf("peer%03d", i)})
+		if err != nil {
+			panic(err)
+		}
+		h := <-ch
+		if h.err != nil {
+			panic(h.err)
+		}
+		peers[i] = hubPeer{sess: h.s, client: client, link: link}
+		defer link.Close()
+	}
+	if n >= 2 {
+		peers[0].link.SetBandwidthBtoA(slowBW)
+	}
+
+	var mu sync.Mutex
+	var latencies []float64
+	var wg sync.WaitGroup
+	for i := range peers {
+		p := peers[i]
+		slow := n >= 2 && i == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The slow viewer still drains (at its link's rate, until the
+			// hub hangs up) but its own latency is not the
+			// head-of-line-blocking claim.
+			for got := 0; slow || got < frames; got++ {
+				f, err := p.client.Recv()
+				if err != nil {
+					return
+				}
+				if !slow && f.Traced() {
+					mu.Lock()
+					latencies = append(latencies, float64(obs.NowMicros()-f.CaptureTS)/1e3)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < frames; i++ {
+		capture := obs.NowMicros()
+		for p := range peers {
+			// The legacy loop: every subscriber pays a full re-serialize,
+			// and a slow peer's backpressure lands on everyone after it.
+			_ = peers[p].sess.SendTraced(1, 0, payload, capture, uint64(i))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := range peers {
+		_ = peers[i].sess.Close()
+	}
+	wg.Wait()
+
+	sort.Float64s(latencies)
+	if len(latencies) > 0 {
+		leg.LegacyHealthyP95Ms = percentile(latencies, 0.95)
+	}
+}

@@ -60,22 +60,31 @@ func (s *Stats) Drops() int64 { return s.drops.Load() }
 // DroppedBytes returns the payload bytes of dropped chunks.
 func (s *Stats) DroppedBytes() int64 { return s.droppedBytes.Load() }
 
+// Stalled is a sentinel bandwidth: a direction set to Stalled delivers
+// nothing (the pump parks in-flight bytes) until the bandwidth is raised
+// again or the link closes. It models a completely wedged path — a
+// receiver that stopped draining — rather than a merely slow one.
+const Stalled float64 = -1
+
 // Link is a bidirectional emulated link between two net.Conn endpoints.
 type Link struct {
 	// AtoB and BtoA expose per-direction delivery statistics.
 	AtoB, BtoA *Stats
 
-	// Dynamic bandwidth (bits/s, stored as int64): 0 = unlimited. The
-	// pumps re-read these on every chunk, so congestion episodes can be
-	// injected mid-session.
+	// Dynamic bandwidth (bits/s, stored as int64): 0 = unlimited,
+	// negative = stalled. The pumps re-read these on every chunk, so
+	// congestion episodes can be injected mid-session.
 	bwAtoB, bwBtoA atomic.Int64
+
+	// done wakes pumps parked on a stalled direction when the link closes.
+	done chan struct{}
 
 	closeOnce sync.Once
 	closers   []func() error
 }
 
 // SetBandwidth changes both directions' bandwidth (bits per second; 0 =
-// unlimited) for traffic scheduled from now on.
+// unlimited, Stalled = wedged) for traffic scheduled from now on.
 func (l *Link) SetBandwidth(bps float64) {
 	l.SetBandwidthAtoB(bps)
 	l.SetBandwidthBtoA(bps)
@@ -114,6 +123,7 @@ func (l *Link) Instrument(reg *obs.Registry, name string) {
 // Close tears down the link and both endpoints.
 func (l *Link) Close() {
 	l.closeOnce.Do(func() {
+		close(l.done)
 		for _, c := range l.closers {
 			_ = c()
 		}
@@ -132,19 +142,19 @@ func AsymmetricPipe(aToB, bToA LinkConfig) (a, b net.Conn, link *Link) {
 	// Application-facing pipes; the pumps shuttle bytes between them.
 	appA, inA := net.Pipe()
 	appB, inB := net.Pipe()
-	link = &Link{AtoB: &Stats{}, BtoA: &Stats{}}
+	link = &Link{AtoB: &Stats{}, BtoA: &Stats{}, done: make(chan struct{})}
 	link.bwAtoB.Store(int64(aToB.Bandwidth))
 	link.bwBtoA.Store(int64(bToA.Bandwidth))
 	link.closers = append(link.closers, appA.Close, inA.Close, appB.Close, inB.Close)
-	go pump(inA, inB, aToB, &link.bwAtoB, link.AtoB)
-	go pump(inB, inA, bToA, &link.bwBtoA, link.BtoA)
+	go pump(inA, inB, aToB, &link.bwAtoB, link.AtoB, link.done)
+	go pump(inB, inA, bToA, &link.bwBtoA, link.BtoA, link.done)
 	return appA, appB, link
 }
 
 // pump moves bytes src→dst applying serialization pacing, propagation
 // delay, and jitter. Bandwidth is re-read from bw per chunk so it can
 // change mid-session. It exits when either side closes.
-func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats) {
+func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats, done <-chan struct{}) {
 	mtu := cfg.MTU
 	if mtu <= 0 {
 		mtu = 16 * 1024
@@ -156,6 +166,17 @@ func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats) {
 	for {
 		n, err := src.Read(buf)
 		if n > 0 {
+			// A stalled direction parks the in-flight chunk until the
+			// bandwidth is raised again or the link closes.
+			for bw.Load() < 0 {
+				select {
+				case <-done:
+					_ = src.Close()
+					_ = dst.Close()
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
 			now := time.Now()
 			if txFree.Before(now) {
 				txFree = now

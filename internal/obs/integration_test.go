@@ -9,6 +9,7 @@
 package obs_test
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -243,5 +244,77 @@ func TestEndToEndScrape(t *testing.T) {
 	}
 	if got := metricValue(exp, `semholo_netsim_drops_total{link="wan",direction="a_to_b"}`); got < 0 {
 		t.Error("link drop counter missing from scrape")
+	}
+}
+
+// TestRelayScrape verifies the relay fan-out telemetry reaches a real
+// /metrics scrape: ingress/broadcast instruments, per-peer egress
+// queue/delivery series, and the peer-count gauge.
+func TestRelayScrape(t *testing.T) {
+	const frames = 8
+	reg := obs.NewRegistry()
+	relay := semholo.NewRelayOpts(context.Background(), semholo.RelayOptions{QueueDepth: 8, Registry: reg})
+	defer relay.Close()
+
+	dial := func(name string) *semholo.Session {
+		a, b, link := semholo.EmulatedLink(semholo.LinkConfig{})
+		t.Cleanup(func() { link.Close() })
+		go func() {
+			s, _, err := semholo.Serve(b, semholo.Hello{Peer: "relay"})
+			if err == nil {
+				_, err = relay.Attach(name, s)
+			}
+			if err != nil {
+				t.Errorf("attach %s: %v", name, err)
+			}
+		}()
+		sess, _, err := semholo.Connect(a, semholo.Hello{Peer: name})
+		if err != nil {
+			t.Fatalf("connect %s: %v", name, err)
+		}
+		return sess
+	}
+	pub := dial("pub")
+	subs := map[string]*semholo.Session{"sub1": dial("sub1"), "sub2": dial("sub2")}
+
+	for i := 0; i < frames; i++ {
+		if err := pub.Send(1, 0, []byte("relay-metrics")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, s := range subs {
+		for i := 0; i < frames; i++ {
+			if _, err := s.Recv(); err != nil {
+				t.Fatalf("%s recv %d: %v", name, i, err)
+			}
+		}
+	}
+
+	exp := scrape(t, reg)
+	if got := metricValue(exp, "semholo_relay_peers"); got != 3 {
+		t.Errorf("relay peers = %v, want 3", got)
+	}
+	if got := metricValue(exp, "semholo_relay_ingress_frames_total"); got != frames {
+		t.Errorf("ingress frames = %v, want %d", got, frames)
+	}
+	if got := metricValue(exp, "semholo_relay_unroutable_frames_total"); got != 0 {
+		t.Errorf("unroutable frames = %v, want 0", got)
+	}
+	if got := metricValue(exp, "semholo_relay_fanout_broadcast_seconds_count"); got != frames {
+		t.Errorf("broadcast histogram count = %v, want %d", got, frames)
+	}
+	if got := metricValue(exp, "semholo_relay_fanout_egress_seconds_count"); got < frames {
+		t.Errorf("egress histogram count = %v, want >= %d", got, frames)
+	}
+	for _, peer := range []string{"sub1", "sub2"} {
+		if got := metricValue(exp, `semholo_relay_egress_delivered_frames_total{peer="`+peer+`"}`); got < frames {
+			t.Errorf("%s delivered = %v, want >= %d", peer, got, frames)
+		}
+		if got := metricValue(exp, `semholo_relay_egress_queue_depth{peer="`+peer+`"}`); got < 0 {
+			t.Errorf("%s queue depth series missing from scrape", peer)
+		}
+		if got := metricValue(exp, `semholo_relay_egress_dropped_frames_total{peer="`+peer+`"}`); got != 0 {
+			t.Errorf("%s dropped = %v, want 0 on an unshaped link", peer, got)
+		}
 	}
 }

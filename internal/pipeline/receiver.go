@@ -8,6 +8,7 @@ import (
 
 	"semholo/internal/core"
 	"semholo/internal/obs"
+	"semholo/internal/queue"
 )
 
 // Sink consumes decoded frames on the render stage — the "photon" end
@@ -53,8 +54,8 @@ func RunReceiver(ctx context.Context, r *core.Receiver, sink Sink, opt ReceiverO
 	if opt.Site == "" {
 		opt.Site = "receiver"
 	}
-	decQ := NewQueue[core.RawFrame](opt.QueueDepth, opt.Lossless)
-	renderQ := NewQueue[core.FrameData](opt.QueueDepth, opt.Lossless)
+	decQ := queue.NewQueue[core.RawFrame](opt.QueueDepth, opt.Lossless)
+	renderQ := queue.NewQueue[core.FrameData](opt.QueueDepth, opt.Lossless)
 	decQ.Instrument(opt.Registry, opt.Site, "decode")
 	renderQ.Instrument(opt.Registry, opt.Site, "render")
 

@@ -8,6 +8,7 @@ import (
 	"semholo/internal/capture"
 	"semholo/internal/core"
 	"semholo/internal/obs"
+	"semholo/internal/queue"
 )
 
 // Source produces capture frames for the staged sender. Returning
@@ -71,8 +72,8 @@ func RunSender(ctx context.Context, s *core.Sender, src Source, opt SenderOption
 	if opt.Site == "" {
 		opt.Site = "sender"
 	}
-	capQ := NewQueue[capturedFrame](opt.QueueDepth, opt.Lossless)
-	sendQ := NewQueue[encodedFrame](opt.QueueDepth, opt.Lossless)
+	capQ := queue.NewQueue[capturedFrame](opt.QueueDepth, opt.Lossless)
+	sendQ := queue.NewQueue[encodedFrame](opt.QueueDepth, opt.Lossless)
 	capQ.Instrument(opt.Registry, opt.Site, "encode")
 	sendQ.Instrument(opt.Registry, opt.Site, "send")
 
@@ -164,7 +165,7 @@ func RunSender(ctx context.Context, s *core.Sender, src Source, opt SenderOption
 // cancellation it propagates) to a clean stage exit; everything else is
 // a real error.
 func ignoreClosed(err error) error {
-	if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) {
+	if errors.Is(err, queue.ErrClosed) || errors.Is(err, context.Canceled) {
 		return nil
 	}
 	return err

@@ -1,4 +1,4 @@
-package pipeline
+package queue
 
 import (
 	"context"
@@ -12,7 +12,7 @@ import (
 // ErrClosed is returned by Queue.Get after the queue is closed and
 // drained, and by Put on a closed queue. It is the normal end-of-stream
 // signal between stages, not a failure.
-var ErrClosed = errors.New("pipeline: queue closed")
+var ErrClosed = errors.New("queue: closed")
 
 // Queue is a bounded stage-connecting queue. In the default
 // latest-frame-wins mode, Put never blocks: when the queue is full the

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
 )
 
 // Protocol constants.
@@ -127,11 +128,39 @@ var (
 type FrameWriter struct {
 	w   io.Writer
 	buf []byte
+	// vec/bufs are the scatter-gather scratch for WriteSharedFrame:
+	// header, shared payload, trailer — written without copying the
+	// payload. bufs is a writer-owned field so the net.Buffers slice
+	// header never escapes to the heap per write.
+	vec  [3][]byte
+	bufs net.Buffers
 }
 
 // NewFrameWriter wraps w.
 func NewFrameWriter(w io.Writer) *FrameWriter {
 	return &FrameWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// appendHeader serializes the fixed 24-byte frame header. Shared by
+// WriteFrame and WriteSharedFrame so the two egress paths stay
+// byte-identical by construction.
+func appendHeader(b []byte, typ FrameType, channel, flags uint16, seq uint32, timestamp uint64, payloadLen int) []byte {
+	b = binary.BigEndian.AppendUint16(b, Magic)
+	b = append(b, Version, byte(typ))
+	b = binary.BigEndian.AppendUint16(b, channel)
+	b = binary.BigEndian.AppendUint16(b, flags)
+	b = binary.BigEndian.AppendUint32(b, seq)
+	b = binary.BigEndian.AppendUint64(b, timestamp)
+	b = binary.BigEndian.AppendUint32(b, uint32(payloadLen))
+	return b
+}
+
+// appendTraceExt serializes the 24-byte trace extension.
+func appendTraceExt(b []byte, captureTS, sendTS, traceID uint64) []byte {
+	b = binary.BigEndian.AppendUint64(b, captureTS)
+	b = binary.BigEndian.AppendUint64(b, sendTS)
+	b = binary.BigEndian.AppendUint64(b, traceID)
+	return b
 }
 
 // WriteFrame serializes and writes one frame.
@@ -144,17 +173,9 @@ func (fw *FrameWriter) WriteFrame(f *Frame) error {
 		fw.buf = make([]byte, 0, need)
 	}
 	b := fw.buf[:0]
-	b = binary.BigEndian.AppendUint16(b, Magic)
-	b = append(b, Version, byte(f.Type))
-	b = binary.BigEndian.AppendUint16(b, f.Channel)
-	b = binary.BigEndian.AppendUint16(b, f.Flags)
-	b = binary.BigEndian.AppendUint32(b, f.Seq)
-	b = binary.BigEndian.AppendUint64(b, f.Timestamp)
-	b = binary.BigEndian.AppendUint32(b, uint32(len(f.Payload)))
+	b = appendHeader(b, f.Type, f.Channel, f.Flags, f.Seq, f.Timestamp, len(f.Payload))
 	if f.Flags&FlagTrace != 0 {
-		b = binary.BigEndian.AppendUint64(b, f.CaptureTS)
-		b = binary.BigEndian.AppendUint64(b, f.SendTS)
-		b = binary.BigEndian.AppendUint64(b, f.TraceID)
+		b = appendTraceExt(b, f.CaptureTS, f.SendTS, f.TraceID)
 	}
 	b = append(b, f.Payload...)
 	crc := crc32.ChecksumIEEE(b)

@@ -1,0 +1,198 @@
+// Serialize-once broadcast path. A relay fanning one ingress frame out
+// to N subscribers must not pay N header serializations, N CRC passes
+// over the payload, and N payload memcpys — the payload dominates all
+// three. SharedFrame captures the ingress frame once (one payload copy,
+// one payload CRC pass) and WriteSharedFrame emits it per subscriber by
+// rebuilding only the 24-byte header (plus the optional 24-byte trace
+// extension), re-checksumming those few bytes, and splicing the cached
+// payload CRC in with precomputed CRC32 shift tables. The payload bytes
+// themselves are written with scatter-gather I/O (net.Buffers), so
+// per-subscriber cost is O(header), not O(payload), while the wire
+// bytes stay exactly what FrameWriter.WriteFrame would have produced —
+// including per-(subscriber,channel) sequence numbers.
+package transport
+
+import (
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+
+	"encoding/binary"
+)
+
+// crcShift is a GF(2) linear operator on CRC32 states: column n holds
+// the image of basis vector 1<<n. Operators compose the zlib
+// crc32_combine identity: apply(op_len(B), CRC(A)) ^ CRC(B) == CRC(A||B).
+type crcShift [32]uint32
+
+// apply multiplies the operator by a CRC state.
+func (m *crcShift) apply(vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= m[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// square sets m to src·src.
+func (m *crcShift) square(src *crcShift) {
+	for n := range m {
+		m[n] = src.apply(src[n])
+	}
+}
+
+// ieeeReversedPoly is the reflected CRC-32/IEEE polynomial, matching
+// hash/crc32's bit order.
+const ieeeReversedPoly uint32 = 0xedb88320
+
+// shiftBits is the number of power-of-two shift tables: payload lengths
+// run up to MaxPayload (16 MiB = 2^24) inclusive, so bits 0..24.
+const shiftBits = 25
+
+// shiftTables[k] advances a CRC32 state past 2^k appended zero-length
+// bytes, expressed byte-wise (four 256-entry tables) so one shift costs
+// four lookups and three XORs instead of a 32-step matrix multiply.
+// Built lazily: only processes that actually broadcast pay the one-time
+// (~1 ms) construction.
+var (
+	shiftTables     [shiftBits][4][256]uint32
+	shiftTablesOnce sync.Once
+)
+
+func initShiftTables() {
+	// one-bit shift operator, squared up to one byte (8 bits), then
+	// repeatedly squared for 2, 4, 8, ... bytes.
+	var op, tmp crcShift
+	op[0] = ieeeReversedPoly
+	row := uint32(1)
+	for n := 1; n < 32; n++ {
+		op[n] = row
+		row <<= 1
+	}
+	tmp.square(&op) // 2 bits
+	op.square(&tmp) // 4 bits
+	tmp.square(&op) // 8 bits = 1 byte
+	op = tmp
+	for k := 0; k < shiftBits; k++ {
+		for j := 0; j < 4; j++ {
+			for b := 0; b < 256; b++ {
+				shiftTables[k][j][b] = op.apply(uint32(b) << (8 * j))
+			}
+		}
+		tmp.square(&op)
+		op = tmp
+	}
+}
+
+// crcShiftLen advances a CRC32 state past n appended bytes using the
+// precomputed power-of-two tables: popcount(n) shifts of four table
+// lookups each.
+func crcShiftLen(crc uint32, n int) uint32 {
+	for k := 0; n != 0; n >>= 1 {
+		if n&1 != 0 {
+			t := &shiftTables[k]
+			crc = t[0][crc&0xff] ^ t[1][(crc>>8)&0xff] ^ t[2][(crc>>16)&0xff] ^ t[3][crc>>24]
+		}
+		k++
+	}
+	return crc
+}
+
+// crcCombine joins two independently computed CRC32s: crcCombine(CRC(A),
+// CRC(B), len(B)) == CRC(A||B).
+func crcCombine(crc1, crc2 uint32, len2 int) uint32 {
+	return crcShiftLen(crc1, len2) ^ crc2
+}
+
+// SharedFrame is an immutable broadcast frame: the payload is copied and
+// checksummed exactly once at construction, then any number of sessions
+// can emit it with per-session sequence numbers and timestamps via
+// SendShared / WriteSharedFrame. Exported fields are fixed at build time
+// and must not be mutated once the frame has been handed to a writer.
+type SharedFrame struct {
+	Type    FrameType
+	Channel uint16
+	Flags   uint16
+
+	// CaptureTS and TraceID are forwarded verbatim when Flags carries
+	// FlagTrace; SendTS is restamped per subscriber at write time (the
+	// extension lives in the per-subscriber header block, so forwarding
+	// trace data costs no extra payload work).
+	CaptureTS uint64
+	TraceID   uint64
+
+	payload    []byte
+	payloadCRC uint32
+}
+
+// NewSharedFrame builds a serialize-once frame, performing the single
+// payload copy and the single payload CRC pass.
+func NewSharedFrame(typ FrameType, channel, flags uint16, payload []byte) (*SharedFrame, error) {
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	shiftTablesOnce.Do(initShiftTables)
+	sf := &SharedFrame{Type: typ, Channel: channel, Flags: flags}
+	sf.payload = append([]byte(nil), payload...)
+	sf.payloadCRC = crc32.ChecksumIEEE(sf.payload)
+	return sf, nil
+}
+
+// SharedFromFrame captures a received frame (e.g. a relay ingress frame
+// whose payload aliases the reader's buffer) as a SharedFrame, carrying
+// the trace extension across.
+func SharedFromFrame(f Frame) (*SharedFrame, error) {
+	sf, err := NewSharedFrame(f.Type, f.Channel, f.Flags, f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	sf.CaptureTS, sf.TraceID = f.CaptureTS, f.TraceID
+	return sf, nil
+}
+
+// Payload exposes the frame's owned payload. Callers must treat it as
+// read-only: the bytes are shared by every subscriber.
+func (sf *SharedFrame) Payload() []byte { return sf.payload }
+
+// WireLen is the frame's on-the-wire size.
+func (sf *SharedFrame) WireLen() int {
+	n := headerLen + len(sf.payload) + trailerLen
+	if sf.Flags&FlagTrace != 0 {
+		n += traceExtLen
+	}
+	return n
+}
+
+// WriteSharedFrame emits sf with the given sequence number and sender
+// timestamp (and, for traced frames, send wall clock), byte-identical to
+// FrameWriter.WriteFrame of the equivalent Frame. Only the header (and
+// optional trace extension) is serialized and checksummed here; the
+// payload is neither copied nor re-hashed — its bytes are handed to the
+// writer by reference and its cached CRC is spliced in via the shift
+// tables. Not safe for concurrent use, like WriteFrame.
+func (fw *FrameWriter) WriteSharedFrame(sf *SharedFrame, seq uint32, timestamp, sendTS uint64) error {
+	b := fw.buf[:0]
+	b = appendHeader(b, sf.Type, sf.Channel, sf.Flags, seq, timestamp, len(sf.payload))
+	if sf.Flags&FlagTrace != 0 {
+		b = appendTraceExt(b, sf.CaptureTS, sendTS, sf.TraceID)
+	}
+	crc := crcCombine(crc32.ChecksumIEEE(b), sf.payloadCRC, len(sf.payload))
+	full := binary.BigEndian.AppendUint32(b, crc) // header ∥ trailer, contiguous in fw.buf
+	fw.buf = full[:0]
+	if len(sf.payload) == 0 {
+		_, err := fw.w.Write(full)
+		return err
+	}
+	fw.vec[0], fw.vec[1], fw.vec[2] = full[:len(b)], sf.payload, full[len(b):]
+	fw.bufs = net.Buffers(fw.vec[:])
+	_, err := fw.bufs.WriteTo(fw.w)
+	// Drop the payload reference so the writer does not pin shared
+	// broadcast buffers between frames.
+	fw.bufs = nil
+	fw.vec[0], fw.vec[1], fw.vec[2] = nil, nil, nil
+	return err
+}

@@ -51,6 +51,12 @@ type Session struct {
 	t0    time.Time
 	stats sessionCounters
 
+	// pongScratch is the reusable echo buffer for answering pings: the
+	// ping payload is copied here (detaching it from the reader's
+	// zero-copy buffer) instead of allocating per ping. Only touched by
+	// Recv, which is single-goroutine by contract.
+	pongScratch []byte
+
 	pingMu   sync.Mutex
 	pingSeq  uint32
 	pingSent map[uint32]time.Time
@@ -236,6 +242,32 @@ func (s *Session) SendControl(payload []byte) error {
 	return s.send(&Frame{Type: TypeControl, Channel: ChannelControl, Payload: payload})
 }
 
+// SendShared transmits a pre-serialized broadcast frame. The session
+// still assigns its own per-channel sequence number and timestamp (and,
+// for traced frames, restamps the send wall clock), so the wire bytes
+// are exactly what Send would have produced — but the payload is
+// neither copied nor re-checksummed: one SharedFrame can be emitted to
+// any number of sessions at O(header) marginal cost each. Safe for
+// concurrent use with Send/SendControl (writes serialize on the same
+// lock).
+func (s *Session) SendShared(sf *SharedFrame) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	seq := s.seq[sf.Channel]
+	s.seq[sf.Channel]++
+	ts := uint64(time.Since(s.t0).Microseconds())
+	var sendTS uint64
+	if sf.Flags&FlagTrace != 0 {
+		sendTS = obs.NowMicros()
+	}
+	if err := s.fw.WriteSharedFrame(sf, seq, ts, sendTS); err != nil {
+		return s.wrapErr(err)
+	}
+	s.stats.bytesSent.Add(int64(sf.WireLen()))
+	s.stats.framesSent.Add(1)
+	return nil
+}
+
 // Recv reads the next frame, transparently answering pings and
 // surfacing everything else. The returned payload is only valid until
 // the next Recv (zero-copy); Clone to retain. Returns a TypeClose frame
@@ -250,8 +282,10 @@ func (s *Session) Recv() (Frame, error) {
 		s.stats.framesReceived.Add(1)
 		switch f.Type {
 		case TypePing:
-			// Echo the ping seq back.
-			if err := s.send(&Frame{Type: TypePong, Channel: ChannelControl, Payload: append([]byte(nil), f.Payload...)}); err != nil {
+			// Echo the ping seq back through the session-owned scratch
+			// buffer — no per-ping allocation.
+			s.pongScratch = append(s.pongScratch[:0], f.Payload...)
+			if err := s.send(&Frame{Type: TypePong, Channel: ChannelControl, Payload: s.pongScratch}); err != nil {
 				return Frame{}, err
 			}
 		case TypePong:

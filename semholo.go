@@ -68,6 +68,15 @@ type (
 	BodyParams = body.Params
 	// Tracer records per-stage pipeline timing.
 	Tracer = trace.Tracer
+	// Relay is the multi-party SFU: serialize-once fan-out with
+	// per-subscriber egress queues.
+	Relay = core.Relay
+	// RelayOptions tunes relay queue depth and metrics.
+	RelayOptions = core.RelayOptions
+	// RelayPeerStats is one relay subscriber's delivery counters.
+	RelayPeerStats = core.RelayPeerStats
+	// SharedFrame is an immutable serialize-once broadcast frame.
+	SharedFrame = transport.SharedFrame
 	// Registry is the unified observability metrics registry.
 	Registry = obs.Registry
 	// PipelineMetrics aggregates per-stage and end-to-end frame latency
@@ -433,12 +442,41 @@ var Connect = transport.Dial
 // Serve accepts a SemHolo session over an established connection.
 var Serve = transport.Accept
 
+// NewRelay builds an empty multi-party relay.
+var NewRelay = core.NewRelay
+
+// NewRelayContext builds a relay whose lifetime is bounded by a context.
+var NewRelayContext = core.NewRelayContext
+
+// NewRelayOpts builds a relay with explicit queue depth and metrics
+// options.
+var NewRelayOpts = core.NewRelayOpts
+
+// NewSharedFrame builds a serialize-once broadcast frame (one payload
+// copy, one CRC pass, any number of per-session emissions).
+var NewSharedFrame = transport.NewSharedFrame
+
+// SplitRelayParticipant decomposes a relayed channel into (participant
+// block index, original channel).
+var SplitRelayParticipant = core.SplitParticipant
+
+// NowMicros returns the current wall clock in unix microseconds — the
+// capture timestamp format traced frames carry.
+var NowMicros = obs.NowMicros
+
+// RelayChannelStride separates participants' channel spaces when
+// relayed: participant i's channel c arrives as c + i*stride.
+const RelayChannelStride = core.ParticipantChannelStride
+
 // EmulatedLink builds an in-memory link with the given one-way
 // characteristics — handy for examples and tests.
 var EmulatedLink = netsim.Pipe
 
 // LinkConfig re-exports the link emulation configuration.
 type LinkConfig = netsim.LinkConfig
+
+// Link re-exports the emulated link handle returned by EmulatedLink.
+type Link = netsim.Link
 
 // BroadbandUS returns the paper's 25 Mbps deployment-constraint link.
 var BroadbandUS = netsim.BroadbandUS
