@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay
+.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay service-check bench-multitenant
 
 ## verify: the full pre-commit gate — formatting, vet, build, tests.
 verify: fmt-check vet build test
@@ -41,6 +41,7 @@ ci: vet build
 	$(MAKE) obs-check
 	$(MAKE) pipeline-check
 	$(MAKE) relay-check
+	$(MAKE) service-check
 
 ## pipeline-check: the staged-runtime gate — race-enabled goroutine-leak
 ## tests (pipeline, relay, session) plus the staged-vs-sequential
@@ -72,6 +73,21 @@ relay-check:
 bench-relay:
 	$(GO) test -run xxx -bench 'RelayFanout' -benchmem ./internal/transport
 	$(GO) run ./cmd/semholo-bench -exp relay -relayout BENCH_relay.json
+
+## service-check: the multi-tenant decode-service gate — race-enabled
+## worker-pool suites (budget, FIFO fairness, cancel races), the
+## single-flight mesh-cache suites, the service byte-identity regression
+## against a solo receiver, tenant-churn leak checks, and the 32-tenant
+## admit/detach hammer. The hybrid gaze-anchor race test rides along.
+service-check:
+	$(GO) test -race ./internal/par ./internal/service
+	$(GO) test -race -run 'TestMeshCache|TestHybridGazeAnchor' ./internal/avatar ./internal/core
+
+## bench-multitenant: the shared-service scaling record — correlated vs
+## independent vs isolated arms at 1/8/32/64 tenants, written as
+## BENCH_multitenant.json via the bench CLI.
+bench-multitenant:
+	$(GO) run ./cmd/semholo-bench -exp multitenant -mtout BENCH_multitenant.json
 
 ## cache-determinism: the warm-vs-cold byte-identity regression tests.
 cache-determinism:

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|pipeline|relay|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|pipeline|relay|multitenant|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
 		resArg    = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
 		frames    = flag.Int("frames", 5, "frames per measurement")
 		full      = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
@@ -38,6 +38,9 @@ func main() {
 		pipeRes   = flag.Int("piperes", 128, "reconstruction resolution for the pipeline experiment (high enough to overload the decode stage)")
 		relayOut  = flag.String("relayout", "BENCH_relay.json", "output path for the relay experiment's JSON record")
 		relaySubs = flag.String("relaysubs", "4,64,256", "comma-separated subscriber counts for the relay experiment")
+		mtOut     = flag.String("mtout", "BENCH_multitenant.json", "output path for the multitenant experiment's JSON record")
+		mtTenants = flag.String("mttenants", "1,8,32,64", "comma-separated tenant counts for the multitenant experiment")
+		mtRes     = flag.Int("mtres", 40, "reconstruction resolution for the multitenant experiment")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -63,14 +66,17 @@ func main() {
 		fn()
 	}
 	experimentsByName := map[string]func(){
-		"table1":    func() { printTable1(env, *frames) },
-		"table2":    func() { printTable2(env, *frames) },
-		"fig2":      func() { printFig2(env, resolutions) },
-		"fig3":      func() { printFig3(env) },
-		"fig4":      func() { printFig4(env, resolutions) },
-		"cache":     func() { printCacheBench(env, *frames, *cacheOut) },
-		"pipeline":  func() { printPipelineBench(env, *pipeRes, *frames*8, *pipeOut) },
-		"relay":     func() { printRelayBench(env, parseSubscribers(*relaySubs), *frames*8, *relayOut) },
+		"table1":   func() { printTable1(env, *frames) },
+		"table2":   func() { printTable2(env, *frames) },
+		"fig2":     func() { printFig2(env, resolutions) },
+		"fig3":     func() { printFig3(env) },
+		"fig4":     func() { printFig4(env, resolutions) },
+		"cache":    func() { printCacheBench(env, *frames, *cacheOut) },
+		"pipeline": func() { printPipelineBench(env, *pipeRes, *frames*8, *pipeOut) },
+		"relay":    func() { printRelayBench(env, parseSubscribers(*relaySubs), *frames*8, *relayOut) },
+		"multitenant": func() {
+			printMultiTenantBench(env, parseSubscribers(*mtTenants), *frames*5, *mtRes, *mtOut)
+		},
 		"foveated":  func() { printFoveated(env) },
 		"keypoints": func() { printKeypointCount(env) },
 		"finetune":  func() { printFineTune(env) },
@@ -82,7 +88,7 @@ func main() {
 	if *exp == "all" {
 		// Fixed, readable order.
 		for _, name := range []string{
-			"table1", "table2", "fig2", "fig3", "fig4", "cache", "pipeline", "relay",
+			"table1", "table2", "fig2", "fig3", "fig4", "cache", "pipeline", "relay", "multitenant",
 			"foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
 		} {
 			run(name, experimentsByName[name])
@@ -263,6 +269,35 @@ func printRelayBench(env *experiments.Env, subs []int, frames int, outPath strin
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "relay record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+func printMultiTenantBench(env *experiments.Env, tenants []int, frames, res int, outPath string) {
+	fmt.Println("Multi-tenant decode service: N avatar streams over one worker pool + shared mesh cache.")
+	fmt.Println("correlated: tenants arrive in pose-groups (cross-tenant dedup); independent: all distinct;")
+	fmt.Println("isolated: pre-service baseline, one full worker pool and private cache per stream.")
+	r := experiments.MultiTenantBench(env, tenants, frames, res)
+	fmt.Printf("resolution %d, %d frames/tenant, GOMAXPROCS %d, pool capacity %d, group size %d\n",
+		r.Resolution, r.FramesPerTenant, r.GOMAXPROCS, r.PoolCapacity, r.CorrelGroup)
+	fmt.Printf("%8s %12s %12s %12s %12s %10s %10s %12s %10s %9s\n",
+		"tenants", "corr fps", "indep fps", "isolated", "allocs/frm", "p50(ms)", "p95(ms)",
+		"xtenant hit", "hit rate", "speedup")
+	for _, leg := range r.Legs {
+		fmt.Printf("%8d %12.1f %12.1f %12.1f %12.1f %10.2f %10.2f %12d %10.3f %8.2fx\n",
+			leg.Tenants, leg.AggregateFPS, leg.AggregateFPSIndependent, leg.IsolatedFPS,
+			leg.AllocsPerFrame, leg.DecodeP50Ms, leg.DecodeP95Ms,
+			leg.CrossTenantHits, leg.CacheHitRate, leg.SpeedupVsSolo)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "multitenant record: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", outPath)

@@ -25,6 +25,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -45,6 +47,7 @@ func main() {
 		pipelined = flag.Bool("pipeline", true, "run the staged pipeline runtime (recv ∥ decode ∥ render); false = sequential loop")
 		queue     = flag.Int("queue", 1, "staged runtime: per-stage queue depth")
 		lossless  = flag.Bool("lossless", false, "staged runtime: block instead of dropping stale frames")
+		tenants   = flag.Int("tenants", 0, "accept this many sender sessions and decode them all through one shared DecodeService (keypoint mode only; 0 = single-session receiver)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/* and pprof on this address (e.g. 127.0.0.1:6061)")
 	)
 	flag.Parse()
@@ -82,6 +85,14 @@ func main() {
 	}
 	defer ln.Close()
 	log.Printf("listening on %s (%s mode)", ln.Addr(), *mode)
+
+	if *tenants > 0 {
+		if *mode != "keypoint" {
+			log.Fatalf("-tenants requires -mode keypoint (got %q)", *mode)
+		}
+		runMultiTenant(ctx, ln, reg, world, *name, *tenants, *res, *debugAddr)
+		return
+	}
 	conn, err := ln.Accept()
 	if err != nil {
 		log.Fatalf("accept: %v", err)
@@ -162,6 +173,68 @@ func main() {
 		receiver.Estimator.Estimate()/1e6)
 	fmt.Print(tracer.Report())
 	printBudget(pm.Report())
+}
+
+// runMultiTenant accepts n sender sessions and decodes all of them in
+// one process through a shared DecodeService: one worker pool, one
+// pose-keyed mesh cache, per-tenant queue/latency metrics on reg.
+func runMultiTenant(ctx context.Context, ln net.Listener, reg *obs.Registry, world *semholo.World, name string, n, res int, debugAddr string) {
+	svc := semholo.NewDecodeService(semholo.ServiceOptions{
+		Model:      world.Model,
+		Resolution: res,
+		WarmStart:  true,
+		Registry:   reg,
+	})
+	defer svc.Close()
+	if debugAddr != "" {
+		srv, err := obs.Serve(debugAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s/metrics", srv.Addr())
+	}
+
+	log.Printf("decode service up: pool capacity %d, waiting for %d tenants", svc.Pool().Capacity(), n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var decoded atomic.Int64
+	for i := 0; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("accept tenant %d: %v", i, err)
+		}
+		sess, peer, err := semholo.ServeContext(ctx, conn, semholo.Hello{Peer: name, Mode: "keypoint"})
+		if err != nil {
+			log.Fatalf("handshake tenant %d: %v", i, err)
+		}
+		id := fmt.Sprintf("%s-%d", peer.Peer, i)
+		st, err := svc.Admit(id)
+		if err != nil {
+			log.Fatalf("admit %s: %v", id, err)
+		}
+		log.Printf("tenant %s admitted (%s @ %.0f fps)", id, peer.Mode, peer.FPS)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer svc.Detach(id)
+			frames, err := st.Serve(ctx, &semholo.Receiver{Session: sess}, func(semholo.FrameData) error {
+				decoded.Add(1)
+				return nil
+			})
+			if err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("tenant %s: %v", id, err)
+			}
+			log.Printf("tenant %s done: %d frames", id, frames)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	snap := svc.Counters().Snapshot()
+	fmt.Printf("decoded %d frames across %d tenants in %.1fs — %.1f aggregate fps\n",
+		decoded.Load(), n, elapsed, float64(decoded.Load())/elapsed)
+	fmt.Printf("mesh cache: %.0f%% hit rate, %d cross-tenant hits\n",
+		100*snap.HitRate(), snap.CrossTenantHits)
 }
 
 // printBudget renders the motion-to-photon budget attribution when the

@@ -43,9 +43,10 @@ type MeshCache struct {
 	// Counters, when non-nil, receives hit/miss/eviction telemetry.
 	Counters *metrics.ReconCounters
 
-	mu    sync.Mutex
-	order *list.List // front = most recently used; element value is *cacheEntry
-	byKey map[cacheKey]*list.Element
+	mu      sync.Mutex
+	order   *list.List // front = most recently used; element value is *cacheEntry
+	byKey   map[cacheKey]*list.Element
+	flights map[cacheKey]*flight
 }
 
 type cacheKey struct {
@@ -59,6 +60,20 @@ type cacheKey struct {
 type cacheEntry struct {
 	key  cacheKey
 	mesh *mesh.Mesh
+	// owner is the reconstructor that paid for this entry; a hit from any
+	// other reconstructor is a cross-tenant hit (two streams sharing one
+	// pose-space entry — the consolidation win of the decode service).
+	owner *Reconstructor
+}
+
+// flight is one in-progress reconstruction of a key. Concurrent callers
+// of the same key wait on done instead of reconstructing again; mesh is
+// set (to the cache's immutable stored copy, never the computing
+// caller's mutable result) before done closes.
+type flight struct {
+	owner *Reconstructor
+	done  chan struct{}
+	mesh  *mesh.Mesh
 }
 
 // Len returns the number of cached meshes.
@@ -122,12 +137,79 @@ func (c *MeshCache) lookup(p *body.Params, r *Reconstructor) (*mesh.Mesh, bool) 
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
-		m := el.Value.(*cacheEntry).mesh.Clone()
+		e := el.Value.(*cacheEntry)
+		m := e.mesh.Clone()
 		c.Counters.AddMeshHit()
+		if e.owner != r {
+			c.Counters.AddCrossTenantHit()
+		}
 		return m, true
 	}
 	c.Counters.AddMeshMiss()
 	return nil, false
+}
+
+// GetOrCompute returns the mesh for p under r's configuration, running
+// r.reconstruct on a miss with single-flight deduplication: when several
+// streams ask for the same key concurrently (correlated poses across
+// tenants), exactly one reconstruction runs and the rest wait for its
+// result instead of duplicating the work. Hits from a reconstructor
+// other than the entry's first producer count as cross-tenant hits.
+//
+// The hit path does the same work as lookup — one key build plus the
+// mesh clone every hit pays — so the single-tenant fast path stays as
+// cheap as before single-flight existed.
+func (c *MeshCache) GetOrCompute(p *body.Params, r *Reconstructor) *mesh.Mesh {
+	key := c.keyFor(p, r)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		m := e.mesh.Clone()
+		c.Counters.AddMeshHit()
+		if e.owner != r {
+			c.Counters.AddCrossTenantHit()
+		}
+		c.mu.Unlock()
+		return m
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.mesh == nil {
+			// The computing caller died before publishing (panic in its
+			// reconstruction); start over rather than return nothing.
+			return c.GetOrCompute(p, r)
+		}
+		c.Counters.AddMeshHit()
+		if f.owner != r {
+			c.Counters.AddCrossTenantHit()
+		}
+		return f.mesh.Clone()
+	}
+	c.Counters.AddMeshMiss()
+	if c.flights == nil {
+		c.flights = make(map[cacheKey]*flight)
+	}
+	f := &flight{owner: r, done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	var m *mesh.Mesh
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, key)
+		if m != nil {
+			// Publish the cache's own immutable clone, not m: the caller
+			// may mutate its returned mesh (the hybrid decoder compacts
+			// and merges in place) while waiters are still cloning.
+			f.mesh = c.storeLocked(key, r, m)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	m = r.reconstruct(p)
+	return m
 }
 
 // store caches a copy of m for p under r's configuration, evicting the
@@ -136,17 +218,24 @@ func (c *MeshCache) store(p *body.Params, r *Reconstructor, m *mesh.Mesh) {
 	key := c.keyFor(p, r)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.storeLocked(key, r, m)
+}
+
+// storeLocked inserts a clone of m under key and returns the stored
+// clone (the existing entry's mesh when a concurrent reconstruction of
+// the same pose won the race — the meshes are identical). Callers hold
+// c.mu.
+func (c *MeshCache) storeLocked(key cacheKey, owner *Reconstructor, m *mesh.Mesh) *mesh.Mesh {
 	if c.order == nil {
 		c.order = list.New()
 		c.byKey = make(map[cacheKey]*list.Element)
 	}
 	if el, ok := c.byKey[key]; ok {
-		// A concurrent reconstruction of the same pose won the race;
-		// keep the existing entry (the meshes are identical).
 		c.order.MoveToFront(el)
-		return
+		return el.Value.(*cacheEntry).mesh
 	}
-	el := c.order.PushFront(&cacheEntry{key: key, mesh: m.Clone()})
+	stored := m.Clone()
+	el := c.order.PushFront(&cacheEntry{key: key, mesh: stored, owner: owner})
 	c.byKey[key] = el
 	for c.order.Len() > c.capacity() {
 		back := c.order.Back()
@@ -154,4 +243,5 @@ func (c *MeshCache) store(p *body.Params, r *Reconstructor, m *mesh.Mesh) {
 		delete(c.byKey, back.Value.(*cacheEntry).key)
 		c.Counters.AddMeshEviction()
 	}
+	return stored
 }

@@ -6,10 +6,12 @@ package avatar
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"semholo/internal/body"
 	"semholo/internal/geom"
+	"semholo/internal/mesh"
 	"semholo/internal/metrics"
 )
 
@@ -218,5 +220,98 @@ func TestCacheAndWarmStartCompose(t *testing.T) {
 		if !reflect.DeepEqual(a, c) || !reflect.DeepEqual(b, c) {
 			t.Fatal("warm+cache mesh differs from cold")
 		}
+	}
+}
+
+// TestMeshCacheCrossTenantHit: a second reconstructor hitting an entry
+// the first produced counts as a cross-tenant hit; the producer's own
+// repeat hit does not.
+func TestMeshCacheCrossTenantHit(t *testing.T) {
+	var c metrics.ReconCounters
+	cache := &MeshCache{Counters: &c}
+	a := &Reconstructor{Model: fitModel, Resolution: 32, Cache: cache}
+	b := &Reconstructor{Model: fitModel, Resolution: 32, Cache: cache}
+	p := body.Talking(nil).At(0.7)
+
+	ma := a.Reconstruct(p)
+	if got := c.Snapshot().CrossTenantHits; got != 0 {
+		t.Fatalf("miss counted as cross-tenant hit (%d)", got)
+	}
+	a.Reconstruct(p)
+	if got := c.Snapshot().CrossTenantHits; got != 0 {
+		t.Fatalf("same-tenant hit counted as cross-tenant (%d)", got)
+	}
+	mb := b.Reconstruct(p)
+	if got := c.Snapshot().CrossTenantHits; got != 1 {
+		t.Fatalf("cross-tenant hits = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(ma, mb) {
+		t.Fatal("cross-tenant hit returned a different mesh")
+	}
+}
+
+// TestMeshCacheSingleFlight: many goroutines demanding the same pose
+// concurrently must trigger exactly one reconstruction — the rest are
+// deduplicated onto the in-flight computation — and every caller gets
+// the identical mesh.
+func TestMeshCacheSingleFlight(t *testing.T) {
+	const tenants = 8
+	var c metrics.ReconCounters
+	cache := &MeshCache{Counters: &c}
+	p := body.Talking(nil).At(0.3)
+	want := (&Reconstructor{Model: fitModel, Resolution: 32}).Reconstruct(p)
+
+	meshes := make([]*mesh.Mesh, tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := &Reconstructor{Model: fitModel, Resolution: 32, Cache: cache}
+			meshes[i] = rec.Reconstruct(p)
+		}(i)
+	}
+	wg.Wait()
+
+	s := c.Snapshot()
+	if s.MeshMisses != 1 {
+		t.Fatalf("misses = %d, want 1 (single flight)", s.MeshMisses)
+	}
+	if s.MeshHits != tenants-1 {
+		t.Fatalf("hits = %d, want %d", s.MeshHits, tenants-1)
+	}
+	if s.CrossTenantHits != tenants-1 {
+		t.Fatalf("cross-tenant hits = %d, want %d", s.CrossTenantHits, tenants-1)
+	}
+	for i, m := range meshes {
+		if !reflect.DeepEqual(m, want) {
+			t.Fatalf("tenant %d mesh differs from solo reconstruction", i)
+		}
+	}
+}
+
+// TestMeshCacheConcurrentDistinctPoses hammers the cache with multiple
+// goroutines walking interleaved pose streams — the -race regression for
+// the flights/LRU bookkeeping under real contention.
+func TestMeshCacheConcurrentDistinctPoses(t *testing.T) {
+	cache := &MeshCache{Capacity: 8}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rec := &Reconstructor{Model: fitModel, Resolution: 24, Cache: cache}
+			for i := 0; i < 12; i++ {
+				p := body.Talking(nil).At(float64(i%6) * 0.1)
+				if m := rec.Reconstruct(p); len(m.Vertices) == 0 {
+					t.Errorf("goroutine %d frame %d: empty mesh", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := cache.Len(); n == 0 || n > 8 {
+		t.Fatalf("cache length %d outside (0, 8]", n)
 	}
 }

@@ -310,12 +310,7 @@ const warmResetCells = 3.0
 // Cache, of the quantized key's first-seen parameters).
 func (r *Reconstructor) Reconstruct(p *body.Params) *mesh.Mesh {
 	if r.Cache != nil {
-		if m, ok := r.Cache.lookup(p, r); ok {
-			return m
-		}
-		m := r.reconstruct(p)
-		r.Cache.store(p, r, m)
-		return m
+		return r.Cache.GetOrCompute(p, r)
 	}
 	return r.reconstruct(p)
 }

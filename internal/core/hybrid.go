@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"semholo/internal/avatar"
 	"semholo/internal/body"
@@ -28,15 +29,18 @@ type HybridEncoder struct {
 	// MeshOptions tunes foveal submesh compression.
 	MeshOptions dracogo.Options
 
-	anchor    geom.Vec3
-	hasAnchor bool
+	// anchor is written by the control-plane goroutine (gaze reports
+	// arriving over the session) while Encode reads it from the pipeline
+	// goroutine, so it must be an atomic swap, not a plain field; nil
+	// means no gaze report has arrived yet.
+	anchor atomic.Pointer[geom.Vec3]
 }
 
 // SetGazeAnchor updates the world-space point the remote viewer is
-// looking at (from receiver gaze reports).
+// looking at (from receiver gaze reports). Safe to call concurrently
+// with Encode.
 func (e *HybridEncoder) SetGazeAnchor(p geom.Vec3) {
-	e.anchor = p
-	e.hasAnchor = true
+	e.anchor.Store(&p)
 }
 
 // Mode implements Encoder.
@@ -73,14 +77,15 @@ func (e *HybridEncoder) Encode(c capture.Capture) (EncodedFrame, error) {
 
 // fovealSubmesh extracts the faces of m inside the foveal region.
 func (e *HybridEncoder) fovealSubmesh(m *mesh.Mesh) *mesh.Mesh {
-	if m == nil || !e.hasAnchor {
+	anchor := e.anchor.Load()
+	if m == nil || anchor == nil {
 		return nil
 	}
 	centroids := make([]geom.Vec3, len(m.Faces))
 	for i := range m.Faces {
 		centroids[i] = m.FaceCentroid(i)
 	}
-	fovealFaces, _ := e.Selector.SplitMesh(centroids, e.anchor)
+	fovealFaces, _ := e.Selector.SplitMesh(centroids, *anchor)
 	if len(fovealFaces) == 0 {
 		return nil
 	}
@@ -117,17 +122,22 @@ type HybridDecoder struct {
 	// Counters, when non-nil, accumulates cache and warm-start telemetry.
 	Counters *metrics.ReconCounters
 
-	rec       *avatar.Reconstructor
-	anchor    geom.Vec3
-	hasAnchor bool
+	rec *avatar.Reconstructor
+	// anchor is written from the control/input plane while Decode reads
+	// it from the pipeline goroutine; see HybridEncoder.anchor.
+	anchor atomic.Pointer[geom.Vec3]
 }
 
 // SetGazeAnchor mirrors the encoder-side anchor (receivers know their
-// own gaze).
+// own gaze). Safe to call concurrently with Decode.
 func (d *HybridDecoder) SetGazeAnchor(p geom.Vec3) {
-	d.anchor = p
-	d.hasAnchor = true
+	d.anchor.Store(&p)
 }
+
+// SetWorkers rebinds the parallelism bound between frames — the decode
+// service sets each frame's pool grant here before decoding. Not safe
+// concurrently with Decode (callers serialize per stream).
+func (d *HybridDecoder) SetWorkers(n int) { d.Workers = n }
 
 // Mode implements Decoder.
 func (d *HybridDecoder) Mode() Mode { return ModeHybrid }
@@ -187,11 +197,12 @@ func (d *HybridDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 	peripheral := d.rec.Reconstruct(params)
 
 	merged := peripheral
-	if foveal != nil && d.hasAnchor {
+	anchor := d.anchor.Load()
+	if foveal != nil && anchor != nil {
 		// Drop peripheral faces inside the fovea, then graft the patch.
 		kept := &mesh.Mesh{Vertices: peripheral.Vertices}
 		for i, face := range peripheral.Faces {
-			if !d.Selector.InFovea(peripheral.FaceCentroid(i), d.anchor) {
+			if !d.Selector.InFovea(peripheral.FaceCentroid(i), *anchor) {
 				kept.Faces = append(kept.Faces, face)
 			}
 		}

@@ -182,6 +182,11 @@ func (d *KeypointDecoder) reconstructor() *avatar.Reconstructor {
 // Mode implements Decoder.
 func (d *KeypointDecoder) Mode() Mode { return ModeKeypoint }
 
+// SetWorkers rebinds the parallelism bound between frames — the decode
+// service sets each frame's pool grant here before decoding. Not safe
+// concurrently with Decode (callers serialize per stream).
+func (d *KeypointDecoder) SetWorkers(n int) { d.Workers = n }
+
 // Decode implements Decoder.
 func (d *KeypointDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 	var out FrameData

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"semholo/internal/core"
+	"semholo/internal/par"
+	"semholo/internal/service"
+	"semholo/internal/transport"
+)
+
+// MultiTenantLeg is one tenant-count operating point of the multi-tenant
+// decode bench, comparing three arms: the shared DecodeService on an
+// independent-pose workload (every tenant a distinct stream), the shared
+// service on a correlated-pose workload (tenants arrive in groups of
+// ~correlGroup replaying the same stream — the Ying et al. observation
+// that many users occupy a small pose space), and the pre-service
+// baseline of N isolated receivers each resolving its own GOMAXPROCS
+// worker pool.
+type MultiTenantLeg struct {
+	Tenants int `json:"tenants"`
+	// AggregateFPS is the headline: decoded frames/sec across all
+	// tenants on the correlated workload through the shared service.
+	AggregateFPS float64 `json:"aggregate_fps"`
+	// AggregateFPSIndependent is the same through fully independent pose
+	// streams (no cross-tenant dedup available).
+	AggregateFPSIndependent float64 `json:"aggregate_fps_independent"`
+	// IsolatedFPS is the independent workload through N isolated
+	// decoders (own pools, own caches) — the oversubscription baseline.
+	IsolatedFPS float64 `json:"isolated_fps"`
+	// AllocsPerFrame is steady-state heap allocations per decoded frame
+	// on the independent shared-service arm; flatness across tenant
+	// counts is the shared-kernel acceptance bar.
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	DecodeP50Ms    float64 `json:"decode_p50_ms"`
+	DecodeP95Ms    float64 `json:"decode_p95_ms"`
+	// CrossTenantHits counts correlated-arm cache hits served across
+	// tenant boundaries; CacheHitRate is that arm's overall LRU hit rate.
+	CrossTenantHits uint64  `json:"crosstenant_hits"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	// SpeedupVsSolo is AggregateFPS over the 1-tenant AggregateFPS.
+	SpeedupVsSolo float64 `json:"speedup_vs_solo"`
+}
+
+// MultiTenantBenchResult is persisted as BENCH_multitenant.json.
+type MultiTenantBenchResult struct {
+	Resolution      int              `json:"resolution"`
+	FramesPerTenant int              `json:"frames_per_tenant"`
+	GOMAXPROCS      int              `json:"gomaxprocs"`
+	PoolCapacity    int              `json:"pool_capacity"`
+	CorrelGroup     int              `json:"correlated_group_size"`
+	Legs            []MultiTenantLeg `json:"legs"`
+}
+
+// correlGroup is how many tenants share one pose stream on the
+// correlated workload.
+const correlGroup = 8
+
+// tenantStream builds one tenant's wire frames (LZR-compressed body
+// params on the keypoint channel) from a phase-shifted copy of the env
+// motion. Distinct phases give distinct pose streams; equal phases give
+// bitwise-identical ones — the correlated workload.
+func tenantStream(env *Env, phase float64, frames int) []core.RawFrame {
+	codec := lzrCodec()
+	out := make([]core.RawFrame, frames)
+	for i := range out {
+		p := env.Seq.Motion.At(phase + float64(i)/env.FPS)
+		out[i] = core.RawFrame{Frames: []transport.Frame{{
+			Type:    transport.TypeSemantic,
+			Channel: core.ChanKeypointData,
+			Flags:   transport.FlagKeyframe | transport.FlagCompressed | transport.FlagEndOfFrame,
+			Payload: codec.Encode(p.Marshal()),
+		}}}
+	}
+	return out
+}
+
+// runTenants drives one decode function per tenant on its own goroutine
+// (frame 0 primes arenas before the clock starts) and returns the wall
+// time, steady-state allocs per frame, and the pooled per-frame decode
+// latencies.
+func runTenants(streams [][]core.RawFrame, decode func(tenant int, raw core.RawFrame)) (wall time.Duration, allocsPerFrame float64, latencies []float64) {
+	n := len(streams)
+	perTenant := make([][]float64, n)
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	frames := 0
+	for ti := range streams {
+		frames += len(streams[ti]) - 1
+		perTenant[ti] = make([]float64, 0, len(streams[ti]))
+		ready.Add(1)
+		done.Add(1)
+		go func(ti int) {
+			defer done.Done()
+			decode(ti, streams[ti][0]) // prime
+			ready.Done()
+			<-start
+			for _, raw := range streams[ti][1:] {
+				t0 := time.Now()
+				decode(ti, raw)
+				perTenant[ti] = append(perTenant[ti], time.Since(t0).Seconds())
+			}
+		}(ti)
+	}
+	ready.Wait()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	close(start)
+	done.Wait()
+	wall = time.Since(t0)
+	runtime.ReadMemStats(&after)
+	allocsPerFrame = float64(after.Mallocs-before.Mallocs) / float64(frames)
+	for _, l := range perTenant {
+		latencies = append(latencies, l...)
+	}
+	return wall, allocsPerFrame, latencies
+}
+
+// MultiTenantBench measures the decode service hosting tenantCounts
+// concurrent streams of frames poses each at the given reconstruction
+// resolution. Every arm decodes byte-identical meshes (pinned by the
+// service tests); the arms differ only in where worker budget and cache
+// entries come from.
+func MultiTenantBench(env *Env, tenantCounts []int, frames, res int) MultiTenantBenchResult {
+	if len(tenantCounts) == 0 {
+		tenantCounts = []int{1, 8, 32, 64}
+	}
+	if frames <= 0 {
+		frames = 24
+	}
+	if res <= 0 {
+		res = 40
+	}
+	out := MultiTenantBenchResult{
+		Resolution:      res,
+		FramesPerTenant: frames,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		PoolCapacity:    runtime.GOMAXPROCS(0),
+		CorrelGroup:     correlGroup,
+	}
+
+	for _, n := range tenantCounts {
+		leg := MultiTenantLeg{Tenants: n}
+
+		// Arm 1 — shared service, independent poses: every tenant its own
+		// phase, so the cache never crosses tenants and the measurement
+		// isolates the shared-kernel + pool-arbitration overhead.
+		independent := make([][]core.RawFrame, n)
+		for ti := range independent {
+			independent[ti] = tenantStream(env, float64(ti)*0.37, frames+1)
+		}
+		svc := service.New(service.Options{
+			Model: env.Model, Resolution: res, WarmStart: true,
+			CacheCapacity: n * (frames + 2),
+		})
+		tenants := make([]*service.StreamCtx, n)
+		for ti := range tenants {
+			st, err := svc.Admit(fmt.Sprintf("t%d", ti))
+			if err != nil {
+				panic(err)
+			}
+			tenants[ti] = st
+		}
+		wall, allocs, lat := runTenants(independent, func(ti int, raw core.RawFrame) {
+			if _, err := tenants[ti].Decode(context.Background(), raw); err != nil {
+				panic(err)
+			}
+		})
+		svc.Close()
+		leg.AggregateFPSIndependent = float64(n*frames) / wall.Seconds()
+		leg.AllocsPerFrame = allocs
+		leg.DecodeP50Ms = percentile(lat, 0.50) * 1e3
+		leg.DecodeP95Ms = percentile(lat, 0.95) * 1e3
+
+		// Arm 2 — shared service, correlated poses: tenants arrive in
+		// groups of correlGroup replaying identical streams, so one
+		// tenant's miss is the group's hit (single-flight dedup).
+		groups := (n + correlGroup - 1) / correlGroup
+		correlated := make([][]core.RawFrame, n)
+		distinct := make([][]core.RawFrame, groups)
+		for g := range distinct {
+			distinct[g] = tenantStream(env, float64(g)*0.37, frames+1)
+		}
+		for ti := range correlated {
+			correlated[ti] = distinct[ti%groups]
+		}
+		svc = service.New(service.Options{
+			Model: env.Model, Resolution: res, WarmStart: true,
+			CacheCapacity: groups * (frames + 2),
+		})
+		for ti := range tenants {
+			st, err := svc.Admit(fmt.Sprintf("t%d", ti))
+			if err != nil {
+				panic(err)
+			}
+			tenants[ti] = st
+		}
+		wall, _, _ = runTenants(correlated, func(ti int, raw core.RawFrame) {
+			if _, err := tenants[ti].Decode(context.Background(), raw); err != nil {
+				panic(err)
+			}
+		})
+		snap := svc.Counters().Snapshot()
+		svc.Close()
+		leg.AggregateFPS = float64(n*frames) / wall.Seconds()
+		leg.CrossTenantHits = snap.CrossTenantHits
+		leg.CacheHitRate = snap.HitRate()
+
+		// Arm 3 — isolated baseline: N pre-service receivers, each with a
+		// full-width worker pool and private cache state (what every
+		// tenant cost before the service existed).
+		isolated := make([]*core.KeypointDecoder, n)
+		for ti := range isolated {
+			isolated[ti] = &core.KeypointDecoder{
+				Model: env.Model, Codec: lzrCodec(), Resolution: res,
+				WarmStart: true, Workers: par.Resolve(0),
+			}
+		}
+		wall, _, _ = runTenants(independent, func(ti int, raw core.RawFrame) {
+			if _, err := isolated[ti].Decode(raw.Frames); err != nil {
+				panic(err)
+			}
+		})
+		leg.IsolatedFPS = float64(n*frames) / wall.Seconds()
+
+		out.Legs = append(out.Legs, leg)
+	}
+
+	if len(out.Legs) > 0 && out.Legs[0].Tenants == 1 && out.Legs[0].AggregateFPS > 0 {
+		solo := out.Legs[0].AggregateFPS
+		for i := range out.Legs {
+			out.Legs[i].SpeedupVsSolo = out.Legs[i].AggregateFPS / solo
+		}
+	}
+	return out
+}

@@ -15,13 +15,14 @@ import (
 // value is ready to use; methods on a nil receiver are no-ops, so call
 // sites never need to guard the optional counter hookup.
 type ReconCounters struct {
-	meshHits      atomic.Uint64
-	meshMisses    atomic.Uint64
-	meshEvictions atomic.Uint64
-	warmFrames    atomic.Uint64
-	coldFrames    atomic.Uint64
-	reused        atomic.Uint64
-	evaluated     atomic.Uint64
+	meshHits        atomic.Uint64
+	meshMisses      atomic.Uint64
+	meshEvictions   atomic.Uint64
+	crossTenantHits atomic.Uint64
+	warmFrames      atomic.Uint64
+	coldFrames      atomic.Uint64
+	reused          atomic.Uint64
+	evaluated       atomic.Uint64
 }
 
 // AddMeshHit records a pose-keyed mesh cache hit.
@@ -35,6 +36,15 @@ func (c *ReconCounters) AddMeshHit() {
 func (c *ReconCounters) AddMeshMiss() {
 	if c != nil {
 		c.meshMisses.Add(1)
+	}
+}
+
+// AddCrossTenantHit records a mesh cache hit served to a reconstructor
+// other than the one that produced the entry — two streams sharing one
+// pose-space entry in a multi-tenant decode service.
+func (c *ReconCounters) AddCrossTenantHit() {
+	if c != nil {
+		c.crossTenantHits.Add(1)
 	}
 }
 
@@ -72,6 +82,7 @@ func (c *ReconCounters) Snapshot() ReconStats {
 		MeshHits:         c.meshHits.Load(),
 		MeshMisses:       c.meshMisses.Load(),
 		MeshEvictions:    c.meshEvictions.Load(),
+		CrossTenantHits:  c.crossTenantHits.Load(),
 		WarmFrames:       c.warmFrames.Load(),
 		ColdFrames:       c.coldFrames.Load(),
 		SamplesReused:    c.reused.Load(),
@@ -92,6 +103,9 @@ func (c *ReconCounters) Register(reg *obs.Registry) {
 	ops.Func(func() float64 { return float64(c.meshHits.Load()) }, "hit")
 	ops.Func(func() float64 { return float64(c.meshMisses.Load()) }, "miss")
 	ops.Func(func() float64 { return float64(c.meshEvictions.Load()) }, "eviction")
+	reg.Counter("semholo_meshcache_crosstenant_hits_total",
+		"Mesh LRU hits served to a tenant other than the entry's producer.").
+		Func(func() float64 { return float64(c.crossTenantHits.Load()) })
 	frames := reg.Counter("semholo_recon_frames_total",
 		"Reconstructed frames by extraction mode.", "kind")
 	frames.Func(func() float64 { return float64(c.warmFrames.Load()) }, "warm")
@@ -110,6 +124,7 @@ type ReconStats struct {
 	MeshHits         uint64
 	MeshMisses       uint64
 	MeshEvictions    uint64
+	CrossTenantHits  uint64
 	WarmFrames       uint64
 	ColdFrames       uint64
 	SamplesReused    uint64

@@ -34,7 +34,9 @@ import (
 	"semholo/internal/nerf"
 	"semholo/internal/netsim"
 	"semholo/internal/obs"
+	"semholo/internal/par"
 	"semholo/internal/pipeline"
+	"semholo/internal/service"
 	"semholo/internal/textsem"
 	"semholo/internal/trace"
 	"semholo/internal/transport"
@@ -480,3 +482,24 @@ type Link = netsim.Link
 
 // BroadbandUS returns the paper's 25 Mbps deployment-constraint link.
 var BroadbandUS = netsim.BroadbandUS
+
+// DecodeService reconstructs many concurrent avatar streams in one
+// process over shared immutable kernels, one worker pool, and one
+// pose-keyed mesh cache (ROADMAP item 3's decode service).
+type DecodeService = service.DecodeService
+
+// ServiceOptions configures NewDecodeService.
+type ServiceOptions = service.Options
+
+// StreamCtx is one tenant's per-stream context inside a DecodeService.
+type StreamCtx = service.StreamCtx
+
+// NewDecodeService builds a multi-tenant decode service.
+var NewDecodeService = service.New
+
+// WorkerPool is a process-wide budget of worker slots shared by
+// independent decode streams (FIFO reservations, round-robin fairness).
+type WorkerPool = par.Pool
+
+// NewWorkerPool builds a worker pool; capacity <= 0 means GOMAXPROCS.
+var NewWorkerPool = par.NewPool
