@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay service-check bench-multitenant
+.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay service-check bench-multitenant field-check bench-field
 
 ## verify: the full pre-commit gate — formatting, vet, build, tests.
 verify: fmt-check vet build test
@@ -42,6 +42,7 @@ ci: vet build
 	$(MAKE) pipeline-check
 	$(MAKE) relay-check
 	$(MAKE) service-check
+	$(MAKE) field-check
 
 ## pipeline-check: the staged-runtime gate — race-enabled goroutine-leak
 ## tests (pipeline, relay, session) plus the staged-vs-sequential
@@ -98,3 +99,18 @@ cache-determinism:
 bench-cache:
 	$(GO) test -run xxx -bench 'ReconstructParallel|ReconstructWarm|ReconstructCacheHit' -benchmem .
 	$(GO) run ./cmd/semholo-bench -exp cache -cacheout BENCH_cache.json
+
+## field-check: the SDF-acceleration gate — race-enabled pruned-vs-brute
+## bitwise identity (property + fuzz seed corpus), the 50-frame motion
+## byte-identity regression at several worker counts with the culling
+## grid on and off, the batched dense/sparse extractor identity suites,
+## and the shared segment-distance bitwise regression.
+field-check:
+	$(GO) test -race -run 'TestFieldPruned|TestFieldPruning|TestFieldDense|TestFieldEmpty|TestSparseBatch|TestDenseBatch|TestSegDist|TestDistSqBox' ./internal/avatar ./internal/mesh ./internal/geom
+
+## bench-field: pruned vs unpruned reconstruction microbenchmarks plus
+## the field-acceleration JSON record (cold/warm/dense arms at several
+## resolutions and the 64-tenant aggregate delta) via the bench CLI.
+bench-field:
+	$(GO) test -run xxx -bench 'ReconstructCold|SegDist' -benchmem ./internal/avatar ./internal/geom
+	$(GO) run ./cmd/semholo-bench -exp field -fieldout BENCH_fieldaccel.json

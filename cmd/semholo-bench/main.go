@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|pipeline|relay|multitenant|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|field|pipeline|relay|multitenant|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
 		resArg    = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
 		frames    = flag.Int("frames", 5, "frames per measurement")
 		full      = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
@@ -34,6 +34,8 @@ func main() {
 		par       = flag.Int("par", 0, "worker goroutines per kernel (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		cache     = flag.Bool("cache", false, "enable warm-start reconstruction and the pose-keyed mesh LRU in pipeline decoders (output identical, faster)")
 		cacheOut  = flag.String("cacheout", "BENCH_cache.json", "output path for the cache experiment's JSON record")
+		fieldOut  = flag.String("fieldout", "BENCH_fieldaccel.json", "output path for the field experiment's JSON record")
+		fieldTen  = flag.Int("fieldtenants", 64, "tenant count for the field experiment's multi-tenant arm (0 skips it)")
 		pipeOut   = flag.String("pipeout", "BENCH_pipeline.json", "output path for the pipeline experiment's JSON record")
 		pipeRes   = flag.Int("piperes", 128, "reconstruction resolution for the pipeline experiment (high enough to overload the decode stage)")
 		relayOut  = flag.String("relayout", "BENCH_relay.json", "output path for the relay experiment's JSON record")
@@ -72,6 +74,7 @@ func main() {
 		"fig3":     func() { printFig3(env) },
 		"fig4":     func() { printFig4(env, resolutions) },
 		"cache":    func() { printCacheBench(env, *frames, *cacheOut) },
+		"field":    func() { printFieldBench(env, resolutions, *frames*4, *fieldTen, *fieldOut, *mtOut) },
 		"pipeline": func() { printPipelineBench(env, *pipeRes, *frames*8, *pipeOut) },
 		"relay":    func() { printRelayBench(env, parseSubscribers(*relaySubs), *frames*8, *relayOut) },
 		"multitenant": func() {
@@ -88,7 +91,7 @@ func main() {
 	if *exp == "all" {
 		// Fixed, readable order.
 		for _, name := range []string{
-			"table1", "table2", "fig2", "fig3", "fig4", "cache", "pipeline", "relay", "multitenant",
+			"table1", "table2", "fig2", "fig3", "fig4", "cache", "field", "pipeline", "relay", "multitenant",
 			"foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
 		} {
 			run(name, experimentsByName[name])
@@ -203,6 +206,58 @@ func printCacheBench(env *experiments.Env, frames int, outPath string) {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cache record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+func printFieldBench(env *experiments.Env, resolutions []int, frames, tenants int, outPath, mtPath string) {
+	fmt.Println("SDF field acceleration: capsule culling grid + batched evaluation (byte-identical meshes).")
+	fmt.Println("pruned: per-bin candidate fold; unpruned: full fold over every capsule (ablation baseline).")
+	r := experiments.FieldBench(env, resolutions, frames, tenants)
+	fmt.Printf("%d capsules, %d workers, GOMAXPROCS %d\n", r.Capsules, r.Workers, r.GOMAXPROCS)
+	fmt.Printf("%10s %-7s %8s %12s %12s %14s %12s %10s %10s\n",
+		"resolution", "mode", "pruned", "ms/frame", "allocs/frm", "tests/sample", "cands/bin", "speedup", "test redux")
+	for _, rr := range r.Resolutions {
+		for _, a := range rr.Arms {
+			speedup, redux := "-", "-"
+			if a.Pruned {
+				speedup = fmt.Sprintf("%.2fx", a.Speedup)
+				redux = fmt.Sprintf("%.1fx", a.TestReduction)
+			}
+			fmt.Printf("%10d %-7s %8v %12.2f %12.1f %14.2f %12.1f %10s %10s\n",
+				rr.Resolution, a.Mode, a.Pruned, a.MsPerFrame, a.AllocsPerFrame,
+				a.TestsPerSample, a.CandidatesPerBin, speedup, redux)
+		}
+	}
+	if r.Tenants > 0 {
+		fmt.Printf("%d tenants @ res %d: %.1f fps pruned vs %.1f fps unpruned (%.2fx)\n",
+			r.Tenants, r.TenantResolution, r.TenantAggregateFPS, r.TenantAggregateFPSUnpruned, r.TenantSpeedup)
+		// Cross-reference the standing multi-tenant record when one exists:
+		// its independent-pose arm at the same tenant count ran this same
+		// workload before the acceleration layer landed in its default-on
+		// form.
+		if data, err := os.ReadFile(mtPath); err == nil {
+			var mt experiments.MultiTenantBenchResult
+			if json.Unmarshal(data, &mt) == nil && mt.Resolution == r.TenantResolution {
+				for _, leg := range mt.Legs {
+					if leg.Tenants == r.Tenants && leg.AggregateFPSIndependent > 0 {
+						fmt.Printf("vs %s %d-tenant independent arm: %.1f fps (%.2fx)\n",
+							mtPath, leg.Tenants, leg.AggregateFPSIndependent,
+							r.TenantAggregateFPS/leg.AggregateFPSIndependent)
+					}
+				}
+			}
+		}
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "field record: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", outPath)

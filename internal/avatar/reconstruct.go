@@ -57,6 +57,15 @@ type Reconstructor struct {
 	// cache's own Counters field).
 	Counters *metrics.ReconCounters
 
+	// Unpruned disables the capsule culling grid, forcing every field
+	// sample through the full fold over all capsules. The output is
+	// byte-identical either way — this knob exists for the ablation
+	// bench and for isolating the pruning layer in tests.
+	Unpruned bool
+	// FieldStats, when non-nil, receives field-evaluation telemetry:
+	// samples, exact capsule tests, and culling-bin construction stats.
+	FieldStats *metrics.FieldCounters
+
 	// Cross-frame state (WarmStart).
 	cell        float64 // cached rest-pose lattice spacing
 	state       *mesh.SparseState
@@ -68,6 +77,7 @@ type Reconstructor struct {
 	seedBuf     []geom.Vec3
 	lastRes     int
 	lastK       float64
+	fieldGrid   capsuleGrid // per-frame culling bins, reused across frames
 }
 
 // smoothMin blends two distances with blending radius k (polynomial
@@ -112,16 +122,6 @@ func (r *Reconstructor) posedBones(p *body.Params) boneGeometry {
 	return r.posedBonesInto(boneGeometry{}, p)
 }
 
-func segDist(p, a, b geom.Vec3) float64 {
-	ab := b.Sub(a)
-	l2 := ab.LenSq()
-	if l2 < 1e-18 {
-		return p.Dist(a)
-	}
-	t := geom.Clamp(p.Sub(a).Dot(ab)/l2, 0, 1)
-	return p.Dist(a.Add(ab.Scale(t)))
-}
-
 // maxBones bounds the stack-allocated per-sample distance scratch; the
 // skeleton has body.NumJoints capsules (56 bones + 1 head).
 const maxBones = 64
@@ -140,6 +140,12 @@ type frameField struct {
 	cur boneGeometry
 	k   float64
 
+	// grid, when non-nil, prunes each sample's fold to the bin's
+	// candidate capsules (bitwise-identical to the full fold; see
+	// fieldaccel.go). stats, when non-nil, receives sample/test counts.
+	grid  *capsuleGrid
+	stats *metrics.FieldCounters
+
 	// Reuse inputs (warm frames only).
 	reuse      bool
 	prev       boneGeometry
@@ -149,15 +155,28 @@ type frameField struct {
 }
 
 func (f *frameField) Eval(q geom.Vec3) (float64, float64) {
-	var buf [maxBones]float64
+	v, aux, tests := f.eval1(q)
+	f.stats.AddSamples(1, tests)
+	return v, aux
+}
+
+// evalFull is the unpruned fold over every capsule.
+func (f *frameField) evalFull(q geom.Vec3) (float64, float64) {
 	n := len(f.cur.a)
+	if n == 0 {
+		// No capsules: the field is empty space everywhere. +Inf (rather
+		// than a sentinel magnitude) so callers comparing against real
+		// distances cannot mistake it for geometry.
+		return math.Inf(1), math.Inf(1)
+	}
+	var buf [maxBones]float64
 	ds := buf[:]
 	if n > maxBones {
 		ds = make([]float64, n)
 	}
 	m1 := math.Inf(1)
 	for i := 0; i < n; i++ {
-		di := segDist(q, f.cur.a[i], f.cur.b[i]) - f.cur.radius[i]
+		di := geom.SegDist(q, f.cur.a[i], f.cur.b[i]) - f.cur.radius[i]
 		ds[i] = di
 		if di < m1 {
 			m1 = di
@@ -208,14 +227,30 @@ func (f *frameField) Reusable(q geom.Vec3, val, aux float64) bool {
 	if t > 0 && f.movedBox.DistSq(q) >= tt {
 		return true
 	}
+	var bin gridBin
+	haveBin := false
 	for mi, i := range f.moved {
 		if t > 0 && f.movedBoxes[mi].DistSq(q) >= tt {
 			continue
 		}
-		if segDist(q, f.prev.a[i], f.prev.b[i])-f.prev.radius[i] < t {
+		if geom.SegDist(q, f.prev.a[i], f.prev.b[i])-f.prev.radius[i] < t {
 			return false
 		}
-		if segDist(q, f.cur.a[i], f.cur.b[i])-f.cur.radius[i] < t {
+		// Current-pose shortcut via the culling grid: a bone absent from
+		// q's candidate bitmask has d_cur ≥ bin.upper + k everywhere in
+		// the bin, so when aux ≤ bin.upper the test below is guaranteed
+		// to pass — skip the exact distance. (The bin is fetched lazily:
+		// most calls never get past the box pre-tests above.)
+		if f.grid != nil && i < 64 {
+			if !haveBin {
+				_, bin = f.grid.lookup(q)
+				haveBin = true
+			}
+			if bin.mask&(1<<uint(i)) == 0 && aux <= bin.upper {
+				continue
+			}
+		}
+		if geom.SegDist(q, f.cur.a[i], f.cur.b[i])-f.cur.radius[i] < t {
 			return false
 		}
 	}
@@ -231,8 +266,20 @@ func (r *Reconstructor) smoothK() float64 {
 
 // Field returns the implicit SDF for the given params. The field is the
 // smooth union of all bone capsules; negative inside.
+//
+// The returned field reuses the Reconstructor's scratch capsule buffers
+// (and, when Resolution is set, its culling grid), so it is valid only
+// until the next Field or Reconstruct call on r, and building it is not
+// safe concurrently with other Reconstructor methods. The field itself
+// is a pure function and safe for concurrent evaluation.
 func (r *Reconstructor) Field(p *body.Params) mesh.ScalarField {
-	f := &frameField{cur: r.posedBones(p), k: r.smoothK()}
+	bg := r.posedBonesInto(r.bgScratch, p)
+	r.bgScratch = bg
+	f := &frameField{cur: bg, k: r.smoothK(), stats: r.FieldStats}
+	if !r.Unpruned && f.k > 0 && len(bg.a) > 0 && r.Resolution > 0 {
+		r.fieldGrid.reset(bg, f.k, r.cellSize(), r.FieldStats)
+		f.grid = &r.fieldGrid
+	}
 	return func(q geom.Vec3) float64 {
 		v, _ := f.Eval(q)
 		return v
@@ -332,16 +379,26 @@ func (r *Reconstructor) reconstruct(p *body.Params) *mesh.Mesh {
 
 	bg := r.posedBonesInto(r.bgScratch, p)
 	r.bgScratch = bg
-	f := &frameField{cur: bg, k: r.smoothK()}
+	if len(bg.a) == 0 {
+		// A model with no bones has no surface; bail before the seed
+		// march would try to walk rays toward one.
+		return &mesh.Mesh{}
+	}
+	f := &frameField{cur: bg, k: r.smoothK(), stats: r.FieldStats}
 	grid := r.gridFor(bg)
+
+	// Arm the capsule culling grid (bitwise-identical pruning; see
+	// fieldaccel.go). The exact-min identity the candidate cut rests on
+	// needs k > 0; at k ≤ 0 the fold degenerates anyway, so prune only
+	// the normal case.
+	if !r.Unpruned && f.k > 0 {
+		r.fieldGrid.reset(bg, f.k, grid.Cell, r.FieldStats)
+		f.grid = &r.fieldGrid
+	}
 
 	if r.Dense {
 		r.Counters.AddFrame(false, 0, 0)
-		field := func(q geom.Vec3) float64 {
-			v, _ := f.Eval(q)
-			return v
-		}
-		return mesh.ExtractIsosurfaceParallel(field, grid, r.Workers)
+		return mesh.ExtractIsosurfaceBatch(f, grid, r.Workers)
 	}
 
 	// Seeds are the bone midpoints; the extractor marches them to the

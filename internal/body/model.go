@@ -93,16 +93,6 @@ func boneSegment(restPos *[NumJoints]geom.Vec3, j Joint) (a, b geom.Vec3, ok boo
 	return restPos[p], restPos[j], true
 }
 
-func pointSegmentDist(p, a, b geom.Vec3) float64 {
-	ab := b.Sub(a)
-	l2 := ab.LenSq()
-	if l2 < 1e-18 {
-		return p.Dist(a)
-	}
-	t := geom.Clamp(p.Sub(a).Dot(ab)/l2, 0, 1)
-	return p.Dist(a.Add(ab.Scale(t)))
-}
-
 // buildTemplate creates one capsule per bone (plus a head ellipsoid) in
 // the rest pose and merges them. The result is a closed-ish "body suit"
 // whose vertex count scales with detail².
@@ -248,7 +238,7 @@ func computeWeights(verts []geom.Vec3, skel *Skeleton, restPos *[NumJoints]geom.
 			if !ok {
 				continue
 			}
-			d := pointSegmentDist(v, a, b) - skel.Radii[j]
+			d := geom.SegDist(v, a, b) - skel.Radii[j]
 			if d < 0 {
 				d = 0
 			}

@@ -121,6 +121,11 @@ type HybridDecoder struct {
 	Cache *avatar.MeshCache
 	// Counters, when non-nil, accumulates cache and warm-start telemetry.
 	Counters *metrics.ReconCounters
+	// FieldStats, when non-nil, accumulates SDF field-evaluation telemetry.
+	FieldStats *metrics.FieldCounters
+	// Unpruned disables the capsule culling grid (ablation knob; output is
+	// byte-identical either way).
+	Unpruned bool
 
 	rec *avatar.Reconstructor
 	// anchor is written from the control/input plane while Decode reads
@@ -194,6 +199,8 @@ func (d *HybridDecoder) Decode(channels []transport.Frame) (FrameData, error) {
 	d.rec.WarmStart = d.WarmStart
 	d.rec.Cache = d.Cache
 	d.rec.Counters = d.Counters
+	d.rec.FieldStats = d.FieldStats
+	d.rec.Unpruned = d.Unpruned
 	peripheral := d.rec.Reconstruct(params)
 
 	merged := peripheral

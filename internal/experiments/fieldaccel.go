@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"semholo/internal/avatar"
+	"semholo/internal/body"
+	"semholo/internal/core"
+	"semholo/internal/metrics"
+	"semholo/internal/service"
+)
+
+// FieldArm is one operating point of the field-acceleration bench: a
+// reconstruction mode (cold / warm / dense) with the capsule culling
+// grid on or off. Meshes are byte-identical across the pruned/unpruned
+// pair (pinned by the avatar tests); only cost moves.
+type FieldArm struct {
+	Mode   string `json:"mode"`
+	Pruned bool   `json:"pruned"`
+	Frames int    `json:"frames"`
+	// MsPerFrame is steady-state reconstruction time (one prime frame
+	// excluded); AllocsPerFrame likewise.
+	MsPerFrame     float64 `json:"ms_per_frame"`
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	// TestsPerSample is the mean exact capsule distance tests per fresh
+	// field sample — the quantity pruning exists to shrink (unpruned arms
+	// sit exactly at the capsule count).
+	TestsPerSample float64 `json:"capsule_tests_per_sample"`
+	// CandidatesPerBin is the mean culling-bin candidate list length
+	// (0 on unpruned arms: no bins are built).
+	CandidatesPerBin float64 `json:"bin_candidates_mean"`
+	// Speedup is the unpruned arm's ms/frame over this one's; filled on
+	// pruned arms only.
+	Speedup float64 `json:"speedup_vs_unpruned,omitempty"`
+	// TestReduction is the unpruned arm's tests/sample over this one's;
+	// filled on pruned arms only.
+	TestReduction float64 `json:"test_reduction_vs_unpruned,omitempty"`
+}
+
+// FieldResolutionResult groups the arms at one output resolution.
+type FieldResolutionResult struct {
+	Resolution int        `json:"resolution"`
+	Arms       []FieldArm `json:"arms"`
+}
+
+// FieldBenchResult is persisted as BENCH_fieldaccel.json.
+type FieldBenchResult struct {
+	GOMAXPROCS  int                     `json:"gomaxprocs"`
+	Workers     int                     `json:"workers"`
+	Capsules    int                     `json:"capsules"`
+	Resolutions []FieldResolutionResult `json:"resolutions"`
+
+	// Multi-tenant delta: aggregate decode fps across Tenants independent
+	// streams through one DecodeService, pruned vs unpruned, at
+	// TenantResolution. Comparable to BENCH_multitenant.json's
+	// independent-pose arm at the same tenant count. Zero when the bench
+	// ran with tenants disabled.
+	Tenants                    int     `json:"tenants,omitempty"`
+	TenantResolution           int     `json:"tenant_resolution,omitempty"`
+	TenantAggregateFPS         float64 `json:"tenant_aggregate_fps,omitempty"`
+	TenantAggregateFPSUnpruned float64 `json:"tenant_aggregate_fps_unpruned,omitempty"`
+	TenantSpeedup              float64 `json:"tenant_speedup,omitempty"`
+}
+
+// fieldArm measures one reconstructor configuration over the env motion.
+func fieldArm(env *Env, rec *avatar.Reconstructor, mode string, frames int) FieldArm {
+	var fc metrics.FieldCounters
+	rec.FieldStats = &fc
+	at := func(i int) *body.Params { return env.Seq.Motion.At(0.5 + float64(i)/env.FPS) }
+	rec.Reconstruct(at(0)) // prime arenas, warm state, and culling-grid maps
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 1; i <= frames; i++ {
+		rec.Reconstruct(at(i))
+	}
+	sec := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	s := fc.Snapshot()
+	return FieldArm{
+		Mode:             mode,
+		Pruned:           !rec.Unpruned,
+		Frames:           frames,
+		MsPerFrame:       sec / float64(frames) * 1e3,
+		AllocsPerFrame:   float64(after.Mallocs-before.Mallocs) / float64(frames),
+		TestsPerSample:   s.TestsPerSample(),
+		CandidatesPerBin: s.CandidatesPerBin(),
+	}
+}
+
+// FieldBench measures the capsule culling grid + batched evaluation
+// layer: cold, warm, and dense reconstruction at each resolution, pruned
+// against unpruned, plus an optional multi-tenant aggregate-throughput
+// comparison (tenants <= 0 skips it). Dense arms run a reduced frame
+// count — they exist to show the O(R³) ablation also benefits, not to
+// soak the machine.
+func FieldBench(env *Env, resolutions []int, frames, tenants int) FieldBenchResult {
+	if len(resolutions) == 0 {
+		resolutions = []int{64, 128, 256}
+	}
+	if frames <= 0 {
+		frames = 20
+	}
+	out := FieldBenchResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    env.Parallelism,
+		Capsules:   body.NumJoints,
+	}
+
+	for _, res := range resolutions {
+		rr := FieldResolutionResult{Resolution: res}
+		denseFrames := frames / 10
+		if denseFrames < 2 {
+			denseFrames = 2
+		}
+		type cfg struct {
+			mode   string
+			warm   bool
+			dense  bool
+			frames int
+		}
+		for _, c := range []cfg{
+			{"cold", false, false, frames},
+			{"warm", true, false, frames},
+			{"dense", false, true, denseFrames},
+		} {
+			var pair [2]FieldArm
+			for pi, unpruned := range []bool{false, true} {
+				pair[pi] = fieldArm(env, &avatar.Reconstructor{
+					Model: env.Model, Resolution: res, Workers: env.Parallelism,
+					WarmStart: c.warm, Dense: c.dense, Unpruned: unpruned,
+				}, c.mode, c.frames)
+			}
+			if pair[0].MsPerFrame > 0 {
+				pair[0].Speedup = pair[1].MsPerFrame / pair[0].MsPerFrame
+			}
+			if pair[0].TestsPerSample > 0 {
+				pair[0].TestReduction = pair[1].TestsPerSample / pair[0].TestsPerSample
+			}
+			rr.Arms = append(rr.Arms, pair[0], pair[1])
+		}
+		out.Resolutions = append(out.Resolutions, rr)
+	}
+
+	if tenants > 0 {
+		res := 40 // match MultiTenantBench's default operating point
+		out.Tenants, out.TenantResolution = tenants, res
+		streams := make([][]core.RawFrame, tenants)
+		for ti := range streams {
+			streams[ti] = tenantStream(env, float64(ti)*0.37, frames+1)
+		}
+		run := func(unpruned bool) float64 {
+			svc := service.New(service.Options{
+				Model: env.Model, Resolution: res, WarmStart: true,
+				CacheCapacity: tenants * (frames + 2), Unpruned: unpruned,
+			})
+			defer svc.Close()
+			ctxs := make([]*service.StreamCtx, tenants)
+			for ti := range ctxs {
+				st, err := svc.Admit(fmt.Sprintf("t%d", ti))
+				if err != nil {
+					panic(err)
+				}
+				ctxs[ti] = st
+			}
+			wall, _, _ := runTenants(streams, func(ti int, raw core.RawFrame) {
+				if _, err := ctxs[ti].Decode(context.Background(), raw); err != nil {
+					panic(err)
+				}
+			})
+			return float64(tenants*frames) / wall.Seconds()
+		}
+		out.TenantAggregateFPSUnpruned = run(true)
+		out.TenantAggregateFPS = run(false)
+		if out.TenantAggregateFPSUnpruned > 0 {
+			out.TenantSpeedup = out.TenantAggregateFPS / out.TenantAggregateFPSUnpruned
+		}
+	}
+	return out
+}

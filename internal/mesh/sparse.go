@@ -75,6 +75,33 @@ var axisDirs = [6][3]int{
 // marchCap bounds seed-march length, matching the old per-seed cap.
 const marchCap = 1024
 
+// bandOrder co-sorts the discovered band cells and their 8-per-cell
+// corner arena slots into lattice scan order (z, then y, then x). Cells
+// are unique, so the unstable sort still yields one deterministic order.
+type bandOrder struct {
+	cells   []cell3
+	corners []int32
+}
+
+func (b bandOrder) Len() int { return len(b.cells) }
+func (b bandOrder) Less(x, y int) bool {
+	cx, cy := b.cells[x], b.cells[y]
+	if cx.k != cy.k {
+		return cx.k < cy.k
+	}
+	if cx.j != cy.j {
+		return cx.j < cy.j
+	}
+	return cx.i < cy.i
+}
+func (b bandOrder) Swap(x, y int) {
+	b.cells[x], b.cells[y] = b.cells[y], b.cells[x]
+	cx, cy := b.corners[x*8:x*8+8], b.corners[y*8:y*8+8]
+	for t := 0; t < 8; t++ {
+		cx[t], cy[t] = cy[t], cx[t]
+	}
+}
+
 func clampi(v, lo, hi int) int {
 	if v < lo {
 		return lo
@@ -101,18 +128,77 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 	// coordinates must mean the same world point in every frame.
 	temporal := lay.anchored
 	warm := temporal && st.cell == lay.cell && len(st.band) > 0
-	usePrev := temporal && st.cell == lay.cell && len(st.prev) > 0
+	usePrev := temporal && st.cell == lay.cell && len(st.prevSamples) > 0
 	st.Reused, st.Evaluated, st.Warm = 0, 0, warm
 
-	if st.cur == nil {
-		st.cur = make(map[int64]sample)
+	// Lattice samples live in a flat arena; the slot index — a dense
+	// int32 per lattice vertex on moderate grids, a map keyed by packed
+	// global coordinates on huge ones — assigns each vertex its arena
+	// slot once, at discovery time. Every later read — sign detection,
+	// polygonization — is plain array indexing. Profiling showed repeated
+	// map reads of the same vertices dominating extraction once the field
+	// itself was pruned. Dense slot arrays store slot+1 so a cleared
+	// array (all zeros) means "unsampled".
+	const denseMax = 1 << 24 // cells or vertices; ≤64MB int32 scratch
+	nVX, nVY, nVZ := lay.nx+1, lay.ny+1, lay.nz+1
+	nVerts := nVX * nVY * nVZ
+	denseSlots := nVerts <= denseMax
+	var slots []int32
+	if denseSlots {
+		if cap(st.slotDense) < nVerts {
+			st.slotDense = make([]int32, nVerts)
+		}
+		slots = st.slotDense[:nVerts]
+		clear(slots)
+	} else {
+		if st.cur == nil {
+			st.cur = make(map[int64]int32)
+		}
+		clear(st.cur)
 	}
-	clear(st.cur)
-	if st.visited == nil {
-		st.visited = make(map[int64]bool)
+	values := st.cur
+	samples := st.curSamples[:0]
+	prev, prevSamples := st.prev, st.prevSamples
+	prevDense, prevSlots := st.prevDense, st.prevSlotDense
+	pBase, pVX, pVY, pVZ := st.prevBase, st.prevVX, st.prevVY, st.prevVZ
+
+	// prevSlot resolves a lattice vertex (grid-local coords) to its arena
+	// slot in prevSamples, or -1 when the previous frame never sampled
+	// it. In dense mode this is pure array indexing.
+	prevSlot := func(i, j, k int) int32 {
+		if prevDense {
+			pi := lay.base[0] + i - pBase[0]
+			pj := lay.base[1] + j - pBase[1]
+			pk := lay.base[2] + k - pBase[2]
+			if pi < 0 || pj < 0 || pk < 0 || pi >= pVX || pj >= pVY || pk >= pVZ {
+				return -1
+			}
+			return prevSlots[(pk*pVY+pj)*pVX+pi] - 1
+		}
+		if si, ok := prev[packG(lay.base[0]+i, lay.base[1]+j, lay.base[2]+k)]; ok {
+			return si
+		}
+		return -1
 	}
-	clear(st.visited)
-	values, prev, visited := st.cur, st.prev, st.visited
+
+	// Wavefront dedup: a dense byte per cube when the grid is moderate,
+	// a map on the huge grids where a dense array would dwarf the band.
+	nCells := lay.nx * lay.ny * lay.nz
+	denseVis := nCells <= denseMax
+	var vis []uint8
+	if denseVis {
+		if cap(st.visitedDense) < nCells {
+			st.visitedDense = make([]uint8, nCells)
+		}
+		vis = st.visitedDense[:nCells]
+		clear(vis)
+	} else {
+		if st.visited == nil {
+			st.visited = make(map[int64]bool)
+		}
+		clear(st.visited)
+	}
+	visited := st.visited
 
 	s := newSlabMesh(lay)
 	if st.shared == nil {
@@ -134,16 +220,24 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 		if c.i < 0 || c.j < 0 || c.k < 0 || c.i >= lay.nx || c.j >= lay.ny || c.k >= lay.nz {
 			return
 		}
-		key := gkey(c.i, c.j, c.k)
 		if root {
 			// Roots anchor the reachability filter; record them even when
 			// a previous-band enqueue got to the cell first.
-			roots = append(roots, key)
+			roots = append(roots, gkey(c.i, c.j, c.k))
 		}
-		if visited[key] {
-			return
+		if denseVis {
+			li := (c.k*lay.ny+c.j)*lay.nx + c.i
+			if vis[li] != 0 {
+				return
+			}
+			vis[li] = 1
+		} else {
+			key := gkey(c.i, c.j, c.k)
+			if visited[key] {
+				return
+			}
+			visited[key] = true
 		}
-		visited[key] = true
 		next = append(next, c)
 	}
 	ring := func(c cell3, root bool) {
@@ -179,16 +273,18 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 				key := gkey(i, j, k)
 				pt := s.latticePoint(i, j, k)
 				if usePrev {
-					if sm, ok := prev[key]; ok && tf.Reusable(pt, sm.val, sm.aux) {
-						ry.keys = append(ry.keys, key)
-						ry.out = append(ry.out, sm)
-						ry.hit = append(ry.hit, true)
-						return sm.val
+					if ps := prevSlot(i, j, k); ps >= 0 {
+						if sm := prevSamples[ps]; tf.Reusable(pt, sm.Val, sm.Aux) {
+							ry.keys = append(ry.keys, key)
+							ry.out = append(ry.out, sm)
+							ry.hit = append(ry.hit, true)
+							return sm.Val
+						}
 					}
 				}
 				v, a := tf.Eval(pt)
 				ry.keys = append(ry.keys, key)
-				ry.out = append(ry.out, sample{v, a})
+				ry.out = append(ry.out, Sample{v, a})
 				ry.hit = append(ry.hit, false)
 				return v
 			}
@@ -223,8 +319,20 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 		for r := range rays {
 			ry := &rays[r]
 			for n, key := range ry.keys {
-				if _, ok := values[key]; !ok {
-					values[key] = ry.out[n]
+				fresh := false
+				if denseSlots {
+					gi, gj, gk := unpackG(key)
+					vi := ((gk-lay.base[2])*nVY+(gj-lay.base[1]))*nVX + (gi - lay.base[0])
+					if slots[vi] == 0 {
+						slots[vi] = int32(len(samples)) + 1
+						fresh = true
+					}
+				} else if _, ok := values[key]; !ok {
+					values[key] = int32(len(samples))
+					fresh = true
+				}
+				if fresh {
+					samples = append(samples, ry.out[n])
 					if ry.hit[n] {
 						st.Reused++
 					} else {
@@ -260,42 +368,118 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 	// evaluation per wavefront round. Cells are recorded, not yet
 	// polygonized — the band is sorted first so traversal order cannot
 	// leak into the output.
+	bf, batched := tf.(BatchField)
 	front := st.front[:0]
 	band := st.bandCells[:0]
-	needKeys, needPts, needOut, needHit := st.needKeys[:0], st.needPts[:0], st.needOut[:0], st.needHit[:0]
+	bandCorners := st.bandCorners[:0]
+	needPts, needOut, needHit := st.needPts[:0], st.needOut[:0], st.needHit[:0]
+	needIdx, needPrev := st.needIdx[:0], st.needPrev[:0]
+	batchPts, batchOut, batchIdx := st.batchPts, st.batchOut, st.batchIdx
+	cornerIdx := st.cornerIdx
 	for len(next) > 0 {
 		front, next = next, front[:0]
 
-		needKeys, needPts = needKeys[:0], needPts[:0]
-		for _, c := range front {
-			for _, off := range cubeOffsets {
+		// Gather: one slot probe per cube corner assigns (or finds) the
+		// corner's arena slot; the 8 slots per frontier cube are recorded
+		// so the sign test below reads the arena directly. The previous
+		// frame's candidate slot is resolved here too, so the parallel
+		// eval phase below runs entirely on flat arrays.
+		needPts, needIdx, needPrev = needPts[:0], needIdx[:0], needPrev[:0]
+		if cap(cornerIdx) < 8*len(front) {
+			cornerIdx = make([]int32, 8*len(front))
+		}
+		cornerIdx = cornerIdx[:8*len(front)]
+		for fi, c := range front {
+			for ci, off := range cubeOffsets {
 				i, j, k := c.i+off[0], c.j+off[1], c.k+off[2]
-				key := gkey(i, j, k)
-				if _, ok := values[key]; ok {
-					continue
+				var idx int32
+				fresh := false
+				if denseSlots {
+					vi := (k*nVY+j)*nVX + i
+					if sv := slots[vi]; sv != 0 {
+						idx = sv - 1
+					} else {
+						idx = int32(len(samples))
+						slots[vi] = idx + 1
+						fresh = true
+					}
+				} else {
+					key := gkey(i, j, k)
+					var ok bool
+					if idx, ok = values[key]; !ok {
+						idx = int32(len(samples))
+						values[key] = idx
+						fresh = true
+					}
 				}
-				values[key] = sample{} // placeholder; filled below
-				needKeys = append(needKeys, key)
-				needPts = append(needPts, s.latticePoint(i, j, k))
+				if fresh {
+					samples = append(samples, Sample{}) // placeholder; filled below
+					needIdx = append(needIdx, idx)
+					needPts = append(needPts, s.latticePoint(i, j, k))
+					ps := int32(-1)
+					if usePrev {
+						ps = prevSlot(i, j, k)
+					}
+					needPrev = append(needPrev, ps)
+				}
+				cornerIdx[fi*8+ci] = idx
 			}
 		}
-		if cap(needOut) < len(needKeys) {
-			needOut = make([]sample, len(needKeys))
-			needHit = make([]bool, len(needKeys))
+		if cap(needOut) < len(needIdx) {
+			needOut = make([]Sample, len(needIdx))
+			needHit = make([]bool, len(needIdx))
 		}
-		needOut, needHit = needOut[:len(needKeys)], needHit[:len(needKeys)]
-		par.For(workers, len(needKeys), func(n int) {
-			if usePrev {
-				if sm, ok := prev[needKeys[n]]; ok && tf.Reusable(needPts[n], sm.val, sm.aux) {
-					needOut[n], needHit[n] = sm, true
-					return
-				}
+		needOut, needHit = needOut[:len(needIdx)], needHit[:len(needIdx)]
+		if batched {
+			// Chunked evaluation through the field's batch entry point:
+			// each worker owns a contiguous subrange of the round's
+			// points, compacts the ones the previous frame cannot vouch
+			// for, and evaluates them in a single EvalBatch call — a
+			// whole chunk shares the field's per-call setup (and, for the
+			// avatar SDF, its spatial candidate pruning). Every sample is
+			// a pure function of its point, so neither the chunk
+			// partition nor the worker count can affect the output.
+			if cap(batchPts) < len(needIdx) {
+				batchPts = make([]geom.Vec3, len(needIdx))
+				batchOut = make([]Sample, len(needIdx))
+				batchIdx = make([]int32, len(needIdx))
 			}
-			v, a := tf.Eval(needPts[n])
-			needOut[n], needHit[n] = sample{v, a}, false
-		})
-		for n, key := range needKeys {
-			values[key] = needOut[n]
+			batchPts = batchPts[:len(needIdx)]
+			batchOut = batchOut[:len(needIdx)]
+			batchIdx = batchIdx[:len(needIdx)]
+			par.ForChunks(workers, len(needIdx), func(_, lo, hi int) {
+				m := lo
+				for n := lo; n < hi; n++ {
+					if ps := needPrev[n]; ps >= 0 {
+						if sm := prevSamples[ps]; tf.Reusable(needPts[n], sm.Val, sm.Aux) {
+							needOut[n], needHit[n] = sm, true
+							continue
+						}
+					}
+					batchPts[m], batchIdx[m] = needPts[n], int32(n)
+					m++
+				}
+				if m > lo {
+					bf.EvalBatch(batchPts[lo:m], batchOut[lo:m])
+					for t := lo; t < m; t++ {
+						needOut[batchIdx[t]], needHit[batchIdx[t]] = batchOut[t], false
+					}
+				}
+			})
+		} else {
+			par.For(workers, len(needIdx), func(n int) {
+				if ps := needPrev[n]; ps >= 0 {
+					if sm := prevSamples[ps]; tf.Reusable(needPts[n], sm.Val, sm.Aux) {
+						needOut[n], needHit[n] = sm, true
+						return
+					}
+				}
+				v, a := tf.Eval(needPts[n])
+				needOut[n], needHit[n] = Sample{v, a}, false
+			})
+		}
+		for n := range needIdx {
+			samples[needIdx[n]] = needOut[n]
 			if needHit[n] {
 				st.Reused++
 			} else {
@@ -303,10 +487,11 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 			}
 		}
 
-		for _, c := range front {
+		for fi, c := range front {
+			base := fi * 8
 			anyNeg, anyPos := false, false
-			for _, off := range cubeOffsets {
-				if values[gkey(c.i+off[0], c.j+off[1], c.k+off[2])].val < 0 {
+			for ci := 0; ci < 8; ci++ {
+				if samples[cornerIdx[base+ci]].Val < 0 {
 					anyNeg = true
 				} else {
 					anyPos = true
@@ -316,6 +501,7 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 				continue
 			}
 			band = append(band, c)
+			bandCorners = append(bandCorners, cornerIdx[base:base+8]...)
 			// The surface continues into face neighbors.
 			for _, d := range axisDirs {
 				enqueue(cell3{c.i + d[0], c.j + d[1], c.k + d[2]}, false)
@@ -372,31 +558,25 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 		}
 		st.queue = queue
 		keptBand := band[:0]
-		for _, c := range band {
+		keptCorners := bandCorners[:0]
+		for bi, c := range band {
 			if mark[lidx(c.i, c.j, c.k)] == kept {
 				keptBand = append(keptBand, c)
+				keptCorners = append(keptCorners, bandCorners[bi*8:bi*8+8]...)
 			}
 		}
-		band = keptBand
+		band, bandCorners = keptBand, keptCorners
 	}
 
 	// Polygonize in lattice scan order (z, then y, then x — the dense
 	// extractor's cube order), making the mesh a pure function of the
-	// band set and sample values.
-	sort.Slice(band, func(a, b int) bool {
-		ca, cb := band[a], band[b]
-		if ca.k != cb.k {
-			return ca.k < cb.k
-		}
-		if ca.j != cb.j {
-			return ca.j < cb.j
-		}
-		return ca.i < cb.i
-	})
-	for _, c := range band {
+	// band set and sample values. Each cell's recorded corner slots are
+	// permuted along with it, so this loop is map-free.
+	sort.Sort(bandOrder{band, bandCorners})
+	for bi, c := range band {
 		var vals [8]float64
-		for ci, off := range cubeOffsets {
-			vals[ci] = values[gkey(c.i+off[0], c.j+off[1], c.k+off[2])].val
+		for ci := 0; ci < 8; ci++ {
+			vals[ci] = samples[bandCorners[bi*8+ci]].Val
 		}
 		s.polygonizeCube(vals, c.i, c.j, c.k)
 	}
@@ -404,8 +584,11 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 	// Persist state for the next frame; on non-anchored grids only the
 	// scratch arenas survive.
 	st.front, st.next, st.roots = front, next, roots
-	st.bandCells = band
-	st.needKeys, st.needPts, st.needOut, st.needHit = needKeys, needPts, needOut, needHit
+	st.bandCells, st.bandCorners = band, bandCorners
+	st.needPts, st.needOut, st.needHit = needPts, needOut, needHit
+	st.needIdx, st.needPrev, st.cornerIdx = needIdx, needPrev, cornerIdx
+	st.batchPts, st.batchOut, st.batchIdx = batchPts, batchOut, batchIdx
+	st.curSamples = samples
 	st.edgeKeys = s.keys
 	st.lastVerts, st.lastFaces = len(s.verts), len(s.faces)
 	if temporal {
@@ -414,10 +597,18 @@ func extractSparse(tf TemporalField, grid GridSpec, seeds []geom.Vec3, workers i
 		for _, c := range band {
 			st.band = append(st.band, gkey(c.i, c.j, c.k))
 		}
-		st.prev, st.cur = st.cur, st.prev
-		if st.cur == nil {
-			st.cur = make(map[int64]sample)
+		st.prevDense = denseSlots
+		if denseSlots {
+			st.slotDense, st.prevSlotDense = st.prevSlotDense, slots
+			st.prevBase = lay.base
+			st.prevVX, st.prevVY, st.prevVZ = nVX, nVY, nVZ
+		} else {
+			st.prev, st.cur = st.cur, st.prev
+			if st.cur == nil {
+				st.cur = make(map[int64]int32)
+			}
 		}
+		st.prevSamples, st.curSamples = st.curSamples, st.prevSamples
 	}
 	return s.mesh()
 }

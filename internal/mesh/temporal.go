@@ -32,8 +32,11 @@ type scalarTemporal struct{ f ScalarField }
 func (s scalarTemporal) Eval(p geom.Vec3) (float64, float64)       { return s.f(p), 0 }
 func (s scalarTemporal) Reusable(geom.Vec3, float64, float64) bool { return false }
 
-// sample is one cached lattice evaluation.
-type sample struct{ val, aux float64 }
+// Sample is one field evaluation: the value plus the auxiliary datum a
+// TemporalField carries alongside it (the avatar SDF stores its exact
+// minimum capsule distance there). It is the unit the lattice cache
+// stores and the element type of BatchField.EvalBatch output.
+type Sample struct{ Val, Aux float64 }
 
 // cell3 addresses a lattice cube in grid-local coordinates.
 type cell3 struct{ i, j, k int }
@@ -67,28 +70,51 @@ type SparseState struct {
 	Evaluated int  // lattice samples freshly evaluated
 	Warm      bool // whether the wavefront was seeded from a previous band
 
-	cell float64          // lattice spacing the cached band/samples are valid for
-	band []int64          // previous band cells, packed global coords, sorted
-	prev map[int64]sample // previous frame's lattice samples, packed global vertex coords
+	cell float64 // lattice spacing the cached band/samples are valid for
+	band []int64 // previous band cells, packed global coords, sorted
+	// Previous frame's lattice samples: a flat sample arena plus a slot
+	// index over it — a dense int32 per lattice vertex on moderate grids
+	// (prevDense, addressed through prevBase/prevV* bounds), a map keyed
+	// by packed global coords on huge ones. Splitting the index from the
+	// payload keeps within-frame reads on array indexing — profiling
+	// shows map traffic, not field math, dominates extraction once the
+	// field itself is pruned.
+	prev          map[int64]int32
+	prevSamples   []Sample
+	prevSlotDense []int32
+	prevDense     bool
+	prevBase      [3]int
+	prevVX        int
+	prevVY        int
+	prevVZ        int
 
 	// Scratch arenas; contents are meaningless between runs.
-	cur       map[int64]sample
-	visited   map[int64]bool
-	front     []cell3
-	next      []cell3
-	needKeys  []int64
-	needPts   []geom.Vec3
-	needOut   []sample
-	needHit   []bool
-	bandCells []cell3
-	roots     []int64
-	mark      []uint8 // dense per-cell marks for the reachability filter
-	queue     []cell3
-	shared    map[latticeEdge]int
-	edgeKeys  []latticeEdge
-	rays      []seedRay
-	lastVerts int
-	lastFaces int
+	cur          map[int64]int32
+	curSamples   []Sample
+	slotDense    []int32        // dense per-vertex arena slot + 1 (0 = unsampled)
+	visited      map[int64]bool // wavefront dedup (large grids only; see visitedDense)
+	visitedDense []uint8        // dense per-cell dedup for moderate grids
+	front        []cell3
+	next         []cell3
+	needPts      []geom.Vec3
+	needIdx      []int32 // arena slot for each freshly discovered vertex
+	needPrev     []int32 // previous-frame arena slot for it, or -1
+	needOut      []Sample
+	needHit      []bool
+	batchPts     []geom.Vec3 // per-round compaction of not-reusable points (BatchField path)
+	batchOut     []Sample
+	batchIdx     []int32
+	cornerIdx    []int32 // per-round: 8 arena slots per frontier cube
+	bandCells    []cell3
+	bandCorners  []int32 // 8 arena slots per band cell, permuted with it
+	roots        []int64
+	mark         []uint8 // dense per-cell marks for the reachability filter
+	queue        []cell3
+	shared       map[latticeEdge]int
+	edgeKeys     []latticeEdge
+	rays         []seedRay
+	lastVerts    int
+	lastFaces    int
 }
 
 // Reset drops the cached band and samples so the next extraction runs
@@ -99,6 +125,7 @@ func (st *SparseState) Reset() {
 	if st.prev != nil {
 		clear(st.prev)
 	}
+	st.prevSamples = st.prevSamples[:0]
 	st.cell = 0
 }
 
@@ -106,7 +133,7 @@ func (st *SparseState) Reset() {
 type seedRay struct {
 	keys  []int64
 	pts   []geom.Vec3
-	out   []sample
+	out   []Sample
 	hit   []bool
 	cross []cell3
 }

@@ -65,6 +65,13 @@ type Options struct {
 	// Counters receives reconstruction/cache telemetry for all tenants;
 	// nil creates a shared instance (exposed via Counters()).
 	Counters *metrics.ReconCounters
+	// FieldStats receives SDF field-evaluation telemetry (samples, exact
+	// capsule tests, culling-bin stats) for all tenants; nil creates a
+	// shared instance (exposed via FieldStats()).
+	FieldStats *metrics.FieldCounters
+	// Unpruned disables the capsule culling grid in every tenant's
+	// reconstructor (ablation knob; output is byte-identical either way).
+	Unpruned bool
 	// Registry, when set, receives per-tenant queue depth, decode
 	// latency, and frame counters plus the shared cache counters.
 	Registry *obs.Registry
@@ -85,10 +92,11 @@ type workerSetter interface{ SetWorkers(int) }
 // Detach when the stream ends. All methods are safe for concurrent use;
 // the service owns no goroutines, so tearing it down leaks nothing.
 type DecodeService struct {
-	opt      Options
-	pool     *par.Pool
-	cache    *avatar.MeshCache
-	counters *metrics.ReconCounters
+	opt        Options
+	pool       *par.Pool
+	cache      *avatar.MeshCache
+	counters   *metrics.ReconCounters
+	fieldStats *metrics.FieldCounters
 
 	queueDepth *obs.GaugeVec
 	latency    *obs.HistogramVec
@@ -106,17 +114,21 @@ func New(opt Options) *DecodeService {
 		opt.Codec = compress.LZR()
 	}
 	s := &DecodeService{
-		opt:      opt,
-		pool:     opt.Pool,
-		cache:    opt.Cache,
-		counters: opt.Counters,
-		tenants:  make(map[string]*StreamCtx),
+		opt:        opt,
+		pool:       opt.Pool,
+		cache:      opt.Cache,
+		counters:   opt.Counters,
+		fieldStats: opt.FieldStats,
+		tenants:    make(map[string]*StreamCtx),
 	}
 	if s.pool == nil {
 		s.pool = par.NewPool(0)
 	}
 	if s.counters == nil {
 		s.counters = &metrics.ReconCounters{}
+	}
+	if s.fieldStats == nil {
+		s.fieldStats = &metrics.FieldCounters{}
 	}
 	if s.cache == nil {
 		s.cache = &avatar.MeshCache{Capacity: opt.CacheCapacity}
@@ -126,6 +138,7 @@ func New(opt Options) *DecodeService {
 	}
 	if reg := opt.Registry; reg != nil {
 		s.counters.Register(reg)
+		s.fieldStats.Register(reg)
 		s.queueDepth = reg.Gauge("semholo_service_queue_depth",
 			"Raw frames in flight (queued or decoding), per tenant.", "tenant")
 		s.latency = reg.Histogram("semholo_service_decode_seconds",
@@ -155,6 +168,8 @@ func (s *DecodeService) newDecoder() core.Decoder {
 		WarmStart:  s.opt.WarmStart,
 		Cache:      s.cache,
 		Counters:   s.counters,
+		FieldStats: s.fieldStats,
+		Unpruned:   s.opt.Unpruned,
 	}
 }
 
@@ -223,6 +238,9 @@ func (s *DecodeService) Cache() *avatar.MeshCache { return s.cache }
 
 // Counters exposes the shared reconstruction telemetry.
 func (s *DecodeService) Counters() *metrics.ReconCounters { return s.counters }
+
+// FieldStats exposes the shared SDF field-evaluation telemetry.
+func (s *DecodeService) FieldStats() *metrics.FieldCounters { return s.fieldStats }
 
 // fairShare is the pool grant one decode asks for: an equal split of the
 // capacity across active tenants (at least one slot), clamped by
