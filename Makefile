@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay service-check bench-multitenant field-check bench-field
+.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay service-check bench-multitenant field-check bench-field trace-check bench-trace
 
 ## verify: the full pre-commit gate — formatting, vet, build, tests.
 verify: fmt-check vet build test
@@ -43,6 +43,7 @@ ci: vet build
 	$(MAKE) relay-check
 	$(MAKE) service-check
 	$(MAKE) field-check
+	$(MAKE) trace-check
 
 ## pipeline-check: the staged-runtime gate — race-enabled goroutine-leak
 ## tests (pipeline, relay, session) plus the staged-vs-sequential
@@ -107,6 +108,24 @@ bench-cache:
 ## and the shared segment-distance bitwise regression.
 field-check:
 	$(GO) test -race -run 'TestFieldPruned|TestFieldPruning|TestFieldDense|TestFieldEmpty|TestSparseBatch|TestDenseBatch|TestSegDist|TestDistSqBox' ./internal/avatar ./internal/mesh ./internal/geom
+
+## trace-check: the hop-tracing gate — race-enabled flight-recorder /
+## trace-store / waterfall / exemplar suites and the bounded-reservoir
+## tracer regression (full packages), plus the hop-extension wire-compat
+## suites (golden bytes, per-hop CRC corruption, truncation, shared-frame
+## egress-slot reservation), the relay hop-stamping e2e test, and the
+## tracewaterfall attribution experiment.
+trace-check:
+	$(GO) test -race ./internal/obs ./internal/trace
+	$(GO) test -race -run 'TestHop|TestGoldenWireBytes|TestTruncatedHop|TestAppendHop|TestPerHopRecord|TestSessionSendTracedHops|TestSharedFrameAppendHop|TestSendSharedTraced|TestRelayHopStamping|TestTraceWaterfall' ./internal/transport ./internal/core ./internal/experiments
+
+## bench-trace: the hop-trace attribution + observability-overhead
+## record — a relayed run over an impaired link (per-frame waterfalls,
+## hop-sum drift, worst-frame exemplar) and the traced / recorder-off /
+## untraced per-frame ablation, written as BENCH_trace.json via the
+## bench CLI. Budget: full tracing stack ≤2% per frame at res 128.
+bench-trace:
+	$(GO) run ./cmd/semholo-bench -exp tracewaterfall -traceout BENCH_trace.json
 
 ## bench-field: pruned vs unpruned reconstruction microbenchmarks plus
 ## the field-acceleration JSON record (cold/warm/dense arms at several

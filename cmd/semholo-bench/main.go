@@ -20,13 +20,14 @@ import (
 	"log"
 
 	"semholo/internal/experiments"
+	"semholo/internal/metrics"
 	"semholo/internal/netsim"
 	"semholo/internal/obs"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|field|pipeline|relay|multitenant|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|field|pipeline|relay|multitenant|tracewaterfall|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
 		resArg    = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
 		frames    = flag.Int("frames", 5, "frames per measurement")
 		full      = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
@@ -43,6 +44,8 @@ func main() {
 		mtOut     = flag.String("mtout", "BENCH_multitenant.json", "output path for the multitenant experiment's JSON record")
 		mtTenants = flag.String("mttenants", "1,8,32,64", "comma-separated tenant counts for the multitenant experiment")
 		mtRes     = flag.Int("mtres", 40, "reconstruction resolution for the multitenant experiment")
+		traceOut  = flag.String("traceout", "BENCH_trace.json", "output path for the tracewaterfall experiment's JSON record")
+		traceRes  = flag.Int("traceres", 128, "reconstruction resolution for the tracewaterfall overhead ablation")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -59,6 +62,9 @@ func main() {
 	}
 
 	env := experiments.NewEnv(experiments.EnvOptions{Seed: *seed, Parallelism: *par, Cache: *cache})
+	// Uniform counter hookup: the env's shared reconstruction telemetry is
+	// scrape-able whenever the debug server is up.
+	metrics.RegisterAll(obs.Default, &env.Recon)
 	fmt.Printf("parallelism: %d workers\n", env.Parallelism)
 
 	resolutions := parseResolutions(*resArg, *full)
@@ -80,19 +86,20 @@ func main() {
 		"multitenant": func() {
 			printMultiTenantBench(env, parseSubscribers(*mtTenants), *frames*5, *mtRes, *mtOut)
 		},
-		"foveated":  func() { printFoveated(env) },
-		"keypoints": func() { printKeypointCount(env) },
-		"finetune":  func() { printFineTune(env) },
-		"slimmable": func() { printSlimmable(env) },
-		"textdelta": func() { printTextDelta(env, *frames*4) },
-		"codecs":    func() { printCodecs(env) },
-		"qoe":       func() { printQoE(env) },
+		"tracewaterfall": func() { printTraceWaterfall(env, *traceRes, *frames*4, *traceOut) },
+		"foveated":       func() { printFoveated(env) },
+		"keypoints":      func() { printKeypointCount(env) },
+		"finetune":       func() { printFineTune(env) },
+		"slimmable":      func() { printSlimmable(env) },
+		"textdelta":      func() { printTextDelta(env, *frames*4) },
+		"codecs":         func() { printCodecs(env) },
+		"qoe":            func() { printQoE(env) },
 	}
 	if *exp == "all" {
 		// Fixed, readable order.
 		for _, name := range []string{
 			"table1", "table2", "fig2", "fig3", "fig4", "cache", "field", "pipeline", "relay", "multitenant",
-			"foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
+			"tracewaterfall", "foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
 		} {
 			run(name, experimentsByName[name])
 		}
@@ -353,6 +360,34 @@ func printMultiTenantBench(env *experiments.Env, tenants []int, frames, res int,
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "multitenant record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+func printTraceWaterfall(env *experiments.Env, res, frames int, outPath string) {
+	fmt.Println("Hop-annotated frame tracing: per-hop latency attribution + observability overhead.")
+	fmt.Println("leg 1: traced frames sender→relay→receiver over an impaired link, waterfall vs e2e;")
+	fmt.Println("leg 2: direct pipeline with tracing on / recorder off / untraced (overhead budget ≤2%).")
+	r := experiments.TraceWaterfall(env, res, frames)
+	fmt.Printf("relayed: %d/%d hop-traced frames, e2e p50 %.1f ms p95 %.1f ms, max hop-sum drift %.4f ms\n",
+		r.HopFrames, r.Frames, r.E2EP50Ms, r.E2EP95Ms, r.MaxHopDriftMs)
+	if r.WorstTraceID != 0 {
+		fmt.Printf("worst frame (exemplar): trace %d at %.1f ms\n%s",
+			r.WorstTraceID, r.WorstE2EMs, r.Waterfall)
+	}
+	fmt.Printf("overhead @ res %d: traced %.3f ms/frame, recorder-off %.3f, untraced %.3f\n",
+		r.Resolution, r.TracedMsPerFrame, r.RecorderOffMsPerFrame, r.UntracedMsPerFrame)
+	fmt.Printf("full tracing stack: %+.2f%%  (flight recorder alone: %+.2f%%)\n",
+		100*r.TraceOverheadFrac, 100*r.RecorderOverheadFrac)
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace record: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", outPath)

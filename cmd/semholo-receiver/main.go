@@ -61,7 +61,8 @@ func main() {
 	reg := obs.NewRegistry()
 	pm := obs.NewPipelineMetrics(reg)
 	var recon metrics.ReconCounters
-	recon.Register(reg)
+	var field metrics.FieldCounters
+	metrics.RegisterAll(reg, &recon, &field)
 
 	world := semholo.NewWorld(semholo.WorldOptions{})
 	var dec semholo.Decoder
@@ -69,6 +70,7 @@ func main() {
 	case "keypoint":
 		_, kd := semholo.NewKeypointPipeline(world, semholo.KeypointOptions{Resolution: *res})
 		kd.Counters = &recon
+		kd.FieldStats = &field
 		kd.Obs = pm
 		dec = kd
 	case "traditional":

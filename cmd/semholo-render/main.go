@@ -28,6 +28,7 @@ import (
 	"semholo/internal/capture"
 	"semholo/internal/experiments"
 	"semholo/internal/geom"
+	"semholo/internal/metrics"
 	"semholo/internal/obs"
 	"semholo/internal/pipeline"
 	"semholo/internal/pointcloud"
@@ -58,6 +59,12 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
+
+	// Uniform counter hookup: reconstruction telemetry from the panel
+	// renders below is scrape-able whenever the debug server is up.
+	var recon metrics.ReconCounters
+	var field metrics.FieldCounters
+	metrics.RegisterAll(obs.Default, &recon, &field)
 
 	// Shared, read-only scene inputs; each panel task below only reads.
 	model := body.NewModel(nil, body.ModelOptions{Detail: 2})
@@ -100,7 +107,7 @@ func main() {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			rec := &avatar.Reconstructor{Model: model, Resolution: r}
+			rec := &avatar.Reconstructor{Model: model, Resolution: r, Counters: &recon, FieldStats: &field}
 			m := rec.Reconstruct(fitted)
 			m.ComputeNormals()
 			f := render.NewFrame(cam)

@@ -56,6 +56,7 @@ type Relay struct {
 	stopWatch func() bool
 
 	queueDepth int
+	site       byte
 
 	mu      sync.Mutex
 	peers   map[string]*relayPeer
@@ -84,6 +85,10 @@ type RelayOptions struct {
 	// Registry, when non-nil, receives the relay's fan-out metrics
 	// (equivalent to calling Instrument).
 	Registry *obs.Registry
+	// Site is the byte identifying this relay instance in hop records
+	// (relay shard ID in a cascaded deployment; zero is fine for a single
+	// relay).
+	Site byte
 }
 
 // DefaultRelayQueueDepth is the per-subscriber egress queue bound used
@@ -131,7 +136,7 @@ func NewRelayContext(ctx context.Context) *Relay {
 // NewRelayOpts builds an empty relay with explicit options.
 func NewRelayOpts(ctx context.Context, opt RelayOptions) *Relay {
 	ctx, cancel := context.WithCancel(ctx)
-	r := &Relay{ctx: ctx, cancel: cancel, peers: map[string]*relayPeer{}, queueDepth: opt.QueueDepth}
+	r := &Relay{ctx: ctx, cancel: cancel, peers: map[string]*relayPeer{}, queueDepth: opt.QueueDepth, site: opt.Site}
 	if r.queueDepth <= 0 {
 		r.queueDepth = DefaultRelayQueueDepth
 	}
@@ -221,6 +226,12 @@ func (r *Relay) Attach(name string, sess *transport.Session) (int, error) {
 		out:  queue.NewQueue[egressItem](r.queueDepth, false),
 		done: make(chan struct{}), egressDone: make(chan struct{}),
 	}
+	// Shed frames become flight-recorder events carrying the dropped
+	// frame's trace ID, so a missing frame in a waterfall is attributable
+	// to the exact queue that shed it.
+	p.out.OnDrop = func(ev egressItem) {
+		obs.Flight.Record(obs.EvQueueDrop, "relay:"+p.name, ev.sf.TraceID, int64(r.queueDepth), 0)
+	}
 	r.nextIdx++
 	r.peers[name] = p
 	r.storeSnapshotLocked()
@@ -301,6 +312,7 @@ func (r *Relay) pump(p *relayPeer) {
 	base := uint16(p.idx) * ParticipantChannelStride
 	for {
 		f, err := p.sess.Recv()
+		recvUS := obs.NowMicros()
 		if err != nil {
 			if !benignSessionError(err) {
 				r.errOnce.Do(func() {
@@ -322,6 +334,16 @@ func (r *Relay) pump(p *relayPeer) {
 				continue // unreachable: a decoded frame is within MaxPayload
 			}
 			sf.Channel += base
+			if f.HopTraced() {
+				// Stamp the relay-ingress hop once; every subscriber's copy
+				// shares it. Send time is stamped just below, when the frame
+				// enters the fan-out queues.
+				sf.AppendHop(obs.Hop{
+					Kind: obs.HopRelayIngress, Site: r.site,
+					RecvMicros: recvUS, SendMicros: obs.NowMicros(),
+				})
+				obs.Flight.Record(obs.EvRelayIngress, "relay:"+p.name, f.TraceID, int64(len(f.Payload)), 0)
+			}
 		case transport.TypeControl:
 			// Wire-compatible with the legacy SendControl forwarding path:
 			// control frames land on the control channel with no flags.
@@ -367,7 +389,20 @@ func (r *Relay) egress(p *relayPeer) {
 		if err != nil {
 			return // queue closed and drained, or relay shutting down
 		}
-		if err := p.sess.SendShared(it.sf); err != nil {
+		if it.sf.Flags&transport.FlagHops != 0 {
+			// Per-leg final hop: dequeue time is this leg's recv, the write
+			// instant (stamped inside SendSharedEgress) its send — so each
+			// subscriber's copy records its own egress queue dwell.
+			deq := obs.NowMicros()
+			err = p.sess.SendSharedEgress(it.sf, obs.Hop{
+				Kind: obs.HopRelayEgress, Site: r.site, RecvMicros: deq,
+			})
+			obs.Flight.Record(obs.EvRelayEgress, "relay:"+p.name, it.sf.TraceID,
+				int64(deq)-it.at.UnixMicro(), 0)
+		} else {
+			err = p.sess.SendShared(it.sf)
+		}
+		if err != nil {
 			// Broken peer: its own pump observes the session error and
 			// detaches it.
 			return

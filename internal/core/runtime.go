@@ -34,10 +34,14 @@ type Sender struct {
 	Encoder Encoder
 	Tracer  *trace.Tracer
 	// Obs, when set, records encode/send stage spans into the shared
-	// metrics registry and threads a capture-timestamp/trace-ID trace
-	// extension through every wire frame, so the receiver can compute
-	// true cross-site motion-to-photon latency per frame.
+	// metrics registry and threads a hop-annotated trace extension
+	// through every wire frame: capture timestamp, trace ID, and a
+	// HopSender record each relay/service/receiver on the path extends —
+	// so the receiver can attribute true cross-site motion-to-photon
+	// latency per frame, hop by hop.
 	Obs *obs.PipelineMetrics
+	// Site is this sender's byte ID in hop records.
+	Site byte
 
 	// OnGaze, when set, receives remote gaze anchors (wired to the
 	// hybrid encoder by NewHybridSender-style constructors or manually).
@@ -46,6 +50,10 @@ type Sender struct {
 	OnBandwidth func(bps float64)
 
 	traceSeq atomic.Uint64
+	// hopScratch is the reused one-hop path Transmit stamps per wire
+	// frame (SendTracedHops serializes before returning, so the array is
+	// safe to reuse with a single transmitting goroutine).
+	hopScratch [1]obs.Hop
 }
 
 // SendFrame encodes and transmits one capture, taking "now" as the
@@ -98,11 +106,17 @@ func (s *Sender) Transmit(enc EncodedFrame, capturedAt time.Time) error {
 	if s.Obs != nil {
 		captureTS := uint64(capturedAt.UnixMicro())
 		traceID := s.traceSeq.Add(1)
+		bytes := 0
 		for _, ch := range enc.Channels {
-			if err := s.Session.SendTraced(ch.Channel, ch.Flags, ch.Payload, captureTS, traceID); err != nil {
+			// One HopSender record per wire frame: capture stamp as recv,
+			// send stamped by the session at write time (SendMicros == 0).
+			s.hopScratch[0] = obs.Hop{Kind: obs.HopSender, Site: s.Site, RecvMicros: captureTS}
+			if err := s.Session.SendTracedHops(ch.Channel, ch.Flags, ch.Payload, captureTS, traceID, s.hopScratch[:]); err != nil {
 				return fmt.Errorf("core: send channel %d: %w", ch.Channel, err)
 			}
+			bytes += len(ch.Payload)
 		}
+		obs.Flight.Record(obs.EvFrameSent, "sender", traceID, int64(bytes), 0)
 		return nil
 	}
 	for _, ch := range enc.Channels {
@@ -144,6 +158,12 @@ type Receiver struct {
 	// motion-to-photon latency from the trace extension traced senders
 	// put on the wire, and attaches the FrameTrace to decoded frames.
 	Obs *obs.PipelineMetrics
+	// Site is this receiver's byte ID in hop records.
+	Site byte
+	// Traces, when set, receives completed FrameTraces for
+	// /debug/trace/<id> lookup; nil publishes to the process-wide
+	// obs.Traces store (always-on, like the flight recorder).
+	Traces *obs.TraceStore
 	// Estimator, when set, observes arriving bytes for rate adaptation.
 	Estimator *transport.BandwidthEstimator
 
@@ -200,6 +220,10 @@ func (r *Receiver) NextRaw() (RawFrame, error) {
 					SendMicros:    f.SendTS,
 					ArrivedAt:     time.Now(),
 				}
+				if len(f.Hops) > 0 {
+					ft.Hops = append([]obs.Hop(nil), f.Hops...)
+				}
+				obs.Flight.Record(obs.EvFrameArrived, "receiver", f.TraceID, int64(len(f.Payload)), 0)
 			}
 			raw := RawFrame{Frames: r.pending, Trace: ft}
 			// Ownership moves to the caller; the next media frame starts
@@ -233,7 +257,24 @@ func (r *Receiver) DecodeRaw(raw RawFrame) (FrameData, error) {
 	}
 	if raw.Trace != nil {
 		raw.Trace.DecodedAt = time.Now()
+		// Terminate the hop path with the receiver's own hop (arrival →
+		// decode completion), so the waterfall telescopes to the full e2e
+		// span — then publish the completed trace for /debug/trace/<id>.
+		if len(raw.Trace.Hops) > 0 {
+			raw.Trace.Hops = append(raw.Trace.Hops, obs.Hop{
+				Kind: obs.HopReceiver, Site: r.Site,
+				RecvMicros: uint64(raw.Trace.ArrivedAt.UnixMicro()),
+				SendMicros: uint64(raw.Trace.DecodedAt.UnixMicro()),
+			})
+		}
 		r.Obs.ObserveTrace(*raw.Trace)
+		store := r.Traces
+		if store == nil {
+			store = obs.Traces
+		}
+		store.Put(*raw.Trace)
+		obs.Flight.Record(obs.EvFrameDecoded, "receiver", raw.Trace.TraceID,
+			raw.Trace.DecodedAt.Sub(raw.Trace.ArrivedAt).Microseconds(), 0)
 		data.Trace = raw.Trace
 	}
 	return data, nil

@@ -150,7 +150,14 @@ type relayClient struct {
 }
 
 func attachRelayClient(r *core.Relay, name string) (*relayClient, error) {
-	a, b, link := netsim.Pipe(netsim.LinkConfig{})
+	return attachRelayClientLink(r, name, netsim.LinkConfig{})
+}
+
+// attachRelayClientLink is attachRelayClient over an explicitly shaped
+// emulated link (delay/jitter/loss — the tracewaterfall experiment's
+// impaired receiver leg).
+func attachRelayClientLink(r *core.Relay, name string, cfg netsim.LinkConfig) (*relayClient, error) {
+	a, b, link := netsim.Pipe(cfg)
 	type hs struct {
 		s   *transport.Session
 		err error

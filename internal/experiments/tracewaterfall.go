@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"semholo/internal/capture"
+	"semholo/internal/core"
+	"semholo/internal/netsim"
+	"semholo/internal/obs"
+	"semholo/internal/transport"
+)
+
+// TraceWaterfallResult is what BENCH_trace.json persists: the hop-trace
+// attribution check on a relayed session plus the tracing/flight-recorder
+// overhead ablation on the direct pipeline.
+type TraceWaterfallResult struct {
+	Frames     int `json:"frames"`
+	Resolution int `json:"resolution"`
+
+	// Relayed traced run (sender → relay → receiver over a jittery,
+	// lossy emulated link): per-frame hop attribution.
+	HopFrames int     `json:"hop_frames"`
+	E2EP50Ms  float64 `json:"e2e_p50_ms"`
+	E2EP95Ms  float64 `json:"e2e_p95_ms"`
+	// MaxHopDriftMs is the worst |hop-sum − e2e| over all traced frames.
+	// The waterfall telescopes, so this must stay at microsecond scale —
+	// the per-frame attribution adds up to the e2e latency it explains.
+	MaxHopDriftMs float64 `json:"max_hop_drift_ms"`
+	// WorstTraceID/WorstE2EMs are the e2e histogram's exemplar: the
+	// slowest recent frame, resolvable to its waterfall below (and at
+	// /debug/trace/<id> in a live process).
+	WorstTraceID uint64  `json:"worst_trace_id"`
+	WorstE2EMs   float64 `json:"worst_e2e_ms"`
+	// Waterfall is the worst frame's rendered hop timeline.
+	Waterfall string `json:"waterfall"`
+
+	// Overhead ablation (direct sender→receiver pipeline at Resolution,
+	// ideal link): mean per-frame wall time with tracing+hops+recorder
+	// fully on, with the flight recorder disabled, and with tracing off.
+	TracedMsPerFrame      float64 `json:"traced_ms_per_frame"`
+	RecorderOffMsPerFrame float64 `json:"recorder_off_ms_per_frame"`
+	UntracedMsPerFrame    float64 `json:"untraced_ms_per_frame"`
+	// TraceOverheadFrac is (traced − untraced) / untraced — the full
+	// observability stack's per-frame cost. The budget is ≤2% on the
+	// decode-dominated res-128 pipeline.
+	TraceOverheadFrac    float64 `json:"trace_overhead_frac"`
+	RecorderOverheadFrac float64 `json:"recorder_overhead_frac"`
+}
+
+// TraceWaterfall exercises the hop-annotated tracing stack end to end.
+// Leg 1 relays traced frames through a core.Relay over a jittery lossy
+// link and checks that every frame's hop waterfall telescopes to its
+// observed e2e latency (the attribution invariant). Leg 2 measures what
+// the tracing stack costs: the same direct pipeline with tracing fully
+// on, with the flight recorder ablated, and untraced.
+func TraceWaterfall(env *Env, res, frames int) TraceWaterfallResult {
+	if res <= 0 {
+		res = 128
+	}
+	if frames <= 0 {
+		frames = 24
+	}
+	r := TraceWaterfallResult{Frames: frames, Resolution: res}
+
+	caps := make([]capture.Capture, frames)
+	for i := range caps {
+		caps[i] = env.Seq.FrameAt(i)
+	}
+
+	runRelayLeg(env, caps, res, &r)
+
+	// Overhead ablation on an ideal direct link, decode-dominated.
+	r.TracedMsPerFrame = directLegMsPerFrame(env, caps, res, legTraced)
+	r.RecorderOffMsPerFrame = directLegMsPerFrame(env, caps, res, legRecorderOff)
+	r.UntracedMsPerFrame = directLegMsPerFrame(env, caps, res, legUntraced)
+	if r.UntracedMsPerFrame > 0 {
+		r.TraceOverheadFrac = (r.TracedMsPerFrame - r.UntracedMsPerFrame) / r.UntracedMsPerFrame
+		r.RecorderOverheadFrac = (r.TracedMsPerFrame - r.RecorderOffMsPerFrame) / r.UntracedMsPerFrame
+	}
+	return r
+}
+
+// runRelayLeg streams traced frames sender → relay → receiver and fills
+// the hop-attribution half of the result.
+func runRelayLeg(env *Env, caps []capture.Capture, res int, r *TraceWaterfallResult) {
+	relay := core.NewRelayOpts(context.Background(), core.RelayOptions{Site: 2})
+	defer func() { _ = relay.Close() }()
+
+	sendClient, err := attachRelayClient(relay, "sender")
+	if err != nil {
+		panic(err)
+	}
+	defer sendClient.link.Close()
+	// The receiver's leg gets the impaired link: delay, jitter, and loss
+	// shape the network span the waterfall attributes.
+	recvClient, err := attachRelayClientLink(relay, "receiver", netsim.LinkConfig{
+		Bandwidth: 25e6, Delay: 8 * time.Millisecond, Jitter: 3 * time.Millisecond,
+		Loss: 0.02, Seed: env.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer recvClient.link.Close()
+
+	sendReg, recvReg := obs.NewRegistry(), obs.NewRegistry()
+	store := obs.NewTraceStore(len(caps) + 1)
+	sender := &core.Sender{
+		Session: sendClient.sess, Encoder: env.keypointEncoder(),
+		Obs: obs.NewPipelineMetrics(sendReg), Site: 1,
+	}
+	recvPM := obs.NewPipelineMetrics(recvReg)
+	receiver := &core.Receiver{
+		Session: recvClient.sess, Decoder: newKeypointDecoderFor(env, res),
+		Obs: recvPM, Site: 3, Traces: store,
+	}
+
+	latencies := make([]float64, 0, len(caps))
+	var hopFrames atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			data, err := receiver.NextFrame()
+			if err != nil {
+				return
+			}
+			if data.Trace == nil || len(data.Trace.Hops) == 0 {
+				continue
+			}
+			t := *data.Trace
+			latencies = append(latencies, ms(t.E2E()))
+			if drift := math.Abs(t.HopSumMs() - ms(t.E2E())); drift > r.MaxHopDriftMs {
+				r.MaxHopDriftMs = drift
+			}
+			hopFrames.Add(1)
+		}
+	}()
+
+	interval := time.Duration(float64(time.Second) / env.FPS)
+	for i := range caps {
+		if err := sender.SendFrameCaptured(caps[i], time.Now()); err != nil {
+			panic(err)
+		}
+		time.Sleep(interval / 4) // paced faster than real time to keep the run short
+	}
+	// Let the tail drain, then end the receiver loop by closing the path.
+	deadline := time.After(2 * time.Second)
+	for hopFrames.Load() < int64(len(caps)) {
+		select {
+		case <-deadline:
+		case <-time.After(10 * time.Millisecond):
+			continue
+		}
+		break
+	}
+	_ = sendClient.sess.Close()
+	_ = relay.Close()
+	<-done
+	r.HopFrames = int(hopFrames.Load())
+
+	r.E2EP50Ms = percentile(latencies, 0.50)
+	r.E2EP95Ms = percentile(latencies, 0.95)
+	if sec, id := recvPM.E2EExemplar(); id != 0 {
+		r.WorstTraceID = id
+		r.WorstE2EMs = sec * 1e3
+		if t, ok := store.Get(id); ok {
+			r.Waterfall = obs.RenderWaterfall(t)
+		}
+	}
+}
+
+// Overhead-ablation leg variants.
+type traceLeg int
+
+const (
+	legTraced traceLeg = iota
+	legRecorderOff
+	legUntraced
+)
+
+// directLegMsPerFrame streams the captures over an ideal in-process link
+// with the chosen observability configuration and returns the mean wall
+// time per frame (send + receive + decode; decode dominates at res 128).
+func directLegMsPerFrame(env *Env, caps []capture.Capture, res int, leg traceLeg) float64 {
+	a, b, link := netsim.Pipe(netsim.LinkConfig{})
+	defer link.Close()
+
+	type handshake struct {
+		sess *transport.Session
+		err  error
+	}
+	hch := make(chan handshake, 1)
+	go func() {
+		s, _, err := transport.Accept(b, transport.Hello{Peer: "recv", Mode: "keypoint"})
+		hch <- handshake{s, err}
+	}()
+	sessA, _, err := transport.Dial(a, transport.Hello{Peer: "send", Mode: "keypoint"})
+	if err != nil {
+		panic(err)
+	}
+	h := <-hch
+	if h.err != nil {
+		panic(h.err)
+	}
+
+	sender := &core.Sender{Session: sessA, Encoder: env.keypointEncoder(), Site: 1}
+	receiver := &core.Receiver{Session: h.sess, Decoder: newKeypointDecoderFor(env, res), Site: 3}
+	if leg != legUntraced {
+		sendReg, recvReg := obs.NewRegistry(), obs.NewRegistry()
+		sender.Obs = obs.NewPipelineMetrics(sendReg)
+		receiver.Obs = obs.NewPipelineMetrics(recvReg)
+		receiver.Traces = obs.NewTraceStore(len(caps) + 1)
+	}
+	if leg == legRecorderOff {
+		obs.Flight.SetEnabled(false)
+		defer obs.Flight.SetEnabled(true)
+	}
+
+	// Warm once (encoder/decoder state, link handshake cost) off-clock.
+	if err := sender.SendFrameCaptured(caps[0], time.Now()); err != nil {
+		panic(err)
+	}
+	if _, err := receiver.NextFrame(); err != nil {
+		panic(err)
+	}
+
+	// Cycle the capture set so the timed window is long enough for the
+	// per-frame mean to be stable against scheduler noise.
+	iters := len(caps)
+	for iters < 48 {
+		iters += len(caps)
+	}
+	begin := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := sender.SendFrameCaptured(caps[i%len(caps)], time.Now()); err != nil {
+			panic(err)
+		}
+		if _, err := receiver.NextFrame(); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(begin)
+	_ = sessA.Close()
+	return elapsed.Seconds() * 1e3 / float64(iters)
+}

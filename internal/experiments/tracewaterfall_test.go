@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceWaterfallAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced netsim run")
+	}
+	r := TraceWaterfall(testEnv, 32, 6)
+	if r.HopFrames == 0 {
+		t.Fatal("no hop-traced frames completed")
+	}
+	// The attribution invariant: per-frame hop waterfalls telescope to
+	// the observed e2e span up to stamp quantization.
+	if r.MaxHopDriftMs > 0.01 {
+		t.Errorf("hop-sum drifted %.4f ms from e2e", r.MaxHopDriftMs)
+	}
+	if r.WorstTraceID == 0 || r.WorstE2EMs <= 0 {
+		t.Errorf("missing exemplar: trace %d at %.3f ms", r.WorstTraceID, r.WorstE2EMs)
+	}
+	if !strings.Contains(r.Waterfall, "receiver") || !strings.Contains(r.Waterfall, "hop-sum") {
+		t.Errorf("worst-frame waterfall not rendered:\n%s", r.Waterfall)
+	}
+	if r.E2EP95Ms < r.E2EP50Ms {
+		t.Errorf("p95 %.3f < p50 %.3f", r.E2EP95Ms, r.E2EP50Ms)
+	}
+	// Overhead legs all ran; exact overhead is asserted by the bench run,
+	// not the unit test (timing noise at test scale).
+	if r.TracedMsPerFrame <= 0 || r.RecorderOffMsPerFrame <= 0 || r.UntracedMsPerFrame <= 0 {
+		t.Errorf("overhead legs missing: %.3f / %.3f / %.3f",
+			r.TracedMsPerFrame, r.RecorderOffMsPerFrame, r.UntracedMsPerFrame)
+	}
+}

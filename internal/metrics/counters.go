@@ -29,6 +29,7 @@ type ReconCounters struct {
 func (c *ReconCounters) AddMeshHit() {
 	if c != nil {
 		c.meshHits.Add(1)
+		obs.Flight.Record(obs.EvCacheHit, "meshcache", 0, 0, 0)
 	}
 }
 
@@ -36,6 +37,7 @@ func (c *ReconCounters) AddMeshHit() {
 func (c *ReconCounters) AddMeshMiss() {
 	if c != nil {
 		c.meshMisses.Add(1)
+		obs.Flight.Record(obs.EvCacheMiss, "meshcache", 0, 0, 0)
 	}
 }
 

@@ -27,6 +27,46 @@ type histogramData struct {
 	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
 	sum    atomic.Uint64   // float64 bits
 	count  atomic.Uint64
+
+	// Exemplar: the worst observation inside a rolling window of
+	// exemplarWindow exemplar-carrying observations, with the trace ID
+	// that produced it. "Recent worst" rather than all-time max, so one
+	// early outlier doesn't pin the exemplar forever. exVal holds float64
+	// bits; exID is the paired trace ID. The value/ID pair is published
+	// with two independent atomic stores — under heavy contention an
+	// exemplar can briefly pair a value with a neighbor observation's ID,
+	// which is acceptable for a debugging pointer.
+	exN   atomic.Uint64
+	exVal atomic.Uint64
+	exID  atomic.Uint64
+}
+
+// exemplarWindow restarts the worst-recent race every N exemplar
+// observations.
+const exemplarWindow = 1024
+
+func (h *histogramData) observeExemplar(v float64, traceID uint64) {
+	h.observe(v)
+	if h.exN.Add(1)%exemplarWindow == 1 {
+		// Window restart: take the slot unconditionally.
+		h.exVal.Store(math.Float64bits(v))
+		h.exID.Store(traceID)
+		return
+	}
+	for {
+		cur := h.exVal.Load()
+		if v <= math.Float64frombits(cur) {
+			return
+		}
+		if h.exVal.CompareAndSwap(cur, math.Float64bits(v)) {
+			h.exID.Store(traceID)
+			return
+		}
+	}
+}
+
+func (h *histogramData) exemplar() (float64, uint64) {
+	return math.Float64frombits(h.exVal.Load()), h.exID.Load()
 }
 
 func newHistogramData(bounds []float64) *histogramData {
@@ -133,3 +173,13 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile estimates the q-quantile from the bucket counts.
 func (h *Histogram) Quantile(q float64) float64 { return h.s.h.quantile(q) }
+
+// ObserveExemplar records one value and competes it for the histogram's
+// worst-recent exemplar slot under the given trace ID.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	h.s.h.observeExemplar(v, traceID)
+}
+
+// Exemplar returns the worst recent exemplar-carrying observation and
+// its trace ID (zeros before the first one).
+func (h *Histogram) Exemplar() (v float64, traceID uint64) { return h.s.h.exemplar() }

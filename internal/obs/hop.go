@@ -1,0 +1,76 @@
+package obs
+
+import "fmt"
+
+// MaxTraceHops bounds the hop list a traced frame may carry. Eight covers
+// the deepest path the roadmap plans (sender → relay trunk → relay leaf →
+// service → receiver leaves headroom for two more cascade levels) while
+// keeping the wire extension small and the reader's scratch fixed-size.
+const MaxTraceHops = 8
+
+// HopKind identifies which pipeline role stamped a hop record.
+type HopKind byte
+
+// Hop kinds. Zero is reserved as invalid so a torn or zeroed record is
+// distinguishable from a real one.
+const (
+	HopInvalid      HopKind = 0
+	HopSender       HopKind = 1
+	HopRelayIngress HopKind = 2
+	HopRelayEgress  HopKind = 3
+	HopService      HopKind = 4
+	HopReceiver     HopKind = 5
+)
+
+func (k HopKind) String() string {
+	switch k {
+	case HopSender:
+		return "sender"
+	case HopRelayIngress:
+		return "relay-ingress"
+	case HopRelayEgress:
+		return "relay-egress"
+	case HopService:
+		return "service"
+	case HopReceiver:
+		return "receiver"
+	default:
+		return fmt.Sprintf("invalid(%d)", byte(k))
+	}
+}
+
+// Hop is one site's contribution to a frame's hop-annotated trace: when
+// the site first saw the frame (RecvMicros) and when it handed the frame
+// on (SendMicros), both unix microseconds on the site's wall clock. For
+// the sender hop RecvMicros is the capture stamp; for the receiver hop
+// SendMicros is decode completion. A SendMicros of zero means "stamp me
+// at write time" — transport fills it when the frame hits the wire, so
+// the recorded value excludes none of the sender-side queueing.
+type Hop struct {
+	Kind HopKind `json:"kind"`
+	// Site distinguishes instances of the same role (relay shard IDs,
+	// tenant slots). Operator-assigned; zero is fine for single-instance
+	// deployments.
+	Site       byte   `json:"site"`
+	RecvMicros uint64 `json:"recv_micros"`
+	SendMicros uint64 `json:"send_micros"`
+}
+
+// hopJSON is the human-readable dump shape used by /debug/trace.
+type hopJSON struct {
+	Kind       string  `json:"kind"`
+	Site       byte    `json:"site"`
+	RecvMicros uint64  `json:"recv_micros"`
+	SendMicros uint64  `json:"send_micros"`
+	DwellMs    float64 `json:"dwell_ms"`
+}
+
+func (h Hop) toJSON() hopJSON {
+	return hopJSON{
+		Kind:       h.Kind.String(),
+		Site:       h.Site,
+		RecvMicros: h.RecvMicros,
+		SendMicros: h.SendMicros,
+		DwellMs:    float64(int64(h.SendMicros)-int64(h.RecvMicros)) / 1e3,
+	}
+}

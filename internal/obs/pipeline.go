@@ -46,6 +46,12 @@ type FrameTrace struct {
 	ArrivedAt time.Time
 	// DecodedAt is when the receiver finished decoding/reconstructing.
 	DecodedAt time.Time
+
+	// Hops is the hop-annotated path the frame carried on the wire
+	// (FlagHops extension): one record per site that handled the frame,
+	// in path order, terminated by the receiver's own hop. Empty for
+	// legacy 24-byte traces.
+	Hops []Hop
 }
 
 // Network returns the wire span: last-byte arrival minus send stamp.
@@ -106,6 +112,12 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 	reg.GaugeFunc("semholo_e2e_latency_p95_seconds",
 		"95th-percentile end-to-end motion-to-photon latency (bucket-interpolated).",
 		func() float64 { return p.e2e.Quantile(0.95) })
+	reg.GaugeFunc("semholo_e2e_exemplar_seconds",
+		"Worst recent end-to-end observation (exemplar value).",
+		func() float64 { v, _ := p.e2e.Exemplar(); return v })
+	reg.GaugeFunc("semholo_e2e_exemplar_trace_id",
+		"Trace ID of the worst recent end-to-end observation — look it up at /debug/trace/<id>.",
+		func() float64 { _, id := p.e2e.Exemplar(); return float64(id) })
 	bs := reg.Gauge("semholo_stage_budget_share",
 		"Mean stage latency as a fraction of the 100 ms end-to-end budget.", "stage")
 	for _, st := range Stages {
@@ -142,14 +154,34 @@ func (p *PipelineMetrics) StartStage(stage string) func() {
 // ObserveE2E records one frame's motion-to-photon latency and its
 // budget verdict. Nil-safe.
 func (p *PipelineMetrics) ObserveE2E(d time.Duration) {
+	p.ObserveE2EExemplar(d, 0)
+}
+
+// ObserveE2EExemplar is ObserveE2E carrying the frame's trace ID, so the
+// e2e histogram can retain the worst recent frame as an exemplar —
+// the entry point to /debug/trace/<id>. Nil-safe.
+func (p *PipelineMetrics) ObserveE2EExemplar(d time.Duration, traceID uint64) {
 	if p == nil {
 		return
 	}
-	p.e2e.ObserveDuration(d)
+	if traceID != 0 {
+		p.e2e.ObserveExemplar(d.Seconds(), traceID)
+	} else {
+		p.e2e.ObserveDuration(d)
+	}
 	p.frames.Inc()
 	if d > p.Budget {
 		p.overruns.Inc()
 	}
+}
+
+// E2EExemplar returns the worst recent e2e observation and its trace ID
+// (zeros before any exemplar-carrying observation). Nil-safe.
+func (p *PipelineMetrics) E2EExemplar() (seconds float64, traceID uint64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.e2e.Exemplar()
 }
 
 // ObserveTrace records the receiver-side spans a completed FrameTrace
@@ -167,7 +199,7 @@ func (p *PipelineMetrics) ObserveTrace(t FrameTrace) {
 		}
 	}
 	if !t.DecodedAt.IsZero() {
-		p.ObserveE2E(t.E2E())
+		p.ObserveE2EExemplar(t.E2E(), t.TraceID)
 	}
 }
 

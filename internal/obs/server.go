@@ -6,6 +6,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -21,11 +25,15 @@ type Server struct {
 // Handler builds the debug mux without binding a listener (useful for
 // tests and for embedding into an existing server):
 //
-//	/metrics       Prometheus text exposition
-//	/metrics.json  the same registry as JSON
-//	/healthz       liveness + uptime
-//	/debug/<name>  one JSON document per registered snapshot func
-//	/debug/pprof/  the standard pprof handlers
+//	/metrics          Prometheus text exposition
+//	/metrics.json     the same registry as JSON
+//	/healthz          liveness + uptime
+//	/debug/<name>     one JSON document per registered snapshot func
+//	/debug/flight     the process flight-recorder ring (obs.Flight)
+//	/debug/trace/<id> a stored frame trace's hop waterfall (obs.Traces);
+//	                  "latest" selects the most recent trace
+//	/debug/buildinfo  binary identity (module, VCS rev, go version, …)
+//	/debug/pprof/     the standard pprof handlers
 //
 // snapshots maps endpoint names to functions returning any
 // JSON-marshalable value, sampled per request — e.g. a trace.Tracer
@@ -57,6 +65,40 @@ func Handler(reg *Registry, snapshots map[string]func() any) http.Handler {
 			_ = enc.Encode(fn())
 		})
 	}
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	if _, taken := snapshots["flight"]; !taken {
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, Flight.Dump())
+		})
+	}
+	if _, taken := snapshots["buildinfo"]; !taken {
+		mux.HandleFunc("/debug/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, BuildInfo(time.Since(start)))
+		})
+	}
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
+		idStr := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+		var (
+			t  FrameTrace
+			ok bool
+		)
+		if idStr == "latest" {
+			t, ok = Traces.Latest()
+		} else if id, err := strconv.ParseUint(idStr, 10, 64); err == nil {
+			t, ok = Traces.Get(id)
+		}
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			writeJSON(w, map[string]any{"error": "trace not found", "stored": Traces.IDs()})
+			return
+		}
+		writeJSON(w, DumpTrace(t, Flight))
+	})
 	// pprof registers on the DefaultServeMux via init; wire its handlers
 	// onto this private mux explicitly instead.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -85,6 +127,46 @@ func Serve(addr string, reg *Registry, snapshots map[string]func() any) (*Server
 	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// BuildInfoReport identifies the running binary — what makes a fleet
+// scrape attributable to an exact build.
+type BuildInfoReport struct {
+	Module     string `json:"module"`
+	Version    string `json:"version"`
+	GoVersion  string `json:"go_version"`
+	VCSRev     string `json:"vcs_revision,omitempty"`
+	VCSTime    string `json:"vcs_time,omitempty"`
+	VCSDirty   bool   `json:"vcs_dirty,omitempty"`
+	Uptime     string `json:"uptime"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// BuildInfo assembles the /debug/buildinfo document from the binary's
+// embedded module metadata.
+func BuildInfo(uptime time.Duration) BuildInfoReport {
+	r := BuildInfoReport{
+		GoVersion:  runtime.Version(),
+		Uptime:     uptime.Round(time.Second).String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		r.Module = bi.Main.Path
+		r.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				r.VCSRev = s.Value
+			case "vcs.time":
+				r.VCSTime = s.Value
+			case "vcs.modified":
+				r.VCSDirty = s.Value == "true"
+			}
+		}
+	}
+	return r
 }
 
 // Addr returns the bound listen address.

@@ -58,6 +58,23 @@ func RunReceiver(ctx context.Context, r *core.Receiver, sink Sink, opt ReceiverO
 	renderQ := queue.NewQueue[core.FrameData](opt.QueueDepth, opt.Lossless)
 	decQ.Instrument(opt.Registry, opt.Site, "decode")
 	renderQ.Instrument(opt.Registry, opt.Site, "render")
+	// Receiver-side evictions carry the dropped frame's trace ID when the
+	// sender traced it, so a /debug/flight dump names the exact frames a
+	// latency spike cost.
+	decQ.OnDrop = func(ev core.RawFrame) {
+		var id uint64
+		if ev.Trace != nil {
+			id = ev.Trace.TraceID
+		}
+		obs.Flight.Record(obs.EvQueueDrop, opt.Site+":decode", id, 0, 0)
+	}
+	renderQ.OnDrop = func(ev core.FrameData) {
+		var id uint64
+		if ev.Trace != nil {
+			id = ev.Trace.TraceID
+		}
+		obs.Flight.Record(obs.EvQueueDrop, opt.Site+":render", id, 0, 0)
+	}
 
 	var stats ReceiverStats
 	g, ctx := NewGroup(ctx)
@@ -122,11 +139,20 @@ func RunReceiver(ctx context.Context, r *core.Receiver, sink Sink, opt ReceiverO
 					return err
 				}
 			}
+			if data.Trace != nil {
+				obs.Flight.Record(obs.EvFrameRendered, opt.Site, data.Trace.TraceID, 0, 0)
+			}
 			stats.Rendered++
 		}
 	})
 
 	err := g.Wait()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		// Auto-snapshot on pipeline failure: freeze the flight ring so the
+		// events leading up to the error survive for /debug/flight.
+		obs.Flight.Record(obs.EvError, opt.Site, 0, 0, 0)
+		obs.Flight.Snapshot(opt.Site + ": " + err.Error())
+	}
 	stats.Dropped = decQ.Dropped() + renderQ.Dropped()
 	return stats, err
 }

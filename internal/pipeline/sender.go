@@ -76,6 +76,16 @@ func RunSender(ctx context.Context, s *core.Sender, src Source, opt SenderOption
 	sendQ := queue.NewQueue[encodedFrame](opt.QueueDepth, opt.Lossless)
 	capQ.Instrument(opt.Registry, opt.Site, "encode")
 	sendQ.Instrument(opt.Registry, opt.Site, "send")
+	// Every latest-frame-wins eviction lands in the flight recorder, so a
+	// /debug/flight dump shows exactly which stage was shedding when a
+	// latency spike hit. Trace IDs are assigned at Transmit, so sender-side
+	// drops carry the capture timestamp instead.
+	capQ.OnDrop = func(ev capturedFrame) {
+		obs.Flight.Record(obs.EvQueueDrop, opt.Site+":encode", 0, ev.at.UnixMicro(), 0)
+	}
+	sendQ.OnDrop = func(ev encodedFrame) {
+		obs.Flight.Record(obs.EvQueueDrop, opt.Site+":send", 0, ev.at.UnixMicro(), 0)
+	}
 
 	var stats SenderStats
 	g, ctx := NewGroup(ctx)
@@ -98,6 +108,7 @@ func RunSender(ctx context.Context, s *core.Sender, src Source, opt SenderOption
 				return nil
 			}
 			s.Obs.ObserveStage(obs.StageCapture, time.Since(begin))
+			obs.Flight.Record(obs.EvFrameCaptured, opt.Site, 0, int64(i), 0)
 			if err := capQ.Put(ctx, capturedFrame{c: c, at: begin}); err != nil {
 				return ignoreClosed(err)
 			}
@@ -147,16 +158,29 @@ func RunSender(ctx context.Context, s *core.Sender, src Source, opt SenderOption
 			if err != nil {
 				return ignoreClosed(err)
 			}
+			begin := time.Now()
 			if err := s.Transmit(f.enc, f.at); err != nil {
 				// A canceled session surfaces context.Canceled via the
 				// transport's error translation — a graceful exit here.
 				return ignoreClosed(err)
+			}
+			// A wire write that blows the frame budget is a stall: record it
+			// and snapshot the ring so the events leading up to it survive.
+			if d := time.Since(begin); opt.Interval > 0 && d > opt.Interval {
+				obs.Flight.Record(obs.EvStall, opt.Site+":send", 0, d.Microseconds(), 0)
+				obs.Flight.Snapshot(opt.Site + ": send stall")
 			}
 			stats.Sent++
 		}
 	})
 
 	err := g.Wait()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		// Auto-snapshot on pipeline failure: freeze the flight ring so the
+		// events leading up to the error survive for /debug/flight.
+		obs.Flight.Record(obs.EvError, opt.Site, 0, 0, 0)
+		obs.Flight.Snapshot(opt.Site + ": " + err.Error())
+	}
 	stats.Dropped = capQ.Dropped() + sendQ.Dropped()
 	return stats, err
 }

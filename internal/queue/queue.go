@@ -29,6 +29,13 @@ type Queue[T any] struct {
 	once   sync.Once
 
 	dropped atomic.Uint64
+
+	// OnDrop, when set, observes each entry evicted by latest-frame-wins
+	// Put — the hook feeding queue-drop events into the flight recorder
+	// with the dropped frame's identity. Called synchronously under the
+	// Put lock, so it must be cheap and must not touch the queue. Set it
+	// before the queue is shared between goroutines.
+	OnDrop func(evicted T)
 }
 
 // NewQueue builds a queue holding up to depth items (minimum 1).
@@ -86,8 +93,11 @@ func (q *Queue[T]) Put(ctx context.Context, v T) error {
 			// Full: evict the oldest (latest-frame-wins). The consumer may
 			// race us to it, in which case the next insert attempt wins.
 			select {
-			case <-q.ch:
+			case ev := <-q.ch:
 				q.dropped.Add(1)
+				if q.OnDrop != nil {
+					q.OnDrop(ev)
+				}
 			default:
 			}
 		}

@@ -75,6 +75,9 @@ type Options struct {
 	// Registry, when set, receives per-tenant queue depth, decode
 	// latency, and frame counters plus the shared cache counters.
 	Registry *obs.Registry
+	// Site is the byte identifying this service instance in hop records
+	// appended to traced frames (zero is fine for a single service).
+	Site byte
 	// NewDecoder overrides per-tenant decoder construction (it must
 	// return a fresh decoder per call; decoders are stateful). The
 	// default builds a core.KeypointDecoder wired to the shared model,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"semholo/internal/core"
+	"semholo/internal/obs"
 )
 
 // StreamCtx is one tenant's per-stream state inside a DecodeService: a
@@ -74,11 +75,18 @@ func (st *StreamCtx) Decode(ctx context.Context, raw core.RawFrame) (core.FrameD
 	}
 	defer func() { <-st.tokens }()
 
+	waitStart := time.Now()
 	grant, err := svc.pool.Reserve(ctx, svc.fairShare())
 	if err != nil {
 		return core.FrameData{}, err
 	}
 	defer svc.pool.Release(grant)
+	var traceID uint64
+	if raw.Trace != nil {
+		traceID = raw.Trace.TraceID
+	}
+	obs.Flight.Record(obs.EvPoolWait, "service:"+st.id, traceID,
+		time.Since(waitStart).Microseconds(), int64(grant))
 
 	st.decodeMu.Lock()
 	if ws, ok := st.dec.(workerSetter); ok {
@@ -91,6 +99,17 @@ func (st *StreamCtx) Decode(ctx context.Context, raw core.RawFrame) (core.FrameD
 	}
 	if raw.Trace != nil {
 		raw.Trace.DecodedAt = time.Now()
+		// Extend hop-annotated traces with this tenant's service hop
+		// (queue entry → decode completion) and publish the completed
+		// trace for /debug/trace/<id>.
+		if len(raw.Trace.Hops) > 0 {
+			raw.Trace.Hops = append(raw.Trace.Hops, obs.Hop{
+				Kind: obs.HopService, Site: svc.opt.Site,
+				RecvMicros: uint64(start.UnixMicro()),
+				SendMicros: uint64(raw.Trace.DecodedAt.UnixMicro()),
+			})
+		}
+		obs.Traces.Put(*raw.Trace)
 		data.Trace = raw.Trace
 	}
 	st.frames.Add(1)

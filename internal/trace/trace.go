@@ -12,30 +12,109 @@ import (
 	"time"
 )
 
-// Tracer accumulates named duration samples. Safe for concurrent use;
-// the zero value is ready to use.
+// reservoirCap bounds the samples kept per stage. Count/Total/Mean/Max
+// stay exact at any stream length; percentiles come from a uniform
+// reservoir-sampled subset once a stage exceeds the cap, so a tracer on
+// a long-lived session holds O(stages × reservoirCap) memory instead of
+// growing without bound with the frame count.
+const reservoirCap = 4096
+
+// stageAgg is one stage's accumulator: exact running aggregates plus an
+// algorithm-R reservoir for percentile estimation. The xorshift PRNG is
+// seeded deterministically from the stage name, so identical record
+// sequences produce identical snapshots — windowed reports stay
+// reproducible across runs.
+type stageAgg struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+	res   []time.Duration
+	rng   uint64
+}
+
+func newStageAgg(stage string) *stageAgg {
+	// FNV-1a over the stage name; forced non-zero (xorshift sticks at 0).
+	seed := uint64(14695981039346656037)
+	for i := 0; i < len(stage); i++ {
+		seed ^= uint64(stage[i])
+		seed *= 1099511628211
+	}
+	return &stageAgg{rng: seed | 1}
+}
+
+func (a *stageAgg) next() uint64 {
+	x := a.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	a.rng = x
+	return x
+}
+
+func (a *stageAgg) record(d time.Duration) {
+	a.count++
+	a.total += d
+	if d > a.max {
+		a.max = d
+	}
+	if len(a.res) < reservoirCap {
+		a.res = append(a.res, d)
+		return
+	}
+	// Algorithm R: keep each of the count samples with equal probability.
+	if j := a.next() % uint64(a.count); j < reservoirCap {
+		a.res[j] = d
+	}
+}
+
+func (a *stageAgg) stats() Stats {
+	if a == nil || a.count == 0 {
+		return Stats{}
+	}
+	sorted := append([]time.Duration(nil), a.res...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return Stats{
+		Count: int(a.count),
+		Total: a.total,
+		Mean:  a.total / time.Duration(a.count),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		Max:   a.max,
+	}
+}
+
+// Tracer accumulates named duration samples under a bounded per-stage
+// memory footprint (see reservoirCap). Safe for concurrent use; the zero
+// value is ready to use.
 type Tracer struct {
 	mu    sync.Mutex
-	spans map[string][]time.Duration
+	spans map[string]*stageAgg
 	order []string
 	sink  func(stage string, d time.Duration)
 }
 
 // New returns an empty tracer.
 func New() *Tracer {
-	return &Tracer{spans: map[string][]time.Duration{}}
+	return &Tracer{spans: map[string]*stageAgg{}}
 }
 
 // Record adds one sample to a stage.
 func (t *Tracer) Record(stage string, d time.Duration) {
 	t.mu.Lock()
 	if t.spans == nil {
-		t.spans = map[string][]time.Duration{}
+		t.spans = map[string]*stageAgg{}
 	}
-	if _, ok := t.spans[stage]; !ok {
+	agg, ok := t.spans[stage]
+	if !ok {
+		agg = newStageAgg(stage)
+		t.spans[stage] = agg
 		t.order = append(t.order, stage)
 	}
-	t.spans[stage] = append(t.spans[stage], d)
+	agg.record(d)
 	sink := t.sink
 	t.mu.Unlock()
 	if sink != nil {
@@ -59,7 +138,9 @@ func (t *Tracer) Start(stage string) func() {
 	return func() { t.Record(stage, time.Since(begin)) }
 }
 
-// Stats summarizes one stage.
+// Stats summarizes one stage. Count, Total, Mean, and Max are exact over
+// every recorded sample; P50/P95 are exact below reservoirCap samples
+// and uniform-reservoir estimates beyond it.
 type Stats struct {
 	Count         int
 	Total, Mean   time.Duration
@@ -71,34 +152,10 @@ func (t *Tracer) Snapshot() map[string]Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make(map[string]Stats, len(t.spans))
-	for stage, ds := range t.spans {
-		out[stage] = computeStats(ds)
+	for stage, agg := range t.spans {
+		out[stage] = agg.stats()
 	}
 	return out
-}
-
-func computeStats(ds []time.Duration) Stats {
-	if len(ds) == 0 {
-		return Stats{}
-	}
-	sorted := append([]time.Duration(nil), ds...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var total time.Duration
-	for _, d := range sorted {
-		total += d
-	}
-	pct := func(q float64) time.Duration {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return Stats{
-		Count: len(sorted),
-		Total: total,
-		Mean:  total / time.Duration(len(sorted)),
-		P50:   pct(0.50),
-		P95:   pct(0.95),
-		Max:   sorted[len(sorted)-1],
-	}
 }
 
 // StageStats is one stage's statistics with its name — the element of
@@ -117,7 +174,7 @@ func (t *Tracer) SnapshotOrdered() []StageStats {
 	defer t.mu.Unlock()
 	out := make([]StageStats, 0, len(t.order))
 	for _, stage := range t.order {
-		out = append(out, StageStats{Stage: stage, Stats: computeStats(t.spans[stage])})
+		out = append(out, StageStats{Stage: stage, Stats: t.spans[stage].stats()})
 	}
 	return out
 }
@@ -127,8 +184,8 @@ func (t *Tracer) Report() string {
 	t.mu.Lock()
 	order := append([]string(nil), t.order...)
 	snap := make(map[string]Stats, len(t.spans))
-	for stage, ds := range t.spans {
-		snap[stage] = computeStats(ds)
+	for stage, agg := range t.spans {
+		snap[stage] = agg.stats()
 	}
 	t.mu.Unlock()
 
@@ -147,6 +204,6 @@ func (t *Tracer) Report() string {
 func (t *Tracer) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.spans = map[string][]time.Duration{}
+	t.spans = map[string]*stageAgg{}
 	t.order = nil
 }

@@ -113,6 +113,57 @@ func TestSnapshotOrdered(t *testing.T) {
 	}
 }
 
+// TestBoundedReservoir is the regression test for the unbounded-growth
+// bug: a long-lived tracer used to append every sample forever. The
+// reservoir must cap retained samples while keeping count/total/mean/max
+// exact, percentiles sane, and snapshots deterministic for a given
+// record sequence.
+func TestBoundedReservoir(t *testing.T) {
+	const n = 10 * reservoirCap
+	run := func() Stats {
+		tr := New()
+		for i := 1; i <= n; i++ {
+			tr.Record("decode", time.Duration(i)*time.Microsecond)
+		}
+		return tr.Snapshot()["decode"]
+	}
+	s := run()
+	if s.Count != n {
+		t.Fatalf("count %d, want %d (must stay exact past the cap)", s.Count, n)
+	}
+	wantTotal := time.Duration(n) * time.Duration(n+1) / 2 * time.Microsecond
+	if s.Total != wantTotal {
+		t.Errorf("total %v, want %v", s.Total, wantTotal)
+	}
+	if s.Max != n*time.Microsecond {
+		t.Errorf("max %v, want %v", s.Max, n*time.Microsecond)
+	}
+	// Uniform sampling of 1..n: p50 within a loose band around n/2.
+	if s.P50 < n/4*time.Microsecond || s.P50 > 3*n/4*time.Microsecond {
+		t.Errorf("p50 %v implausible for uniform 1..%dµs", s.P50, n)
+	}
+	if s.P95 <= s.P50 {
+		t.Errorf("p95 %v <= p50 %v", s.P95, s.P50)
+	}
+	// Deterministic: the per-stage PRNG is seeded from the stage name, so
+	// the same sequence snapshots identically.
+	if again := run(); again != s {
+		t.Errorf("same record sequence gave different stats:\n%+v\n%+v", s, again)
+	}
+
+	// The retained sample slice is bounded at reservoirCap.
+	tr := New()
+	for i := 0; i < n; i++ {
+		tr.Record("encode", time.Millisecond)
+	}
+	tr.mu.Lock()
+	kept := len(tr.spans["encode"].res)
+	tr.mu.Unlock()
+	if kept != reservoirCap {
+		t.Errorf("reservoir holds %d samples, want exactly %d", kept, reservoirCap)
+	}
+}
+
 func TestSinkMirrorsRecords(t *testing.T) {
 	tr := New()
 	type rec struct {

@@ -10,11 +10,20 @@
 //	magic(2)=0x5348 version(1) type(1) channel(2) flags(2)
 //	seq(4) timestamp(8, µs) length(4)
 //	[trace ext(24): captureTS(8, unix µs) sendTS(8, unix µs) traceID(8)]
-//	payload CRC32(4, IEEE, header+ext+payload)
+//	[hop ext: count(1) then count × hop(18): kind(1) site(1)
+//	 recvTS(8, unix µs) sendTS(8, unix µs)]
+//	payload CRC32(4, IEEE, header+exts+payload)
 //
 // The trace extension is present only when FlagTrace is set, so frames
 // written by pre-trace senders still decode (and trace-free frames stay
-// byte-identical to the original format).
+// byte-identical to the original format). The hop extension (FlagHops,
+// which requires FlagTrace) appends up to obs.MaxTraceHops per-site hop
+// records after the base extension: each site on the path (sender,
+// relay ingress/egress, service tenant, receiver) stamps when it saw
+// and when it forwarded the frame, so a single frame carries its own
+// latency waterfall. Both extensions are covered by the frame CRC.
+// Frames with FlagTrace but not FlagHops remain bit-identical to the
+// legacy 24-byte format.
 package transport
 
 import (
@@ -24,15 +33,19 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+
+	"semholo/internal/obs"
 )
 
 // Protocol constants.
 const (
-	Magic       uint16 = 0x5348 // "SH"
-	Version     byte   = 1
-	headerLen          = 2 + 1 + 1 + 2 + 2 + 4 + 8 + 4
-	traceExtLen        = 8 + 8 + 8
-	trailerLen         = 4
+	Magic        uint16 = 0x5348 // "SH"
+	Version      byte   = 1
+	headerLen           = 2 + 1 + 1 + 2 + 2 + 4 + 8 + 4
+	traceExtLen         = 8 + 8 + 8
+	hopRecordLen        = 1 + 1 + 8 + 8
+	maxHopExtLen        = 1 + obs.MaxTraceHops*hopRecordLen
+	trailerLen          = 4
 	// MaxPayload bounds a frame payload (16 MiB).
 	MaxPayload = 16 << 20
 )
@@ -85,6 +98,11 @@ const (
 	// extension (capture/send wall-clock stamps + trace ID) between
 	// header and payload. Frames without it decode exactly as before.
 	FlagTrace uint16 = 1 << 3
+	// FlagHops marks frames carrying the variable-length hop extension
+	// (count byte + up to obs.MaxTraceHops 18-byte hop records) after the
+	// base trace extension. Requires FlagTrace; readers and writers
+	// reject the combination FlagHops-without-FlagTrace.
+	FlagHops uint16 = 1 << 4
 )
 
 // Well-known channels. Semantic payload channels start at ChannelData.
@@ -109,11 +127,33 @@ type Frame struct {
 	SendTS    uint64
 	TraceID   uint64
 
+	// Hops is the hop-annotated path record, valid when Flags&FlagHops
+	// != 0: one entry per site that handled the frame, in path order,
+	// bounded at obs.MaxTraceHops. After ReadFrame the slice aliases a
+	// reader-owned array overwritten by the next read; Clone to retain.
+	Hops []obs.Hop
+
 	Payload []byte
 }
 
 // Traced reports whether the frame carries the trace extension.
 func (f Frame) Traced() bool { return f.Flags&FlagTrace != 0 }
+
+// HopTraced reports whether the frame carries the hop extension.
+func (f Frame) HopTraced() bool { return f.Flags&FlagHops != 0 }
+
+// AppendHop appends one hop record to the frame's path, setting the
+// trace flags, and reports whether it fit (the path is bounded at
+// obs.MaxTraceHops; a full path drops further hops rather than failing
+// the frame).
+func (f *Frame) AppendHop(h obs.Hop) bool {
+	if len(f.Hops) >= obs.MaxTraceHops {
+		return false
+	}
+	f.Hops = append(f.Hops, h)
+	f.Flags |= FlagTrace | FlagHops
+	return true
+}
 
 // Errors.
 var (
@@ -163,12 +203,52 @@ func appendTraceExt(b []byte, captureTS, sendTS, traceID uint64) []byte {
 	return b
 }
 
+// appendHops serializes the hop extension: count byte plus one 18-byte
+// record per hop. extra, when non-nil, is appended after hops — the
+// per-egress-leg final hop of a SharedFrame broadcast.
+func appendHops(b []byte, hops []obs.Hop, extra *obs.Hop) []byte {
+	n := len(hops)
+	if extra != nil {
+		n++
+	}
+	b = append(b, byte(n))
+	for i := range hops {
+		b = appendHopRecord(b, &hops[i])
+	}
+	if extra != nil {
+		b = appendHopRecord(b, extra)
+	}
+	return b
+}
+
+func appendHopRecord(b []byte, h *obs.Hop) []byte {
+	b = append(b, byte(h.Kind), h.Site)
+	b = binary.BigEndian.AppendUint64(b, h.RecvMicros)
+	b = binary.BigEndian.AppendUint64(b, h.SendMicros)
+	return b
+}
+
+// checkTraceFlags validates the extension flag combination and hop
+// count shared by the write paths.
+func checkTraceFlags(flags uint16, hops int) error {
+	if flags&FlagHops != 0 && flags&FlagTrace == 0 {
+		return fmt.Errorf("%w: FlagHops without FlagTrace", ErrBadHeader)
+	}
+	if hops > obs.MaxTraceHops {
+		return fmt.Errorf("%w: %d hops exceeds %d", ErrBadHeader, hops, obs.MaxTraceHops)
+	}
+	return nil
+}
+
 // WriteFrame serializes and writes one frame.
 func (fw *FrameWriter) WriteFrame(f *Frame) error {
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f.Payload))
 	}
-	need := headerLen + traceExtLen + len(f.Payload) + trailerLen
+	if err := checkTraceFlags(f.Flags, len(f.Hops)); err != nil {
+		return err
+	}
+	need := headerLen + traceExtLen + maxHopExtLen + len(f.Payload) + trailerLen
 	if cap(fw.buf) < need {
 		fw.buf = make([]byte, 0, need)
 	}
@@ -176,6 +256,9 @@ func (fw *FrameWriter) WriteFrame(f *Frame) error {
 	b = appendHeader(b, f.Type, f.Channel, f.Flags, f.Seq, f.Timestamp, len(f.Payload))
 	if f.Flags&FlagTrace != 0 {
 		b = appendTraceExt(b, f.CaptureTS, f.SendTS, f.TraceID)
+	}
+	if f.Flags&FlagHops != 0 {
+		b = appendHops(b, f.Hops, nil)
 	}
 	b = append(b, f.Payload...)
 	crc := crc32.ChecksumIEEE(b)
@@ -192,6 +275,8 @@ type FrameReader struct {
 	r       io.Reader
 	header  [headerLen]byte
 	ext     [traceExtLen]byte
+	hopBuf  [maxHopExtLen]byte
+	hops    [obs.MaxTraceHops]obs.Hop
 	payload []byte
 	trailer [trailerLen]byte
 }
@@ -224,6 +309,9 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	if n > MaxPayload {
 		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
 	}
+	if err := checkTraceFlags(f.Flags, 0); err != nil {
+		return Frame{}, err
+	}
 	traced := f.Flags&FlagTrace != 0
 	if traced {
 		if _, err := io.ReadFull(fr.r, fr.ext[:]); err != nil {
@@ -232,6 +320,30 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 		f.CaptureTS = binary.BigEndian.Uint64(fr.ext[0:])
 		f.SendTS = binary.BigEndian.Uint64(fr.ext[8:])
 		f.TraceID = binary.BigEndian.Uint64(fr.ext[16:])
+	}
+	hopBytes := 0
+	if f.Flags&FlagHops != 0 {
+		if _, err := io.ReadFull(fr.r, fr.hopBuf[:1]); err != nil {
+			return Frame{}, fmt.Errorf("transport: truncated hop extension: %w", err)
+		}
+		count := int(fr.hopBuf[0])
+		if count > obs.MaxTraceHops {
+			return Frame{}, fmt.Errorf("%w: %d hops exceeds %d", ErrBadHeader, count, obs.MaxTraceHops)
+		}
+		hopBytes = 1 + count*hopRecordLen
+		if _, err := io.ReadFull(fr.r, fr.hopBuf[1:hopBytes]); err != nil {
+			return Frame{}, fmt.Errorf("transport: truncated hop extension: %w", err)
+		}
+		for i := 0; i < count; i++ {
+			rec := fr.hopBuf[1+i*hopRecordLen:]
+			fr.hops[i] = obs.Hop{
+				Kind:       obs.HopKind(rec[0]),
+				Site:       rec[1],
+				RecvMicros: binary.BigEndian.Uint64(rec[2:]),
+				SendMicros: binary.BigEndian.Uint64(rec[10:]),
+			}
+		}
+		f.Hops = fr.hops[:count]
 	}
 	if cap(fr.payload) < int(n) {
 		fr.payload = make([]byte, n)
@@ -247,6 +359,9 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	if traced {
 		crc = crc32.Update(crc, crc32.IEEETable, fr.ext[:])
 	}
+	if hopBytes > 0 {
+		crc = crc32.Update(crc, crc32.IEEETable, fr.hopBuf[:hopBytes])
+	}
 	crc = crc32.Update(crc, crc32.IEEETable, fr.payload)
 	if crc != binary.BigEndian.Uint32(fr.trailer[:]) {
 		return Frame{}, ErrBadCRC
@@ -255,9 +370,12 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	return f, nil
 }
 
-// Clone returns a frame with an owned copy of the payload.
+// Clone returns a frame with owned copies of the payload and hop list.
 func (f Frame) Clone() Frame {
 	c := f
 	c.Payload = append([]byte(nil), f.Payload...)
+	if f.Hops != nil {
+		c.Hops = append([]obs.Hop(nil), f.Hops...)
+	}
 	return c
 }

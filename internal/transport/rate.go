@@ -113,6 +113,7 @@ func (c *RateController) Update(estimate float64) RateLevel {
 	}
 	if c.current != prev {
 		c.switches++
+		obs.Flight.Record(obs.EvTierSwitch, "rate", 0, int64(prev), int64(c.current))
 	}
 	return c.Levels[c.current]
 }

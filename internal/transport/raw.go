@@ -19,6 +19,8 @@ import (
 	"sync"
 
 	"encoding/binary"
+
+	"semholo/internal/obs"
 )
 
 // crcShift is a GF(2) linear operator on CRC32 states: column n holds
@@ -125,6 +127,14 @@ type SharedFrame struct {
 	CaptureTS uint64
 	TraceID   uint64
 
+	// hops is the hop path carried so far (ingress hops included), valid
+	// when Flags carries FlagHops. Like the trace extension it lives in
+	// the per-subscriber header block, so forwarding it — and appending
+	// one per-egress-leg final hop via WriteSharedFrameEgress — keeps the
+	// payload untouched and the cached payload CRC valid. Appends must
+	// happen before the frame is handed to any writer.
+	hops []obs.Hop
+
 	payload    []byte
 	payloadCRC uint32
 }
@@ -134,6 +144,9 @@ type SharedFrame struct {
 func NewSharedFrame(typ FrameType, channel, flags uint16, payload []byte) (*SharedFrame, error) {
 	if len(payload) > MaxPayload {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	if err := checkTraceFlags(flags, 0); err != nil {
+		return nil, err
 	}
 	shiftTablesOnce.Do(initShiftTables)
 	sf := &SharedFrame{Type: typ, Channel: channel, Flags: flags}
@@ -151,6 +164,9 @@ func SharedFromFrame(f Frame) (*SharedFrame, error) {
 		return nil, err
 	}
 	sf.CaptureTS, sf.TraceID = f.CaptureTS, f.TraceID
+	if len(f.Hops) > 0 {
+		sf.hops = append([]obs.Hop(nil), f.Hops...)
+	}
 	return sf, nil
 }
 
@@ -158,14 +174,39 @@ func SharedFromFrame(f Frame) (*SharedFrame, error) {
 // read-only: the bytes are shared by every subscriber.
 func (sf *SharedFrame) Payload() []byte { return sf.payload }
 
-// WireLen is the frame's on-the-wire size.
+// Hops exposes the hop path captured so far. Read-only for callers.
+func (sf *SharedFrame) Hops() []obs.Hop { return sf.hops }
+
+// AppendHop appends one hop record (e.g. the relay-ingress hop) and
+// sets the trace flags. Must be called before the frame is handed to any
+// writer — the hop list is shared by every subscriber. Reports whether
+// the hop fit; room for the per-egress-leg final hop is reserved, so a
+// carried path may hold at most obs.MaxTraceHops-1 records.
+func (sf *SharedFrame) AppendHop(h obs.Hop) bool {
+	if len(sf.hops) >= obs.MaxTraceHops-1 {
+		return false
+	}
+	sf.hops = append(sf.hops, h)
+	sf.Flags |= FlagTrace | FlagHops
+	return true
+}
+
+// WireLen is the frame's on-the-wire size (per-egress-leg hops excluded;
+// see WireLenEgress).
 func (sf *SharedFrame) WireLen() int {
 	n := headerLen + len(sf.payload) + trailerLen
 	if sf.Flags&FlagTrace != 0 {
 		n += traceExtLen
 	}
+	if sf.Flags&FlagHops != 0 {
+		n += 1 + len(sf.hops)*hopRecordLen
+	}
 	return n
 }
+
+// WireLenEgress is the on-the-wire size of a WriteSharedFrameEgress
+// emission (one extra hop record over WireLen).
+func (sf *SharedFrame) WireLenEgress() int { return sf.WireLen() + hopRecordLen }
 
 // WriteSharedFrame emits sf with the given sequence number and sender
 // timestamp (and, for traced frames, send wall clock), byte-identical to
@@ -175,10 +216,30 @@ func (sf *SharedFrame) WireLen() int {
 // writer by reference and its cached CRC is spliced in via the shift
 // tables. Not safe for concurrent use, like WriteFrame.
 func (fw *FrameWriter) WriteSharedFrame(sf *SharedFrame, seq uint32, timestamp, sendTS uint64) error {
+	return fw.writeShared(sf, seq, timestamp, sendTS, nil)
+}
+
+// WriteSharedFrameEgress is WriteSharedFrame for hop-traced broadcast:
+// it appends egress as the frame's final hop record — each egress leg of
+// a fan-out gets its own, so a subscriber sees exactly the path its copy
+// of the frame took. An egress SendMicros of zero is stamped with sendTS
+// (the per-leg write wall clock). The hop lives in the per-subscriber
+// header block, so the cached payload CRC still splices in unchanged.
+func (fw *FrameWriter) WriteSharedFrameEgress(sf *SharedFrame, seq uint32, timestamp, sendTS uint64, egress obs.Hop) error {
+	if egress.SendMicros == 0 {
+		egress.SendMicros = sendTS
+	}
+	return fw.writeShared(sf, seq, timestamp, sendTS, &egress)
+}
+
+func (fw *FrameWriter) writeShared(sf *SharedFrame, seq uint32, timestamp, sendTS uint64, egress *obs.Hop) error {
 	b := fw.buf[:0]
 	b = appendHeader(b, sf.Type, sf.Channel, sf.Flags, seq, timestamp, len(sf.payload))
 	if sf.Flags&FlagTrace != 0 {
 		b = appendTraceExt(b, sf.CaptureTS, sendTS, sf.TraceID)
+	}
+	if sf.Flags&FlagHops != 0 {
+		b = appendHops(b, sf.hops, egress)
 	}
 	crc := crcCombine(crc32.ChecksumIEEE(b), sf.payloadCRC, len(sf.payload))
 	full := binary.BigEndian.AppendUint32(b, crc) // header ∥ trailer, contiguous in fw.buf

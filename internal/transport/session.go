@@ -202,8 +202,15 @@ func (s *Session) sendLocked(f *Frame) error {
 	f.Timestamp = uint64(time.Since(s.t0).Microseconds())
 	if f.Flags&FlagTrace != 0 {
 		// Stamp the wall-clock send time at the last possible moment so
-		// the receiver's network span excludes sender-side queueing.
+		// the receiver's network span excludes sender-side queueing. Hop
+		// records still awaiting their send stamp (SendMicros == 0) get
+		// the same instant — the local site's hand-off time.
 		f.SendTS = obs.NowMicros()
+		for i := range f.Hops {
+			if f.Hops[i].SendMicros == 0 {
+				f.Hops[i].SendMicros = f.SendTS
+			}
+		}
 	}
 	if err := s.fw.WriteFrame(f); err != nil {
 		return s.wrapErr(err)
@@ -218,6 +225,9 @@ func wireLen(f *Frame) int {
 	n := headerLen + len(f.Payload) + trailerLen
 	if f.Flags&FlagTrace != 0 {
 		n += traceExtLen
+	}
+	if f.Flags&FlagHops != 0 {
+		n += 1 + len(f.Hops)*hopRecordLen
 	}
 	return n
 }
@@ -237,6 +247,19 @@ func (s *Session) SendTraced(channel uint16, flags uint16, payload []byte, captu
 	})
 }
 
+// SendTracedHops is SendTraced upgraded to the hop-annotated trace: the
+// frame carries the given hop path (typically one HopSender record whose
+// RecvMicros is the capture stamp). Hop records with SendMicros == 0 are
+// stamped at write time, like the base extension's send stamp. hops is
+// serialized before the call returns and not retained, so callers may
+// reuse a scratch slice across frames.
+func (s *Session) SendTracedHops(channel uint16, flags uint16, payload []byte, captureTS, traceID uint64, hops []obs.Hop) error {
+	return s.send(&Frame{
+		Type: TypeSemantic, Channel: channel, Flags: flags | FlagTrace | FlagHops,
+		CaptureTS: captureTS, TraceID: traceID, Hops: hops, Payload: payload,
+	})
+}
+
 // SendControl transmits a control payload.
 func (s *Session) SendControl(payload []byte) error {
 	return s.send(&Frame{Type: TypeControl, Channel: ChannelControl, Payload: payload})
@@ -251,6 +274,22 @@ func (s *Session) SendControl(payload []byte) error {
 // concurrent use with Send/SendControl (writes serialize on the same
 // lock).
 func (s *Session) SendShared(sf *SharedFrame) error {
+	return s.sendShared(sf, nil)
+}
+
+// SendSharedEgress is SendShared for hop-traced broadcast frames: each
+// emission appends egress as its own final hop record (SendMicros zero
+// means "stamp at write time"), so every fan-out leg records its own
+// queue dwell and write instant without perturbing the shared payload.
+// Falls back to SendShared semantics when sf carries no hop extension.
+func (s *Session) SendSharedEgress(sf *SharedFrame, egress obs.Hop) error {
+	if sf.Flags&FlagHops == 0 {
+		return s.sendShared(sf, nil)
+	}
+	return s.sendShared(sf, &egress)
+}
+
+func (s *Session) sendShared(sf *SharedFrame, egress *obs.Hop) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	seq := s.seq[sf.Channel]
@@ -260,10 +299,18 @@ func (s *Session) SendShared(sf *SharedFrame) error {
 	if sf.Flags&FlagTrace != 0 {
 		sendTS = obs.NowMicros()
 	}
-	if err := s.fw.WriteSharedFrame(sf, seq, ts, sendTS); err != nil {
+	wire := sf.WireLen()
+	var err error
+	if egress != nil {
+		wire = sf.WireLenEgress()
+		err = s.fw.WriteSharedFrameEgress(sf, seq, ts, sendTS, *egress)
+	} else {
+		err = s.fw.WriteSharedFrame(sf, seq, ts, sendTS)
+	}
+	if err != nil {
 		return s.wrapErr(err)
 	}
-	s.stats.bytesSent.Add(int64(sf.WireLen()))
+	s.stats.bytesSent.Add(int64(wire))
 	s.stats.framesSent.Add(1)
 	return nil
 }

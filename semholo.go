@@ -31,6 +31,7 @@ import (
 	"semholo/internal/gaze"
 	"semholo/internal/geom"
 	"semholo/internal/keypoint"
+	"semholo/internal/metrics"
 	"semholo/internal/nerf"
 	"semholo/internal/netsim"
 	"semholo/internal/obs"
@@ -102,6 +103,49 @@ var (
 	NewPipelineMetrics = obs.NewPipelineMetrics
 	// ServeDebug starts the debug/metrics HTTP server.
 	ServeDebug = obs.Serve
+	// RegisterCounters wires any set of counter bundles (ReconCounters,
+	// FieldCounters, …) into a registry in one call — the uniform
+	// Register(reg) hookup every cmd uses.
+	RegisterCounters = metrics.RegisterAll
+)
+
+// Hop-annotated frame tracing and the always-on flight recorder: the
+// per-frame latency-attribution layer. Traced wire frames accumulate one
+// Hop per pipeline site; completed FrameTraces land in a TraceStore for
+// /debug/trace/<id>; every process keeps a FlightRecorder ring of
+// structured events behind /debug/flight.
+type (
+	// Hop is one site's timing record on a traced frame's path.
+	Hop = obs.Hop
+	// HopSpan is one rendered interval of a trace waterfall.
+	HopSpan = obs.HopSpan
+	// FlightRecorder is the fixed-size lock-free event ring.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one recorded flight event.
+	FlightEvent = obs.FlightEvent
+	// TraceStore holds recent completed FrameTraces by trace ID.
+	TraceStore = obs.TraceStore
+	// CounterBundle is the uniform Register(reg) hookup counter bundles
+	// in internal/metrics implement (see RegisterCounters).
+	CounterBundle = metrics.Registerer
+	// ReconCounters aggregates reconstruction/cache telemetry.
+	ReconCounters = metrics.ReconCounters
+	// FieldCounters aggregates SDF field-evaluation telemetry.
+	FieldCounters = metrics.FieldCounters
+)
+
+var (
+	// Flight is the process-wide flight recorder (always on; events from
+	// every pipeline land here unless a component is wired elsewhere).
+	Flight = obs.Flight
+	// Traces is the process-wide completed-trace store.
+	Traces = obs.Traces
+	// RenderWaterfall renders one frame's hop waterfall as ASCII art.
+	RenderWaterfall = obs.RenderWaterfall
+	// NewTraceStore builds a bounded completed-trace store.
+	NewTraceStore = obs.NewTraceStore
+	// NewFlightRecorder builds a flight recorder with the given depth.
+	NewFlightRecorder = obs.NewFlightRecorder
 )
 
 // Staged pipeline runtime (internal/pipeline), re-exported: the
