@@ -117,7 +117,7 @@ field-check:
 ## tracewaterfall attribution experiment.
 trace-check:
 	$(GO) test -race ./internal/obs ./internal/trace
-	$(GO) test -race -run 'TestHop|TestGoldenWireBytes|TestTruncatedHop|TestAppendHop|TestPerHopRecord|TestSessionSendTracedHops|TestSharedFrameAppendHop|TestSendSharedTraced|TestRelayHopStamping|TestTraceWaterfall' ./internal/transport ./internal/core ./internal/experiments
+	$(GO) test -race -run 'TestHop|TestGoldenWireBytes|TestTruncatedHop|TestAppendHop|TestPerHopRecord|TestSessionSendTracedHops|TestSharedFrameAppendHop|TestSharedFromFrameFullPathEgressDrop|TestSendSharedTraced|TestRelayHopStamping|TestTraceWaterfall' ./internal/transport ./internal/core ./internal/experiments
 
 ## bench-trace: the hop-trace attribution + observability-overhead
 ## record — a relayed run over an impaired link (per-frame waterfalls,

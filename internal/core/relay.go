@@ -337,11 +337,16 @@ func (r *Relay) pump(p *relayPeer) {
 			if f.HopTraced() {
 				// Stamp the relay-ingress hop once; every subscriber's copy
 				// shares it. Send time is stamped just below, when the frame
-				// enters the fan-out queues.
-				sf.AppendHop(obs.Hop{
+				// enters the fan-out queues. A full carried path drops the
+				// hop instead of failing the frame; the flight event keeps
+				// the truncated waterfall explainable.
+				if !sf.AppendHop(obs.Hop{
 					Kind: obs.HopRelayIngress, Site: r.site,
 					RecvMicros: recvUS, SendMicros: obs.NowMicros(),
-				})
+				}) {
+					obs.Flight.Record(obs.EvHopDropped, "relay:"+p.name,
+						f.TraceID, int64(obs.HopRelayIngress), int64(len(sf.Hops())))
+				}
 				obs.Flight.Record(obs.EvRelayIngress, "relay:"+p.name, f.TraceID, int64(len(f.Payload)), 0)
 			}
 		case transport.TypeControl:

@@ -41,6 +41,8 @@ const (
 	// Control decisions.
 	EvTierSwitch // rate controller changed level; A = old index, B = new index
 	EvError      // pipeline error; A/B unused
+	// Trace degradation.
+	EvHopDropped // hop path full, a hop record was dropped; A = hop kind, B = carried hops
 )
 
 func (k FlightKind) String() string {
@@ -73,6 +75,8 @@ func (k FlightKind) String() string {
 		return "tier-switch"
 	case EvError:
 		return "error"
+	case EvHopDropped:
+		return "hop-dropped"
 	default:
 		return fmt.Sprintf("invalid(%d)", uint8(k))
 	}

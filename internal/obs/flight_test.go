@@ -235,6 +235,7 @@ func TestFlightKindStrings(t *testing.T) {
 		EvFrameCaptured, EvFrameSent, EvFrameArrived, EvFrameDecoded,
 		EvFrameRendered, EvRelayIngress, EvRelayEgress, EvQueueDrop,
 		EvPoolWait, EvCacheHit, EvCacheMiss, EvStall, EvTierSwitch, EvError,
+		EvHopDropped,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {
@@ -460,6 +461,54 @@ func TestExemplarWindowRestart(t *testing.T) {
 	if v == 9.0 || id == 111 {
 		t.Errorf("early outlier still pinned after window restart: (%.3f, %d)", v, id)
 	}
+}
+
+// TestExemplarPairConsistency: the exemplar value and its trace ID are
+// published as one immutable pair, so a reader racing many writers must
+// never observe a value paired with another observation's ID. Each
+// writer uses a value derivable from its ID; every read checks the
+// invariant.
+func TestExemplarPairConsistency(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("ex_pair_seconds", "t", nil).With()
+	check := func(where string) {
+		v, id := h.Exemplar()
+		if id == 0 && v == 0 {
+			return // before the first observation
+		}
+		if want := float64(id) / 1e6; v != want {
+			t.Errorf("%s: exemplar (%.6f, %d) mismatched — value for that ID is %.6f",
+				where, v, id, want)
+		}
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				check("concurrent read")
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 1; i <= 2000; i++ {
+				id := uint64(g*10_000 + i)
+				h.ObserveExemplar(float64(id)/1e6, id)
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	check("final read")
 }
 
 func TestPipelineE2EExemplar(t *testing.T) {

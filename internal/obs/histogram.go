@@ -31,14 +31,20 @@ type histogramData struct {
 	// Exemplar: the worst observation inside a rolling window of
 	// exemplarWindow exemplar-carrying observations, with the trace ID
 	// that produced it. "Recent worst" rather than all-time max, so one
-	// early outlier doesn't pin the exemplar forever. exVal holds float64
-	// bits; exID is the paired trace ID. The value/ID pair is published
-	// with two independent atomic stores — under heavy contention an
-	// exemplar can briefly pair a value with a neighbor observation's ID,
-	// which is acceptable for a debugging pointer.
-	exN   atomic.Uint64
-	exVal atomic.Uint64
-	exID  atomic.Uint64
+	// early outlier doesn't pin the exemplar forever. The value and its
+	// trace ID are published together as one immutable pair behind a
+	// single atomic pointer, so a reader can never observe a value paired
+	// with another observation's ID, and a CAS straggling from before a
+	// window restart fails (the pointer changed) instead of clobbering
+	// the fresh window's slot.
+	exN atomic.Uint64
+	ex  atomic.Pointer[exemplarPair]
+}
+
+// exemplarPair is one immutable (value, trace ID) exemplar publication.
+type exemplarPair struct {
+	val float64
+	id  uint64
 }
 
 // exemplarWindow restarts the worst-recent race every N exemplar
@@ -47,26 +53,29 @@ const exemplarWindow = 1024
 
 func (h *histogramData) observeExemplar(v float64, traceID uint64) {
 	h.observe(v)
+	pair := &exemplarPair{val: v, id: traceID}
 	if h.exN.Add(1)%exemplarWindow == 1 {
 		// Window restart: take the slot unconditionally.
-		h.exVal.Store(math.Float64bits(v))
-		h.exID.Store(traceID)
+		h.ex.Store(pair)
 		return
 	}
 	for {
-		cur := h.exVal.Load()
-		if v <= math.Float64frombits(cur) {
+		cur := h.ex.Load()
+		if cur != nil && v <= cur.val {
 			return
 		}
-		if h.exVal.CompareAndSwap(cur, math.Float64bits(v)) {
-			h.exID.Store(traceID)
+		if h.ex.CompareAndSwap(cur, pair) {
 			return
 		}
 	}
 }
 
 func (h *histogramData) exemplar() (float64, uint64) {
-	return math.Float64frombits(h.exVal.Load()), h.exID.Load()
+	p := h.ex.Load()
+	if p == nil {
+		return 0, 0
+	}
+	return p.val, p.id
 }
 
 func newHistogramData(bounds []float64) *histogramData {

@@ -337,6 +337,58 @@ func TestSharedFrameAppendHopReservesEgressSlot(t *testing.T) {
 	}
 }
 
+// TestSharedFromFrameFullPathEgressDrop: a relayed frame can arrive
+// already carrying a wire-valid full path (obs.MaxTraceHops hops), which
+// SharedFromFrame keeps verbatim — only AppendHop reserves the egress
+// slot. The per-leg egress hop must then be dropped, mirroring
+// AppendHop's drop-don't-fail policy (regression: the egress write used
+// to emit a 9-hop frame every subscriber rejects as ErrBadHeader,
+// tearing down the whole fan-out on one deep-cascade frame).
+func TestSharedFromFrameFullPathEgressDrop(t *testing.T) {
+	in := Frame{
+		Type: TypeSemantic, Channel: ChannelData, Flags: FlagTrace | FlagHops,
+		CaptureTS: 100, SendTS: 200, TraceID: 0xfeedbeefcafe,
+		Hops:    makeHops(obs.MaxTraceHops),
+		Payload: []byte("deep-cascade"),
+	}
+	sf, err := SharedFromFrame(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	egress := obs.Hop{Kind: obs.HopRelayEgress, Site: 7, RecvMicros: 1}
+	if err := NewFrameWriter(&buf).WriteSharedFrameEgress(sf, 1, 2, 3, egress); err != nil {
+		t.Fatalf("full carried path + egress leg: %v", err)
+	}
+	if got, want := buf.Len(), sf.WireLenEgress(); got != want {
+		t.Errorf("WireLenEgress %d, wrote %d bytes", want, got)
+	}
+	out, err := NewFrameReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatalf("subscriber must decode a full-path egress frame: %v", err)
+	}
+	if len(out.Hops) != obs.MaxTraceHops {
+		t.Fatalf("decoded %d hops, want %d (carried path intact, egress dropped)",
+			len(out.Hops), obs.MaxTraceHops)
+	}
+	for i, h := range out.Hops {
+		if h != in.Hops[i] {
+			t.Errorf("hop %d = %+v, want carried hop %+v", i, h, in.Hops[i])
+		}
+	}
+	// The truncation is observable: a hop-dropped flight event under the
+	// frame's trace ID.
+	dropped := false
+	for _, ev := range obs.Flight.EventsFor(in.TraceID) {
+		if ev.Kind == obs.EvHopDropped {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Error("no EvHopDropped flight event recorded for the dropped egress hop")
+	}
+}
+
 // TestSessionSendTracedHops runs the hop extension through a Session
 // pair: zero SendMicros hops must be stamped at write time and the path
 // delivered intact.

@@ -205,8 +205,15 @@ func (sf *SharedFrame) WireLen() int {
 }
 
 // WireLenEgress is the on-the-wire size of a WriteSharedFrameEgress
-// emission (one extra hop record over WireLen).
-func (sf *SharedFrame) WireLenEgress() int { return sf.WireLen() + hopRecordLen }
+// emission: one extra hop record over WireLen, unless the carried path
+// is already full — then the egress hop is dropped at write time and
+// the sizes coincide.
+func (sf *SharedFrame) WireLenEgress() int {
+	if len(sf.hops) >= obs.MaxTraceHops {
+		return sf.WireLen()
+	}
+	return sf.WireLen() + hopRecordLen
+}
 
 // WriteSharedFrame emits sf with the given sequence number and sender
 // timestamp (and, for traced frames, send wall clock), byte-identical to
@@ -225,6 +232,10 @@ func (fw *FrameWriter) WriteSharedFrame(sf *SharedFrame, seq uint32, timestamp, 
 // of the frame took. An egress SendMicros of zero is stamped with sendTS
 // (the per-leg write wall clock). The hop lives in the per-subscriber
 // header block, so the cached payload CRC still splices in unchanged.
+// If the carried path already holds obs.MaxTraceHops records (possible
+// when SharedFromFrame captured a full-path ingress frame), the egress
+// hop is dropped — never a malformed frame — and an obs.EvHopDropped
+// flight event records the truncation.
 func (fw *FrameWriter) WriteSharedFrameEgress(sf *SharedFrame, seq uint32, timestamp, sendTS uint64, egress obs.Hop) error {
 	if egress.SendMicros == 0 {
 		egress.SendMicros = sendTS
@@ -233,6 +244,16 @@ func (fw *FrameWriter) WriteSharedFrameEgress(sf *SharedFrame, seq uint32, times
 }
 
 func (fw *FrameWriter) writeShared(sf *SharedFrame, seq uint32, timestamp, sendTS uint64, egress *obs.Hop) error {
+	if egress != nil && len(sf.hops) >= obs.MaxTraceHops {
+		// A forwarded frame may arrive already carrying a wire-valid full
+		// path (SharedFromFrame keeps it verbatim; only AppendHop reserves
+		// the egress slot). Mirror AppendHop's drop-don't-fail policy:
+		// forward the carried path unchanged rather than emit a 9-hop frame
+		// no reader accepts.
+		obs.Flight.Record(obs.EvHopDropped, "transport:egress", sf.TraceID,
+			int64(egress.Kind), int64(len(sf.hops)))
+		egress = nil
+	}
 	b := fw.buf[:0]
 	b = appendHeader(b, sf.Type, sf.Channel, sf.Flags, seq, timestamp, len(sf.payload))
 	if sf.Flags&FlagTrace != 0 {
