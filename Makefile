@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay service-check bench-multitenant field-check bench-field trace-check bench-trace
+.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay service-check bench-multitenant field-check bench-field trace-check bench-trace tier-check bench-tiering
 
 ## verify: the full pre-commit gate — formatting, vet, build, tests.
 verify: fmt-check vet build test
@@ -44,6 +44,7 @@ ci: vet build
 	$(MAKE) service-check
 	$(MAKE) field-check
 	$(MAKE) trace-check
+	$(MAKE) tier-check
 
 ## pipeline-check: the staged-runtime gate — race-enabled goroutine-leak
 ## tests (pipeline, relay, session) plus the staged-vs-sequential
@@ -126,6 +127,23 @@ trace-check:
 ## bench CLI. Budget: full tracing stack ≤2% per frame at res 128.
 bench-trace:
 	$(GO) run ./cmd/semholo-bench -exp tracewaterfall -traceout BENCH_trace.json
+
+## tier-check: the adaptive-tiering gate — race-enabled ladder encode
+## suites (rung ordering, per-tier state reuse, ladder-of-one byte
+## identity), the tier wire-extension compat suites, the TierSelector
+## signal/backoff unit tests, the mid-stream switch decode regression
+## (byte-identical to a cold decode at the switch boundary), and the
+## two-leg heterogeneous-link relay convergence test.
+tier-check:
+	$(GO) test -race -run 'TestTier|TestLadder|TestSemanticLadder|TestSharedFrameSet|TestAdaptive|TestMidStream|TestRelayTiers|TestGoldenTierWireBytes|TestBandwidthEstimator|TestTextLadder' ./internal/core ./internal/transport
+
+## bench-tiering: the per-subscriber tiering record — one publisher's
+## three-rung ladder through the relay to a 25 Mbps and a 200 kbps leg,
+## per-leg converged tier / switches / motion-to-photon p50+p95 and
+## per-rung delivered quality, written as BENCH_tiering.json via the
+## bench CLI.
+bench-tiering:
+	$(GO) run ./cmd/semholo-bench -exp tiering -tierout BENCH_tiering.json
 
 ## bench-field: pruned vs unpruned reconstruction microbenchmarks plus
 ## the field-acceleration JSON record (cold/warm/dense arms at several

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|field|pipeline|relay|multitenant|tracewaterfall|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|field|pipeline|relay|multitenant|tiering|tracewaterfall|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
 		resArg    = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
 		frames    = flag.Int("frames", 5, "frames per measurement")
 		full      = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
@@ -44,6 +44,7 @@ func main() {
 		mtOut     = flag.String("mtout", "BENCH_multitenant.json", "output path for the multitenant experiment's JSON record")
 		mtTenants = flag.String("mttenants", "1,8,32,64", "comma-separated tenant counts for the multitenant experiment")
 		mtRes     = flag.Int("mtres", 40, "reconstruction resolution for the multitenant experiment")
+		tierOut   = flag.String("tierout", "BENCH_tiering.json", "output path for the tiering experiment's JSON record")
 		traceOut  = flag.String("traceout", "BENCH_trace.json", "output path for the tracewaterfall experiment's JSON record")
 		traceRes  = flag.Int("traceres", 128, "reconstruction resolution for the tracewaterfall overhead ablation")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and pprof on this address while experiments run")
@@ -86,6 +87,7 @@ func main() {
 		"multitenant": func() {
 			printMultiTenantBench(env, parseSubscribers(*mtTenants), *frames*5, *mtRes, *mtOut)
 		},
+		"tiering":        func() { printTieringBench(env, *frames*24, *tierOut) },
 		"tracewaterfall": func() { printTraceWaterfall(env, *traceRes, *frames*4, *traceOut) },
 		"foveated":       func() { printFoveated(env) },
 		"keypoints":      func() { printKeypointCount(env) },
@@ -99,7 +101,7 @@ func main() {
 		// Fixed, readable order.
 		for _, name := range []string{
 			"table1", "table2", "fig2", "fig3", "fig4", "cache", "field", "pipeline", "relay", "multitenant",
-			"tracewaterfall", "foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
+			"tiering", "tracewaterfall", "foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
 		} {
 			run(name, experimentsByName[name])
 		}
@@ -360,6 +362,24 @@ func printMultiTenantBench(env *experiments.Env, tenants []int, frames, res int,
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "multitenant record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+func printTieringBench(env *experiments.Env, frames int, outPath string) {
+	fmt.Println("Per-subscriber adaptive semantic tiering: one encode, independent per-egress rate selection.")
+	fmt.Println("broadband (25 Mbps) and starved (200 kbps) legs share one relay ingress and converge separately.")
+	r := experiments.TieringBench(env, frames)
+	fmt.Print(r.String())
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tiering record: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", outPath)

@@ -21,8 +21,10 @@ type AdaptiveEncoder struct {
 	mu      sync.Mutex
 	current Encoder
 
-	// OnSwitch is notified when the active pipeline changes (called with
-	// mu held; keep it fast).
+	// OnSwitch is notified when the active pipeline changes. It is
+	// invoked after the switch commits and outside the encoder's lock,
+	// so the callback may call back into the encoder (query Mode, feed
+	// UpdateBandwidth, even Encode) without deadlocking.
 	OnSwitch func(from, to Mode)
 }
 
@@ -61,15 +63,23 @@ func NewAdaptiveEncoder(levels []AdaptiveLevel) (*AdaptiveEncoder, error) {
 func (a *AdaptiveEncoder) UpdateBandwidth(bps float64) Mode {
 	level := a.controller.Update(bps)
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	next := a.byName[level.Name]
+	var from, to Mode
+	var cb func(from, to Mode)
 	if next != a.current {
-		if a.OnSwitch != nil {
-			a.OnSwitch(a.current.Mode(), next.Mode())
-		}
+		// Capture the notification under the lock, deliver it after: a
+		// callback that re-enters the encoder (or blocks) must not hold
+		// up the capture loop's Encode, let alone deadlock on mu.
+		from, to = a.current.Mode(), next.Mode()
+		cb = a.OnSwitch
 		a.current = next
 	}
-	return a.current.Mode()
+	mode := a.current.Mode()
+	a.mu.Unlock()
+	if cb != nil {
+		cb(from, to)
+	}
+	return mode
 }
 
 // Mode implements Encoder (reports the active pipeline).
@@ -102,6 +112,25 @@ type AdaptiveDecoder struct {
 
 // Mode implements Decoder (reports "adaptive").
 func (a *AdaptiveDecoder) Mode() Mode { return "adaptive" }
+
+// ResetState implements StateResetter by resetting every configured
+// sub-decoder that carries cross-frame state — a tier switch may land
+// on any pipeline, so all delta references must go.
+func (a *AdaptiveDecoder) ResetState() {
+	if a.Keypoint != nil {
+		a.Keypoint.ResetState()
+	}
+	if a.Text != nil {
+		a.Text.ResetState()
+	}
+	if a.Image != nil {
+		a.Image.ResetState()
+	}
+	if a.Hybrid != nil {
+		a.Hybrid.ResetState()
+	}
+	// Traditional and Cloud decoders are stateless.
+}
 
 // Decode implements Decoder.
 func (a *AdaptiveDecoder) Decode(channels []transport.Frame) (FrameData, error) {

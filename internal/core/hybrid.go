@@ -144,6 +144,14 @@ func (d *HybridDecoder) SetGazeAnchor(p geom.Vec3) {
 // concurrently with Decode (callers serialize per stream).
 func (d *HybridDecoder) SetWorkers(n int) { d.Workers = n }
 
+// ResetState implements StateResetter: drop warm-start peripheral
+// reconstruction state so the next frame decodes as a cold start.
+func (d *HybridDecoder) ResetState() {
+	if d.rec != nil {
+		d.rec.ResetWarmState()
+	}
+}
+
 // Mode implements Decoder.
 func (d *HybridDecoder) Mode() Mode { return ModeHybrid }
 

@@ -179,6 +179,20 @@ func (d *ImageDecoder) frameFor(idx int, cam geom.Camera) *render.Frame {
 // Mode implements Decoder.
 func (d *ImageDecoder) Mode() Mode { return ModeImage }
 
+// ResetState implements StateResetter: drop the trained field, scene
+// setup, and previous-frame references so the next frame cold-starts
+// (it must carry the image header again). Pure scratch buffers
+// (frameBuf, texScratch) survive — they carry no cross-frame meaning.
+func (d *ImageDecoder) ResetState() {
+	d.header = nil
+	d.net = nil
+	d.trainer = nil
+	d.scene = nerf.Scene{}
+	d.prev = nil
+	d.spare = nil
+	d.started = false
+}
+
 func (d *ImageDecoder) defaults() {
 	if d.ColdStartSteps == 0 {
 		d.ColdStartSteps = 150

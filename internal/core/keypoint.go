@@ -242,3 +242,14 @@ func (d *KeypointDecoder) Decode(channels []transport.Frame) (FrameData, error) 
 func (d *KeypointDecoder) LastTexture() ([]pointcloud.Color, int, int) {
 	return d.lastTexture, d.texW, d.texH
 }
+
+// ResetState implements StateResetter: drop warm-start reconstruction
+// state and texture history so the next frame decodes exactly as a cold
+// start — the receiver-side half of a mid-stream tier switch.
+func (d *KeypointDecoder) ResetState() {
+	if d.rec != nil {
+		d.rec.ResetWarmState()
+	}
+	d.lastTexture = nil
+	d.texW, d.texH = 0, 0
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -57,6 +58,11 @@ type Relay struct {
 
 	queueDepth int
 	site       byte
+	// tierLevels enables per-subscriber semantic tiering when non-nil:
+	// tiered ingress frames are assembled into SharedFrameSets and each
+	// egress leg runs its own TierSelector over these levels.
+	tierLevels  []transport.RateLevel
+	newSelector func(levels []transport.RateLevel) *transport.TierSelector
 
 	mu      sync.Mutex
 	peers   map[string]*relayPeer
@@ -89,6 +95,19 @@ type RelayOptions struct {
 	// (relay shard ID in a cascaded deployment; zero is fine for a single
 	// relay).
 	Site byte
+	// TierLevels, when non-nil, turns on per-subscriber semantic
+	// tiering (one entry per ladder rung, ascending bitrate): tiered
+	// ingress frames are assembled into one SharedFrameSet per media
+	// frame, and every egress leg runs its own TierSelector over these
+	// levels — picking, per subscriber, which rung that leg gets, from
+	// the leg's own queue depth, drop rate, RTT, and delivered
+	// throughput. When nil, tiered frames are forwarded verbatim (the
+	// relay is tier-transparent, every subscriber sees all rungs).
+	TierLevels []transport.RateLevel
+	// NewTierSelector, when non-nil, builds each attaching leg's
+	// selector (tuned dwell/backoff); nil uses
+	// transport.NewTierSelector defaults.
+	NewTierSelector func(levels []transport.RateLevel) *transport.TierSelector
 }
 
 // DefaultRelayQueueDepth is the per-subscriber egress queue bound used
@@ -99,11 +118,27 @@ const DefaultRelayQueueDepth = 16
 // relayed: participant i's channel c arrives as c + i*stride.
 const ParticipantChannelStride uint16 = 1000
 
-// egressItem is one broadcast frame in flight to one subscriber, stamped
+// egressItem is one broadcast unit in flight to one subscriber, stamped
 // at ingress so the egress goroutine can observe fan-out latency.
+// Exactly one of sf (a plain frame) or set (one media frame at every
+// ladder rung) is non-nil; from is the originating peer, the upstream a
+// tier-switch keyframe request goes to.
 type egressItem struct {
-	sf *transport.SharedFrame
-	at time.Time
+	sf   *transport.SharedFrame
+	set  *transport.SharedFrameSet
+	from *relayPeer
+	at   time.Time
+}
+
+// traceID attributes a shed item in flight-recorder events.
+func (it egressItem) traceID() uint64 {
+	if it.sf != nil {
+		return it.sf.TraceID
+	}
+	if it.set != nil {
+		return it.set.TraceID()
+	}
+	return 0
 }
 
 type relayPeer struct {
@@ -115,6 +150,15 @@ type relayPeer struct {
 	// goroutine.
 	out  *queue.Queue[egressItem]
 	sent atomic.Uint64
+	// sel picks this leg's tier from its own measured signals; est
+	// measures the leg's delivered throughput. Both nil when the relay
+	// is not tiering.
+	sel *transport.TierSelector
+	est *transport.BandwidthEstimator
+	// tier is the rung this leg currently serves (-1 before the first
+	// tiered frame); tierSwitches counts applied mid-stream switches.
+	tier         atomic.Int64
+	tierSwitches atomic.Uint64
 	// done closes when the peer's pump goroutine has fully exited;
 	// egressDone when its egress goroutine has. Detach and Close join on
 	// both.
@@ -136,7 +180,11 @@ func NewRelayContext(ctx context.Context) *Relay {
 // NewRelayOpts builds an empty relay with explicit options.
 func NewRelayOpts(ctx context.Context, opt RelayOptions) *Relay {
 	ctx, cancel := context.WithCancel(ctx)
-	r := &Relay{ctx: ctx, cancel: cancel, peers: map[string]*relayPeer{}, queueDepth: opt.QueueDepth, site: opt.Site}
+	r := &Relay{
+		ctx: ctx, cancel: cancel, peers: map[string]*relayPeer{},
+		queueDepth: opt.QueueDepth, site: opt.Site,
+		tierLevels: opt.TierLevels, newSelector: opt.NewTierSelector,
+	}
 	if r.queueDepth <= 0 {
 		r.queueDepth = DefaultRelayQueueDepth
 	}
@@ -159,6 +207,8 @@ type relayMetrics struct {
 	queueDepth       *obs.GaugeVec
 	dropped          *obs.CounterVec
 	delivered        *obs.CounterVec
+	tier             *obs.GaugeVec
+	tierSwitches     *obs.CounterVec
 }
 
 // Instrument registers the relay's fan-out metrics: broadcast (ingress
@@ -181,6 +231,10 @@ func (r *Relay) Instrument(reg *obs.Registry) {
 			"Frames shed by a subscriber's latest-frame-wins egress queue.", "peer"),
 		delivered: reg.Counter("semholo_relay_egress_delivered_frames_total",
 			"Frames written to a subscriber's session.", "peer"),
+		tier: reg.Gauge("semholo_relay_egress_tier",
+			"Ladder rung each subscriber leg currently serves (-1 before the first tiered frame).", "peer"),
+		tierSwitches: reg.Counter("semholo_relay_egress_tier_switches_total",
+			"Mid-stream tier switches applied per subscriber leg.", "peer"),
 	}
 	reg.Counter("semholo_relay_ingress_frames_total",
 		"Routable frames accepted from participants for fan-out.").
@@ -204,6 +258,8 @@ func (m *relayMetrics) registerPeer(p *relayPeer) {
 	m.queueDepth.Func(func() float64 { return float64(p.out.Len()) }, p.name)
 	m.dropped.Func(func() float64 { return float64(p.out.Dropped()) }, p.name)
 	m.delivered.Func(func() float64 { return float64(p.sent.Load()) }, p.name)
+	m.tier.Func(func() float64 { return float64(p.tier.Load()) }, p.name)
+	m.tierSwitches.Func(func() float64 { return float64(p.tierSwitches.Load()) }, p.name)
 }
 
 // Attach registers a session under the participant's name and starts
@@ -226,11 +282,20 @@ func (r *Relay) Attach(name string, sess *transport.Session) (int, error) {
 		out:  queue.NewQueue[egressItem](r.queueDepth, false),
 		done: make(chan struct{}), egressDone: make(chan struct{}),
 	}
+	p.tier.Store(-1)
+	if r.tierLevels != nil {
+		if r.newSelector != nil {
+			p.sel = r.newSelector(r.tierLevels)
+		} else {
+			p.sel = transport.NewTierSelector(r.tierLevels)
+		}
+		p.est = transport.NewBandwidthEstimator()
+	}
 	// Shed frames become flight-recorder events carrying the dropped
 	// frame's trace ID, so a missing frame in a waterfall is attributable
 	// to the exact queue that shed it.
 	p.out.OnDrop = func(ev egressItem) {
-		obs.Flight.Record(obs.EvQueueDrop, "relay:"+p.name, ev.sf.TraceID, int64(r.queueDepth), 0)
+		obs.Flight.Record(obs.EvQueueDrop, "relay:"+p.name, ev.traceID(), int64(r.queueDepth), 0)
 	}
 	r.nextIdx++
 	r.peers[name] = p
@@ -278,6 +343,11 @@ type RelayPeerStats struct {
 	// queue (a slow or stalled consumer sheds its own frames; nobody
 	// else's are delayed).
 	Dropped uint64
+	// Tier is the ladder rung this leg currently serves (-1 before the
+	// first tiered frame or when the relay is not tiering).
+	Tier int
+	// TierSwitches counts mid-stream tier switches applied on this leg.
+	TierSwitches uint64
 }
 
 // PeerStats snapshots per-subscriber delivery counters, sorted by name.
@@ -286,10 +356,12 @@ func (r *Relay) PeerStats() []RelayPeerStats {
 	stats := make([]RelayPeerStats, 0, len(peers))
 	for _, p := range peers {
 		stats = append(stats, RelayPeerStats{
-			Name:      p.name,
-			Queued:    p.out.Len(),
-			Delivered: p.sent.Load(),
-			Dropped:   p.out.Dropped(),
+			Name:         p.name,
+			Queued:       p.out.Len(),
+			Delivered:    p.sent.Load(),
+			Dropped:      p.out.Dropped(),
+			Tier:         int(p.tier.Load()),
+			TierSwitches: p.tierSwitches.Load(),
 		})
 	}
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
@@ -310,6 +382,10 @@ func (r *Relay) pump(p *relayPeer) {
 	defer close(p.done)
 	defer r.detach(p)
 	base := uint16(p.idx) * ParticipantChannelStride
+	// curSet accumulates one tiered media frame (all ladder rungs) when
+	// the relay is tiering. The sender's single transmit goroutine ships
+	// rungs in order, so completion is a per-tier EndOfFrame bitmask.
+	var curSet *transport.SharedFrameSet
 	for {
 		f, err := p.sess.Recv()
 		recvUS := obs.NowMicros()
@@ -349,6 +425,27 @@ func (r *Relay) pump(p *relayPeer) {
 				}
 				obs.Flight.Record(obs.EvRelayIngress, "relay:"+p.name, f.TraceID, int64(len(f.Payload)), 0)
 			}
+			if r.tierLevels != nil && sf.Flags&transport.FlagTier != 0 {
+				// Tiered ingress: assemble the rungs into one set and
+				// broadcast the whole media frame at once — each egress
+				// leg picks its own rung at dequeue time.
+				if curSet == nil || curSet.TierCount() != int(sf.TierCount) {
+					if curSet, err = transport.NewSharedFrameSet(int(sf.TierCount)); err != nil {
+						continue // unreachable: the reader validated 1..MaxTiers
+					}
+				}
+				if err := curSet.Add(sf); err != nil {
+					curSet = nil // mid-set ladder change; resync on the next media frame
+					continue
+				}
+				if !curSet.Complete() {
+					continue
+				}
+				r.ingress.Add(1)
+				r.broadcastSet(p, curSet)
+				curSet = nil
+				continue
+			}
 		case transport.TypeControl:
 			// Wire-compatible with the legacy SendControl forwarding path:
 			// control frames land on the control channel with no flags.
@@ -384,26 +481,55 @@ func (r *Relay) broadcast(from *relayPeer, sf *transport.SharedFrame) {
 	}
 }
 
+// broadcastSet enqueues one complete tiered media frame onto every
+// other subscriber's egress queue. Like broadcast, but the queue unit
+// is the whole ladder: latest-frame-wins shedding drops entire media
+// frames, never a single rung of one.
+func (r *Relay) broadcastSet(from *relayPeer, set *transport.SharedFrameSet) {
+	start := time.Now()
+	for _, p := range *r.snap.Load() {
+		if p == from {
+			continue
+		}
+		_ = p.out.Put(r.ctx, egressItem{set: set, from: from, at: start})
+	}
+	if m := r.m.Load(); m != nil {
+		m.broadcastSeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
 // egress is the per-subscriber delivery loop: it drains the peer's queue
 // and writes frames with the peer's own session sequence numbers.
 func (r *Relay) egress(p *relayPeer) {
 	defer r.wg.Done()
 	defer close(p.egressDone)
+	st := tierEgressState{applied: -1, kfRequested: -1}
 	for {
 		it, err := p.out.Get(r.ctx)
 		if err != nil {
 			return // queue closed and drained, or relay shutting down
 		}
+		if it.set != nil {
+			if r.egressTiered(p, it, &st) != nil {
+				// Broken peer: its own pump observes the session error
+				// and detaches it.
+				return
+			}
+			continue
+		}
 		if it.sf.Flags&transport.FlagHops != 0 {
 			// Per-leg final hop: dequeue time is this leg's recv, the write
 			// instant (stamped inside SendSharedEgress) its send — so each
-			// subscriber's copy records its own egress queue dwell.
+			// subscriber's copy records its own egress queue dwell. The
+			// flight event (whose queue-dwell payload is known at dequeue)
+			// is recorded before the write, so anyone who has received the
+			// frame is guaranteed to find it in the recorder.
 			deq := obs.NowMicros()
+			obs.Flight.Record(obs.EvRelayEgress, "relay:"+p.name, it.sf.TraceID,
+				int64(deq)-it.at.UnixMicro(), 0)
 			err = p.sess.SendSharedEgress(it.sf, obs.Hop{
 				Kind: obs.HopRelayEgress, Site: r.site, RecvMicros: deq,
 			})
-			obs.Flight.Record(obs.EvRelayEgress, "relay:"+p.name, it.sf.TraceID,
-				int64(deq)-it.at.UnixMicro(), 0)
 		} else {
 			err = p.sess.SendShared(it.sf)
 		}
@@ -417,6 +543,141 @@ func (r *Relay) egress(p *relayPeer) {
 			m.egressSeconds.Observe(time.Since(it.at).Seconds())
 		}
 	}
+}
+
+// tierSignalEvery is the coarse cadence (in dequeued media frames) at
+// which an egress leg refreshes its drop-rate window and pings the
+// subscriber for a fresh RTT sample.
+const tierSignalEvery = 16
+
+// tierEgressState is one egress leg's tier-serving state, local to its
+// delivery loop.
+type tierEgressState struct {
+	applied     int // rung currently served (-1 before the first set)
+	kfRequested int // rung we asked the publisher to keyframe (-1 none)
+
+	items         uint64
+	baseDropped   uint64
+	baseDelivered uint64
+	dropRate      float64
+}
+
+// egressTiered delivers one tiered media frame to one subscriber: it
+// samples the leg's congestion signals, lets the leg's TierSelector
+// pick a rung, and writes only that rung's frames. A rung change is
+// applied mid-stream only on a frame set the receiver can cold-start
+// from (every frame a keyframe); otherwise the leg keeps serving its
+// old rung and asks the publisher for a tier keyframe, switching when
+// it arrives. The first frame of an applied switch carries the
+// tier-switch marker so the receiver resets its decoder state on
+// exactly that boundary.
+func (r *Relay) egressTiered(p *relayPeer, it egressItem, st *tierEgressState) error {
+	now := time.Now()
+	st.items++
+	if st.items%tierSignalEvery == 1 {
+		// Refresh the drop-rate window from the queue's shed counter and
+		// keep the RTT sample fresh (the subscriber's Recv loop answers
+		// the ping; a stalled subscriber inflates RTT, which is itself a
+		// congestion signal).
+		dropped, delivered := p.out.Dropped(), p.sent.Load()
+		if dd, ds := dropped-st.baseDropped, delivered-st.baseDelivered; dd+ds > 0 {
+			st.dropRate = float64(dd) / float64(dd+ds)
+		}
+		st.baseDropped, st.baseDelivered = dropped, delivered
+		_ = p.sess.Ping()
+	}
+	target, _ := p.sel.Decide(now, transport.TierSignals{
+		QueueDepth:  p.out.Len(),
+		QueueCap:    r.queueDepth,
+		DropRate:    st.dropRate,
+		RTT:         p.sess.RTT(),
+		EstimateBps: p.est.EstimateAt(now),
+	})
+	frames, actual := it.set.Nearest(target)
+	if frames == nil {
+		return nil // unreachable: only complete sets are broadcast
+	}
+	switching := false
+	if st.applied >= 0 && actual != st.applied {
+		if allKeyframes(frames) {
+			switching = true
+		} else {
+			// The new rung's frames are deltas; a receiver switching onto
+			// them would warm-start from the wrong state. Ask the
+			// publisher for a keyframe at that rung (once per pending
+			// target) and keep serving the old rung until it lands.
+			if st.kfRequested != actual {
+				if requestTierKeyframe(it.from, actual) == nil {
+					st.kfRequested = actual
+				}
+			}
+			if held, heldTier := it.set.Nearest(st.applied); held != nil {
+				frames, actual = held, heldTier
+			}
+			if actual != st.applied {
+				switching = true // the old rung vanished; forced switch
+			}
+		}
+	}
+	deq := obs.NowMicros()
+	// Flight events go in before the writes: their payloads (queue
+	// dwell, rung transition) are fully known at dequeue, and recording
+	// first guarantees anyone who has received the frame finds them in
+	// the recorder.
+	if switching {
+		p.tierSwitches.Add(1)
+		obs.Flight.Record(obs.EvTierSwitch, "relay:"+p.name, it.set.TraceID(),
+			int64(st.applied), int64(actual))
+	}
+	if tid := it.set.TraceID(); tid != 0 {
+		obs.Flight.Record(obs.EvRelayEgress, "relay:"+p.name, tid,
+			int64(deq)-it.at.UnixMicro(), int64(actual))
+	}
+	for i, sf := range frames {
+		o := transport.SharedSendOpts{TierSwitch: switching && i == 0}
+		if sf.Flags&transport.FlagHops != 0 {
+			o.Egress = &obs.Hop{Kind: obs.HopRelayEgress, Site: r.site, RecvMicros: deq}
+		}
+		if err := p.sess.SendSharedLeg(sf, o); err != nil {
+			return err
+		}
+		p.est.Observe(time.Now(), sf.WireLen())
+	}
+	if st.kfRequested == actual {
+		st.kfRequested = -1
+	}
+	st.applied = actual
+	p.tier.Store(int64(actual))
+	p.sent.Add(1)
+	if m := r.m.Load(); m != nil {
+		m.egressSeconds.Observe(time.Since(it.at).Seconds())
+	}
+	return nil
+}
+
+// allKeyframes reports whether every wire frame of a rung is a keyframe
+// — the condition under which a receiver can cold-start from it.
+func allKeyframes(frames []*transport.SharedFrame) bool {
+	for _, sf := range frames {
+		if sf.Flags&transport.FlagKeyframe == 0 {
+			return false
+		}
+	}
+	return len(frames) > 0
+}
+
+// requestTierKeyframe asks the originating participant for a
+// self-contained frame at the given rung (wired to
+// TierLadder.RequestKeyframe through the sender's control plane).
+func requestTierKeyframe(from *relayPeer, tier int) error {
+	if from == nil {
+		return fmt.Errorf("core: tiered frame with no origin peer")
+	}
+	payload, err := json.Marshal(controlMsg{Kind: "keyframe", Tier: tier})
+	if err != nil {
+		return err
+	}
+	return from.sess.SendControl(payload)
 }
 
 // benignSessionError reports errors that mean "the peer or the relay

@@ -17,13 +17,17 @@ import (
 // session: bandwidth reports and gaze updates flowing receiver→sender,
 // mode switches flowing sender→receiver.
 type controlMsg struct {
-	Kind string `json:"kind"` // "bandwidth" | "gaze" | "mode"
+	Kind string `json:"kind"` // "bandwidth" | "gaze" | "mode" | "keyframe"
 	// Bandwidth report (bits/s).
 	Bps float64 `json:"bps,omitempty"`
 	// Gaze anchor in world coordinates.
 	Gaze *[3]float64 `json:"gaze,omitempty"`
 	// Mode switch announcement.
 	Mode Mode `json:"mode,omitempty"`
+	// Tier names the ladder rung a "keyframe" request targets: a relay
+	// preparing one subscriber's tier switch asks the sender for a
+	// self-contained frame at that rung.
+	Tier int `json:"tier,omitempty"`
 }
 
 // Sender drives one direction of a telepresence session: it encodes
@@ -48,6 +52,10 @@ type Sender struct {
 	OnGaze func(geom.Vec3)
 	// OnBandwidth receives remote bandwidth reports (for adaptation).
 	OnBandwidth func(bps float64)
+	// OnKeyframeRequest receives tier-keyframe requests (a relay
+	// preparing a subscriber's tier switch); typically wired to
+	// TierLadder.RequestKeyframe.
+	OnKeyframeRequest func(tier int)
 
 	traceSeq atomic.Uint64
 	// hopScratch is the reused one-hop path Transmit stamps per wire
@@ -143,6 +151,55 @@ func (s *Sender) HandleControl(f transport.Frame) error {
 		if s.OnBandwidth != nil {
 			s.OnBandwidth(msg.Bps)
 		}
+	case "keyframe":
+		if s.OnKeyframeRequest != nil {
+			s.OnKeyframeRequest(msg.Tier)
+		}
+	}
+	return nil
+}
+
+// TransmitLadder ships one media frame at every rung of a tier ladder,
+// tier-stamping each wire frame so a relay can assemble a
+// SharedFrameSet and serve each subscriber its own rung. A one-rung
+// ladder takes the plain Transmit path — no tier extension, wire bytes
+// identical to the untiered sender.
+func (s *Sender) TransmitLadder(lf LadderFrame, capturedAt time.Time) error {
+	if len(lf.Tiers) == 1 {
+		return s.Transmit(lf.Tiers[0], capturedAt)
+	}
+	if len(lf.Tiers) == 0 || len(lf.Tiers) > transport.MaxTiers {
+		return fmt.Errorf("core: ladder frame with %d tiers (want 1..%d)", len(lf.Tiers), transport.MaxTiers)
+	}
+	if s.Tracer != nil {
+		defer s.Tracer.Start("send")()
+	}
+	tierCount := uint8(len(lf.Tiers))
+	if s.Obs != nil {
+		// One trace ID spans the whole media frame — every tier of it —
+		// so the flight recorder and hop traces attribute all rungs to
+		// the same capture instant.
+		captureTS := uint64(capturedAt.UnixMicro())
+		traceID := s.traceSeq.Add(1)
+		bytes := 0
+		for ti, enc := range lf.Tiers {
+			for _, ch := range enc.Channels {
+				s.hopScratch[0] = obs.Hop{Kind: obs.HopSender, Site: s.Site, RecvMicros: captureTS}
+				if err := s.Session.SendTierTracedHops(ch.Channel, ch.Flags, ch.Payload, uint8(ti), tierCount, captureTS, traceID, s.hopScratch[:]); err != nil {
+					return fmt.Errorf("core: send tier %d channel %d: %w", ti, ch.Channel, err)
+				}
+				bytes += len(ch.Payload)
+			}
+		}
+		obs.Flight.Record(obs.EvFrameSent, "sender", traceID, int64(bytes), int64(tierCount))
+		return nil
+	}
+	for ti, enc := range lf.Tiers {
+		for _, ch := range enc.Channels {
+			if err := s.Session.SendTier(ch.Channel, ch.Flags, ch.Payload, uint8(ti), tierCount); err != nil {
+				return fmt.Errorf("core: send tier %d channel %d: %w", ti, ch.Channel, err)
+			}
+		}
 	}
 	return nil
 }
@@ -172,6 +229,10 @@ type Receiver struct {
 	// synchronously and never retain it), so steady-state receive does
 	// not allocate a fresh []Frame per frame.
 	pending []transport.Frame
+	// lastTier tracks the tier of the previously decoded media frame
+	// (-1 before any tiered frame), for tier-switch flight events.
+	lastTier int
+	seenTier bool
 }
 
 // RawFrame is one media frame's wire frames as collected off the
@@ -242,6 +303,7 @@ func (r *Receiver) NextRaw() (RawFrame, error) {
 // dedicated decode goroutine as long as it is the only caller (decoders
 // are stateful).
 func (r *Receiver) DecodeRaw(raw RawFrame) (FrameData, error) {
+	r.observeTierSwitch(raw)
 	var stop func()
 	if r.Tracer != nil {
 		stop = r.Tracer.Start("decode")
@@ -278,6 +340,43 @@ func (r *Receiver) DecodeRaw(raw RawFrame) (FrameData, error) {
 		data.Trace = raw.Trace
 	}
 	return data, nil
+}
+
+// observeTierSwitch handles the receive side of a mid-stream tier
+// switch: when any wire frame carries the tier-switch marker, the
+// decoder's cross-frame state (warm-start bands, texture history,
+// delta references) is dropped on that keyframe boundary — and only
+// there — so the switched stream decodes byte-identically to a cold
+// decode of the new tier, with no warm-start artifacts from the old
+// tier's state.
+func (r *Receiver) observeTierSwitch(raw RawFrame) {
+	switched := false
+	tier := -1
+	for _, f := range raw.Frames {
+		if f.Tiered() {
+			tier = int(f.Tier)
+		}
+		if f.Flags&transport.FlagTierSwitch != 0 {
+			switched = true
+		}
+	}
+	if switched {
+		if rs, ok := r.Decoder.(StateResetter); ok {
+			rs.ResetState()
+		}
+		var traceID uint64
+		if raw.Trace != nil {
+			traceID = raw.Trace.TraceID
+		}
+		from := int64(-1)
+		if r.seenTier {
+			from = int64(r.lastTier)
+		}
+		obs.Flight.Record(obs.EvTierSwitch, "receiver", traceID, from, int64(tier))
+	}
+	if tier >= 0 {
+		r.lastTier, r.seenTier = tier, true
+	}
 }
 
 // NextFrame blocks until one full media frame has arrived and decodes

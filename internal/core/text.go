@@ -37,6 +37,11 @@ type TextEncoder struct {
 // Mode implements Encoder.
 func (e *TextEncoder) Mode() Mode { return ModeText }
 
+// ForceKeyframe implements KeyframeForcer: the next Encode emits a full
+// document rather than a delta, so a receiver that just reset (joined,
+// or switched tiers) can cold-start from it.
+func (e *TextEncoder) ForceKeyframe() { e.havePrev = false }
+
 // Encode implements Encoder.
 func (e *TextEncoder) Encode(c capture.Capture) (EncodedFrame, error) {
 	fuse := e.Fuse
@@ -98,6 +103,14 @@ type TextDecoder struct {
 
 // Mode implements Decoder.
 func (d *TextDecoder) Mode() Mode { return ModeText }
+
+// ResetState implements StateResetter: forget the accumulated document
+// so the next frame must be a keyframe (deltas against a dropped
+// reference are refused, not silently misapplied).
+func (d *TextDecoder) ResetState() {
+	d.doc = textsem.Document{}
+	d.haveDoc = false
+}
 
 // Decode implements Decoder.
 func (d *TextDecoder) Decode(channels []transport.Frame) (FrameData, error) {

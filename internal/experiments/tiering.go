@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"semholo/internal/compress"
+	"semholo/internal/compress/dracogo"
+	"semholo/internal/core"
+	"semholo/internal/gaze"
+	"semholo/internal/geom"
+	"semholo/internal/mesh"
+	"semholo/internal/metrics"
+	"semholo/internal/netsim"
+	"semholo/internal/obs"
+	"semholo/internal/transport"
+)
+
+// TierQualityRow aggregates what one subscriber leg actually received at
+// one ladder rung: how often that rung was served, how big its frames
+// were on the wire, and how close its reconstruction lands to the
+// ground-truth capture (mean chamfer distance, meters — lower is
+// better). The tier-0/tier-2 contrast on the same leg is the semantic
+// ladder's quality-per-bit story.
+type TierQualityRow struct {
+	Tier           int     `json:"tier"`
+	Name           string  `json:"name"`
+	Frames         int     `json:"frames"`
+	MeanWireBytes  float64 `json:"mean_wire_bytes"`
+	MeanChamferM   float64 `json:"mean_chamfer_m"`
+	DeliveredShare float64 `json:"delivered_share"`
+}
+
+// TierLegResult is one subscriber leg of the tiering bench: a shaped
+// downlink, the rung its TierSelector converged to, and the
+// motion-to-photon (capture → decode complete) latency it observed.
+type TierLegResult struct {
+	Name          string  `json:"name"`
+	BandwidthBps  float64 `json:"bandwidth_bps"`
+	DelayMs       float64 `json:"delay_ms"`
+	Delivered     int     `json:"delivered"`
+	DroppedAtHead uint64  `json:"dropped_at_relay"`
+	DeliveredFPS  float64 `json:"delivered_fps"`
+	FinalTier     int     `json:"final_tier"`
+	TierSwitches  uint64  `json:"tier_switches"`
+	MTPp50Ms      float64 `json:"mtp_p50_ms"`
+	MTPp95Ms      float64 `json:"mtp_p95_ms"`
+
+	PerTier []TierQualityRow `json:"per_tier"`
+}
+
+// TieringBenchResult is what BENCH_tiering.json persists.
+type TieringBenchResult struct {
+	Frames         int             `json:"frames"`
+	PaceMs         float64         `json:"pace_ms"`
+	LadderTiers    []string        `json:"ladder_tiers"`
+	LadderBitrates []float64       `json:"ladder_bitrates_bps"`
+	Legs           []TierLegResult `json:"legs"`
+}
+
+// tierLegConfig describes one subscriber's shaped downlink.
+type tierLegConfig struct {
+	name string
+	down netsim.LinkConfig
+}
+
+// tieredSubscriber is one collect-and-decode loop's output.
+type tieredSubscriber struct {
+	delivered int
+	mtpMs     []float64
+	perTier   map[int]*TierQualityRow
+}
+
+// TieringBench drives one publisher's three-rung semantic ladder
+// through a tiering relay to two subscribers on heterogeneous netsim
+// links — the paper's 25 Mbps broadband floor vs a 200 kbps starved
+// leg — and measures what each leg's independent TierSelector converged
+// to, the per-rung delivered quality, and each leg's motion-to-photon
+// latency. The encode happens once; the rate adaptation is entirely
+// per-egress.
+func TieringBench(env *Env, frames int) TieringBenchResult {
+	if frames <= 0 {
+		frames = 120
+	}
+	const paceMs = 25.0
+
+	sel := gaze.FovealSelector{Radius: 8, ViewDistance: 2}
+	anchor := geom.V3(0, 1.5, 0.1)
+	hybrid := &core.HybridEncoder{
+		Keypoint:    env.keypointEncoder(),
+		Selector:    sel,
+		MeshOptions: dracogo.Options{PositionBits: 14},
+	}
+	hybrid.SetGazeAnchor(anchor)
+	ladder, err := core.NewSemanticLadder(env.keypointEncoder(), hybrid, [3]float64{0.3e6, 2e6, 8e6})
+	if err != nil {
+		panic(err)
+	}
+	levels := ladder.Levels()
+
+	out := TieringBenchResult{Frames: frames, PaceMs: paceMs}
+	for _, l := range levels {
+		out.LadderTiers = append(out.LadderTiers, l.Name)
+		out.LadderBitrates = append(out.LadderBitrates, l.Bitrate)
+	}
+
+	relay := core.NewRelayOpts(context.Background(), core.RelayOptions{
+		TierLevels: levels,
+		NewTierSelector: func(levels []transport.RateLevel) *transport.TierSelector {
+			s := transport.NewTierSelector(levels)
+			s.UpDwell = 200 * time.Millisecond
+			return s
+		},
+	})
+	defer func() { _ = relay.Close() }()
+
+	attach := func(name string, down netsim.LinkConfig) *relayClient {
+		a, b, link := netsim.AsymmetricPipe(netsim.LinkConfig{}, down)
+		type hs struct {
+			s   *transport.Session
+			err error
+		}
+		ch := make(chan hs, 1)
+		go func() {
+			s, _, err := transport.Accept(b, transport.Hello{Peer: "relay"})
+			ch <- hs{s, err}
+		}()
+		sess, _, err := transport.Dial(a, transport.Hello{Peer: name})
+		if err != nil {
+			panic(err)
+		}
+		h := <-ch
+		if h.err != nil {
+			panic(h.err)
+		}
+		if _, err := relay.Attach(name, h.s); err != nil {
+			panic(err)
+		}
+		return &relayClient{sess: sess, link: link}
+	}
+
+	// Publisher first: channel block 0 keeps subscriber channels
+	// un-shifted, so plain receivers decode them directly.
+	pub := attach("publisher", netsim.LinkConfig{})
+	defer pub.link.Close()
+	legs := []tierLegConfig{
+		{name: "broadband", down: netsim.LinkConfig{Bandwidth: 25e6, Delay: 20 * time.Millisecond, Seed: env.Seed}},
+		{name: "starved", down: netsim.LinkConfig{Bandwidth: 200e3, Delay: 20 * time.Millisecond, Seed: env.Seed}},
+	}
+	clients := make(map[string]*relayClient, len(legs))
+	for _, lc := range legs {
+		clients[lc.name] = attach(lc.name, lc.down)
+		defer clients[lc.name].link.Close()
+	}
+
+	// Obs makes the sender trace frames: the capture stamp rides the wire,
+	// which is what the per-leg motion-to-photon columns read back.
+	sender := &core.Sender{
+		Session: pub.sess,
+		Obs:     obs.NewPipelineMetrics(obs.NewRegistry()),
+		Site:    1,
+	}
+	sender.OnKeyframeRequest = ladder.RequestKeyframe
+	// Drain the publisher's inbound side: pongs are answered inside
+	// Recv, and relayed tier-keyframe requests land on the control plane.
+	go func() {
+		for {
+			f, err := pub.sess.Recv()
+			if err != nil {
+				return
+			}
+			if f.Type == transport.TypeControl {
+				_ = sender.HandleControl(f)
+			}
+		}
+	}()
+
+	// Ground truth per media frame, keyed by the capture stamp each wire
+	// frame carries. gtMu covers the map and the slice: the publisher
+	// appends while collectors look frames up.
+	var gtMu sync.Mutex
+	captures := make([]tierCapture, frames)
+	byStamp := make(map[uint64]int, frames)
+
+	collect := func(lc tierLegConfig) chan tieredSubscriber {
+		ch := make(chan tieredSubscriber, 1)
+		go func() {
+			kp := &core.KeypointDecoder{Model: env.Model, Codec: compress.LZR(), Resolution: 32, WarmStart: true}
+			hy := &core.HybridDecoder{Model: env.Model, Codec: compress.LZR(), PeripheralResolution: 24, Selector: sel, WarmStart: true}
+			hy.SetGazeAnchor(anchor)
+			rcv := &core.Receiver{
+				Session: clients[lc.name].sess,
+				Decoder: &core.AdaptiveDecoder{Keypoint: kp, Hybrid: hy},
+			}
+			sub := tieredSubscriber{perTier: map[int]*TierQualityRow{}}
+			for {
+				raw, err := rcv.NextRaw()
+				if err != nil {
+					ch <- sub
+					return
+				}
+				wire := 0
+				tier := -1
+				var stamp uint64
+				for _, f := range raw.Frames {
+					wire += len(f.Payload)
+					if f.Tiered() {
+						tier = int(f.Tier)
+					}
+					if f.CaptureTS != 0 {
+						stamp = f.CaptureTS
+					}
+				}
+				data, err := rcv.DecodeRaw(raw)
+				if err != nil {
+					continue // a shed mid-stream boundary; the next keyframe resyncs
+				}
+				sub.delivered++
+				if stamp != 0 {
+					sub.mtpMs = append(sub.mtpMs, float64(obs.NowMicros()-stamp)/1e3)
+				}
+				row := sub.perTier[tier]
+				if row == nil {
+					row = &TierQualityRow{Tier: tier}
+					if tier >= 0 && tier < len(levels) {
+						row.Name = levels[tier].Name
+					}
+					sub.perTier[tier] = row
+				}
+				row.Frames++
+				row.MeanWireBytes += float64(wire)
+				gtMu.Lock()
+				var gt *mesh.Mesh
+				if idx, ok := byStamp[stamp]; ok {
+					gt = captures[idx].mesh
+				}
+				gtMu.Unlock()
+				if gt != nil && data.Mesh != nil {
+					row.MeanChamferM += metrics.CompareMeshes(data.Mesh, gt, 2000, 0.02).Chamfer
+				}
+			}
+		}()
+		return ch
+	}
+	results := make(map[string]chan tieredSubscriber, len(legs))
+	for _, lc := range legs {
+		results[lc.name] = collect(lc)
+	}
+
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		c := env.Seq.FrameAt(i)
+		capturedAt := time.Now()
+		gtMu.Lock()
+		captures[i] = tierCapture{mesh: c.Mesh}
+		byStamp[uint64(capturedAt.UnixMicro())] = i
+		gtMu.Unlock()
+		lf, err := ladder.EncodeAll(c)
+		if err != nil {
+			panic(err)
+		}
+		if err := sender.TransmitLadder(lf, capturedAt); err != nil {
+			panic(err)
+		}
+		time.Sleep(time.Duration(paceMs) * time.Millisecond)
+	}
+	streamWall := time.Since(start)
+	time.Sleep(400 * time.Millisecond) // drain in-flight fan-out
+
+	stats := map[string]core.RelayPeerStats{}
+	for _, s := range relay.PeerStats() {
+		stats[s.Name] = s
+	}
+	_ = relay.Close()
+
+	for _, lc := range legs {
+		sub := <-results[lc.name]
+		leg := TierLegResult{
+			Name:         lc.name,
+			BandwidthBps: lc.down.Bandwidth,
+			DelayMs:      lc.down.Delay.Seconds() * 1e3,
+			Delivered:    sub.delivered,
+			DeliveredFPS: float64(sub.delivered) / streamWall.Seconds(),
+		}
+		if s, ok := stats[lc.name]; ok {
+			leg.FinalTier = s.Tier
+			leg.TierSwitches = s.TierSwitches
+			leg.DroppedAtHead = s.Dropped
+		}
+		sort.Float64s(sub.mtpMs)
+		if len(sub.mtpMs) > 0 {
+			leg.MTPp50Ms = percentile(sub.mtpMs, 0.50)
+			leg.MTPp95Ms = percentile(sub.mtpMs, 0.95)
+		}
+		tiers := make([]int, 0, len(sub.perTier))
+		for t := range sub.perTier {
+			tiers = append(tiers, t)
+		}
+		sort.Ints(tiers)
+		for _, t := range tiers {
+			row := *sub.perTier[t]
+			if row.Frames > 0 {
+				row.MeanWireBytes /= float64(row.Frames)
+				row.MeanChamferM /= float64(row.Frames)
+				row.DeliveredShare = float64(row.Frames) / float64(sub.delivered)
+			}
+			leg.PerTier = append(leg.PerTier, row)
+		}
+		out.Legs = append(out.Legs, leg)
+	}
+	return out
+}
+
+// tierCapture retains the ground-truth mesh for one published frame.
+type tierCapture struct {
+	mesh *mesh.Mesh
+}
+
+// String renders the bench as the EXPERIMENTS.md heterogeneous-link
+// table.
+func (r TieringBenchResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ladder: %v @ %v bps\n", r.LadderTiers, r.LadderBitrates)
+	fmt.Fprintf(&sb, "%-10s %12s %9s %5s %8s %9s %9s\n",
+		"leg", "link", "frames", "tier", "switches", "mtp-p50", "mtp-p95")
+	for _, l := range r.Legs {
+		fmt.Fprintf(&sb, "%-10s %9.1fMbps %9d %5d %8d %7.1fms %7.1fms\n",
+			l.Name, l.BandwidthBps/1e6, l.Delivered, l.FinalTier, l.TierSwitches, l.MTPp50Ms, l.MTPp95Ms)
+		for _, t := range l.PerTier {
+			fmt.Fprintf(&sb, "    tier %d (%s): %d frames (%.0f%%), %.0f B/frame, chamfer %.4f m\n",
+				t.Tier, t.Name, t.Frames, t.DeliveredShare*100, t.MeanWireBytes, t.MeanChamferM)
+		}
+	}
+	return sb.String()
+}

@@ -154,12 +154,51 @@ func AsymmetricPipe(aToB, bToA LinkConfig) (a, b net.Conn, link *Link) {
 // pump moves bytes src→dst applying serialization pacing, propagation
 // delay, and jitter. Bandwidth is re-read from bw per chunk so it can
 // change mid-session. It exits when either side closes.
+//
+// Propagation delay is pipelined, as on a real path: the writer is
+// paced by serialization (bandwidth) only, while each chunk is handed
+// to a FIFO delivery goroutine that holds it for Delay before writing
+// it out. A high-delay link therefore still sustains its full
+// bandwidth with multiple chunks in flight, instead of degrading to
+// stop-and-wait throughput of MTU/(MTU/bw + Delay). The in-flight
+// buffer is bounded, so a receiver that stops draining still
+// backpressures the writer.
 func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats, done <-chan struct{}) {
 	mtu := cfg.MTU
 	if mtu <= 0 {
 		mtu = 16 * 1024
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	type chunk struct {
+		data []byte
+		at   time.Time
+	}
+	inflight := make(chan chunk, 64)
+	go func() {
+		defer dst.Close()
+		dead := false
+		for c := range inflight {
+			if dead {
+				continue // far side gone: drain so the read loop never blocks
+			}
+			if d := time.Until(c.at); d > 0 {
+				time.Sleep(d)
+			}
+			// Count before the (synchronous) pipe write so observers
+			// that already received the bytes see them counted.
+			stats.bytes.Add(int64(len(c.data)))
+			stats.packets.Add(1)
+			if _, werr := dst.Write(c.data); werr != nil {
+				// The far side is gone: close our side too, so an
+				// application writer blocked on this pipe unblocks with an
+				// error instead of hanging forever.
+				_ = src.Close()
+				dead = true
+			}
+		}
+	}()
+
 	buf := make([]byte, mtu)
 	// txFree is when the link finishes serializing the previous chunk.
 	txFree := time.Now()
@@ -173,6 +212,7 @@ func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats, don
 				case <-done:
 					_ = src.Close()
 					_ = dst.Close()
+					close(inflight)
 					return
 				case <-time.After(time.Millisecond):
 				}
@@ -191,7 +231,9 @@ func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats, don
 			}
 			if cfg.Loss > 0 && rng.Float64() < cfg.Loss {
 				// Lost on first transmission: the reliable stream recovers
-				// it one retransmission delay later.
+				// it one retransmission delay later. FIFO delivery keeps
+				// later chunks behind it — in-order head-of-line blocking,
+				// as a reliable byte stream behaves.
 				rto := cfg.RetransmitDelay
 				if rto <= 0 {
 					rto = 2*cfg.Delay + 10*time.Millisecond
@@ -200,24 +242,18 @@ func pump(src, dst net.Conn, cfg LinkConfig, bw *atomic.Int64, stats *Stats, don
 				stats.drops.Add(1)
 				stats.droppedBytes.Add(int64(n))
 			}
-			if d := time.Until(deliverAt); d > 0 {
+			// Pace the writer on serialization only: the next chunk is
+			// read once this one has fully left the sender, not once it
+			// has crossed the wire.
+			if d := time.Until(txFree); d > 0 {
 				time.Sleep(d)
 			}
-			// Count before the (synchronous) pipe write so observers
-			// that already received the bytes see them counted.
-			stats.bytes.Add(int64(n))
-			stats.packets.Add(1)
-			if _, werr := dst.Write(buf[:n]); werr != nil {
-				// The far side is gone: close our side too, so an
-				// application writer blocked on this pipe unblocks with an
-				// error instead of hanging forever.
-				_ = src.Close()
-				return
-			}
+			inflight <- chunk{data: append([]byte(nil), buf[:n]...), at: deliverAt}
 		}
 		if err != nil {
-			// Propagate EOF/close to the other side.
-			_ = dst.Close()
+			// Propagate EOF/close to the other side once everything
+			// in flight has drained.
+			close(inflight)
 			return
 		}
 	}

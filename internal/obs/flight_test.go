@@ -544,7 +544,9 @@ func TestHandlerFlightAndTraceEndpoints(t *testing.T) {
 	// The handler serves the process-global Flight and Traces; seed them
 	// and restore afterwards so other tests see a clean slate.
 	defer Flight.Reset()
+	defer Traces.Reset()
 	Flight.Reset()
+	Traces.Reset()
 	tr := hoppedTrace(1_700_000_000_000_000)
 	Flight.Record(EvFrameDecoded, "recv", tr.TraceID, 800, 0)
 	Traces.Put(tr)

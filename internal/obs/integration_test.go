@@ -259,7 +259,9 @@ func TestRelayScrape(t *testing.T) {
 	dial := func(name string) *semholo.Session {
 		a, b, link := semholo.EmulatedLink(semholo.LinkConfig{})
 		t.Cleanup(func() { link.Close() })
+		attached := make(chan struct{})
 		go func() {
+			defer close(attached)
 			s, _, err := semholo.Serve(b, semholo.Hello{Peer: "relay"})
 			if err == nil {
 				_, err = relay.Attach(name, s)
@@ -272,6 +274,9 @@ func TestRelayScrape(t *testing.T) {
 		if err != nil {
 			t.Fatalf("connect %s: %v", name, err)
 		}
+		// Frames sent before the relay registers a peer never reach it;
+		// wait for the attach so every subscriber sees the whole stream.
+		<-attached
 		return sess
 	}
 	pub := dial("pub")

@@ -85,6 +85,18 @@ func (s *TraceStore) IDs() []uint64 {
 	return append([]uint64(nil), s.order...)
 }
 
+// Reset discards every stored trace. Mainly for tests that seed the
+// process-wide store and need a clean slate afterwards.
+func (s *TraceStore) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.byID)
+	s.order = s.order[:0]
+}
+
 // Len returns the number of stored traces.
 func (s *TraceStore) Len() int {
 	if s == nil {

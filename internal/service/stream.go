@@ -12,6 +12,7 @@ import (
 
 	"semholo/internal/core"
 	"semholo/internal/obs"
+	"semholo/internal/transport"
 )
 
 // StreamCtx is one tenant's per-stream state inside a DecodeService: a
@@ -89,6 +90,16 @@ func (st *StreamCtx) Decode(ctx context.Context, raw core.RawFrame) (core.FrameD
 		time.Since(waitStart).Microseconds(), int64(grant))
 
 	st.decodeMu.Lock()
+	if tierSwitched(raw) {
+		// Mid-stream tier switch: drop the decoder's cross-frame state
+		// (warm-start bands, texture history, delta references) on
+		// exactly this keyframe boundary, so the switched stream decodes
+		// byte-identically to a cold decode of the new tier.
+		if rs, ok := st.dec.(core.StateResetter); ok {
+			rs.ResetState()
+		}
+		obs.Flight.Record(obs.EvTierSwitch, "service:"+st.id, traceID, -1, tierOf(raw))
+	}
 	if ws, ok := st.dec.(workerSetter); ok {
 		ws.SetWorkers(grant)
 	}
@@ -120,6 +131,27 @@ func (st *StreamCtx) Decode(ctx context.Context, raw core.RawFrame) (core.FrameD
 		svc.frames.With(st.id).Inc()
 	}
 	return data, nil
+}
+
+// tierSwitched reports whether any wire frame of the media frame
+// carries the tier-switch marker.
+func tierSwitched(raw core.RawFrame) bool {
+	for _, f := range raw.Frames {
+		if f.Flags&transport.FlagTierSwitch != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// tierOf returns the media frame's tier (-1 when untiered).
+func tierOf(raw core.RawFrame) int64 {
+	for _, f := range raw.Frames {
+		if f.Tiered() {
+			return int64(f.Tier)
+		}
+	}
+	return -1
 }
 
 // Serve drives one receiver's whole stream through the service: collect

@@ -12,6 +12,7 @@
 //	[trace ext(24): captureTS(8, unix µs) sendTS(8, unix µs) traceID(8)]
 //	[hop ext: count(1) then count × hop(18): kind(1) site(1)
 //	 recvTS(8, unix µs) sendTS(8, unix µs)]
+//	[tier ext(2): tier(1) tierCount(1)]
 //	payload CRC32(4, IEEE, header+exts+payload)
 //
 // The trace extension is present only when FlagTrace is set, so frames
@@ -21,9 +22,13 @@
 // records after the base extension: each site on the path (sender,
 // relay ingress/egress, service tenant, receiver) stamps when it saw
 // and when it forwarded the frame, so a single frame carries its own
-// latency waterfall. Both extensions are covered by the frame CRC.
-// Frames with FlagTrace but not FlagHops remain bit-identical to the
-// legacy 24-byte format.
+// latency waterfall. The tier extension (FlagTier) identifies which
+// rung of a semantic tier ladder the frame encodes and how many rungs
+// the ladder has, so a relay can hold every tier of a media frame and
+// each egress leg can pick its own. All extensions are covered by the
+// frame CRC. Frames without the corresponding flag carry no extension
+// bytes, so pre-tier (and pre-trace) frames remain bit-identical to the
+// legacy format.
 package transport
 
 import (
@@ -45,9 +50,14 @@ const (
 	traceExtLen         = 8 + 8 + 8
 	hopRecordLen        = 1 + 1 + 8 + 8
 	maxHopExtLen        = 1 + obs.MaxTraceHops*hopRecordLen
+	tierExtLen          = 1 + 1
 	trailerLen          = 4
 	// MaxPayload bounds a frame payload (16 MiB).
 	MaxPayload = 16 << 20
+	// MaxTiers bounds a tier ladder's rung count: the one-byte wire field
+	// allows 255, but bounding it lets relays track per-tier completion in
+	// a single machine word and rejects corrupt headers early.
+	MaxTiers = 8
 )
 
 // FrameType discriminates protocol frames.
@@ -103,6 +113,19 @@ const (
 	// base trace extension. Requires FlagTrace; readers and writers
 	// reject the combination FlagHops-without-FlagTrace.
 	FlagHops uint16 = 1 << 4
+	// FlagTier marks frames carrying the 2-byte tier extension (tier
+	// index + ladder size) after the hop extension: one rung of a
+	// semantic tier ladder. Frames without it are single-encoding and
+	// stay byte-identical to the pre-tier wire format.
+	FlagTier uint16 = 1 << 5
+	// FlagTierSwitch marks the first frame a given egress leg emits after
+	// changing tier, telling the receiver to reset decoder warm state
+	// (SparseState, texture arenas, delta documents) before decoding so
+	// it never warm-starts from another tier's state. It costs no wire
+	// bytes (the flags field already exists) and is stamped per leg.
+	// Requires FlagTier; readers and writers reject it on untiered
+	// frames.
+	FlagTierSwitch uint16 = 1 << 6
 )
 
 // Well-known channels. Semantic payload channels start at ChannelData.
@@ -133,6 +156,12 @@ type Frame struct {
 	// reader-owned array overwritten by the next read; Clone to retain.
 	Hops []obs.Hop
 
+	// Tier extension, valid when Flags&FlagTier != 0: which rung of the
+	// sender's semantic tier ladder this frame encodes (0 = cheapest) and
+	// how many rungs the ladder has (1..MaxTiers).
+	Tier      uint8
+	TierCount uint8
+
 	Payload []byte
 }
 
@@ -141,6 +170,9 @@ func (f Frame) Traced() bool { return f.Flags&FlagTrace != 0 }
 
 // HopTraced reports whether the frame carries the hop extension.
 func (f Frame) HopTraced() bool { return f.Flags&FlagHops != 0 }
+
+// Tiered reports whether the frame carries the tier extension.
+func (f Frame) Tiered() bool { return f.Flags&FlagTier != 0 }
 
 // AppendHop appends one hop record to the frame's path, setting the
 // trace flags, and reports whether it fit (the path is bounded at
@@ -228,14 +260,34 @@ func appendHopRecord(b []byte, h *obs.Hop) []byte {
 	return b
 }
 
+// appendTierExt serializes the 2-byte tier extension.
+func appendTierExt(b []byte, tier, tierCount uint8) []byte {
+	return append(b, tier, tierCount)
+}
+
 // checkTraceFlags validates the extension flag combination and hop
 // count shared by the write paths.
 func checkTraceFlags(flags uint16, hops int) error {
 	if flags&FlagHops != 0 && flags&FlagTrace == 0 {
 		return fmt.Errorf("%w: FlagHops without FlagTrace", ErrBadHeader)
 	}
+	if flags&FlagTierSwitch != 0 && flags&FlagTier == 0 {
+		return fmt.Errorf("%w: FlagTierSwitch without FlagTier", ErrBadHeader)
+	}
 	if hops > obs.MaxTraceHops {
 		return fmt.Errorf("%w: %d hops exceeds %d", ErrBadHeader, hops, obs.MaxTraceHops)
+	}
+	return nil
+}
+
+// checkTierExt validates the tier extension's field ranges, shared by
+// the write paths and the reader.
+func checkTierExt(tier, tierCount uint8) error {
+	if tierCount == 0 || tierCount > MaxTiers {
+		return fmt.Errorf("%w: tier count %d outside 1..%d", ErrBadHeader, tierCount, MaxTiers)
+	}
+	if tier >= tierCount {
+		return fmt.Errorf("%w: tier %d outside ladder of %d", ErrBadHeader, tier, tierCount)
 	}
 	return nil
 }
@@ -248,7 +300,12 @@ func (fw *FrameWriter) WriteFrame(f *Frame) error {
 	if err := checkTraceFlags(f.Flags, len(f.Hops)); err != nil {
 		return err
 	}
-	need := headerLen + traceExtLen + maxHopExtLen + len(f.Payload) + trailerLen
+	if f.Flags&FlagTier != 0 {
+		if err := checkTierExt(f.Tier, f.TierCount); err != nil {
+			return err
+		}
+	}
+	need := headerLen + traceExtLen + maxHopExtLen + tierExtLen + len(f.Payload) + trailerLen
 	if cap(fw.buf) < need {
 		fw.buf = make([]byte, 0, need)
 	}
@@ -259,6 +316,9 @@ func (fw *FrameWriter) WriteFrame(f *Frame) error {
 	}
 	if f.Flags&FlagHops != 0 {
 		b = appendHops(b, f.Hops, nil)
+	}
+	if f.Flags&FlagTier != 0 {
+		b = appendTierExt(b, f.Tier, f.TierCount)
 	}
 	b = append(b, f.Payload...)
 	crc := crc32.ChecksumIEEE(b)
@@ -277,6 +337,7 @@ type FrameReader struct {
 	ext     [traceExtLen]byte
 	hopBuf  [maxHopExtLen]byte
 	hops    [obs.MaxTraceHops]obs.Hop
+	tierBuf [tierExtLen]byte
 	payload []byte
 	trailer [trailerLen]byte
 }
@@ -345,6 +406,16 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 		}
 		f.Hops = fr.hops[:count]
 	}
+	tiered := f.Flags&FlagTier != 0
+	if tiered {
+		if _, err := io.ReadFull(fr.r, fr.tierBuf[:]); err != nil {
+			return Frame{}, fmt.Errorf("transport: truncated tier extension: %w", err)
+		}
+		f.Tier, f.TierCount = fr.tierBuf[0], fr.tierBuf[1]
+		if err := checkTierExt(f.Tier, f.TierCount); err != nil {
+			return Frame{}, err
+		}
+	}
 	if cap(fr.payload) < int(n) {
 		fr.payload = make([]byte, n)
 	}
@@ -361,6 +432,9 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	}
 	if hopBytes > 0 {
 		crc = crc32.Update(crc, crc32.IEEETable, fr.hopBuf[:hopBytes])
+	}
+	if tiered {
+		crc = crc32.Update(crc, crc32.IEEETable, fr.tierBuf[:])
 	}
 	crc = crc32.Update(crc, crc32.IEEETable, fr.payload)
 	if crc != binary.BigEndian.Uint32(fr.trailer[:]) {

@@ -127,6 +127,14 @@ type SharedFrame struct {
 	CaptureTS uint64
 	TraceID   uint64
 
+	// Tier and TierCount are forwarded verbatim when Flags carries
+	// FlagTier: which rung of the sender's tier ladder this frame encodes
+	// and the ladder size. Like the other extensions the 2-byte tier
+	// block lives in the per-subscriber header, so a relay forwarding one
+	// rung of a SharedFrameSet pays no payload work.
+	Tier      uint8
+	TierCount uint8
+
 	// hops is the hop path carried so far (ingress hops included), valid
 	// when Flags carries FlagHops. Like the trace extension it lives in
 	// the per-subscriber header block, so forwarding it — and appending
@@ -164,6 +172,7 @@ func SharedFromFrame(f Frame) (*SharedFrame, error) {
 		return nil, err
 	}
 	sf.CaptureTS, sf.TraceID = f.CaptureTS, f.TraceID
+	sf.Tier, sf.TierCount = f.Tier, f.TierCount
 	if len(f.Hops) > 0 {
 		sf.hops = append([]obs.Hop(nil), f.Hops...)
 	}
@@ -201,6 +210,9 @@ func (sf *SharedFrame) WireLen() int {
 	if sf.Flags&FlagHops != 0 {
 		n += 1 + len(sf.hops)*hopRecordLen
 	}
+	if sf.Flags&FlagTier != 0 {
+		n += tierExtLen
+	}
 	return n
 }
 
@@ -223,7 +235,7 @@ func (sf *SharedFrame) WireLenEgress() int {
 // writer by reference and its cached CRC is spliced in via the shift
 // tables. Not safe for concurrent use, like WriteFrame.
 func (fw *FrameWriter) WriteSharedFrame(sf *SharedFrame, seq uint32, timestamp, sendTS uint64) error {
-	return fw.writeShared(sf, seq, timestamp, sendTS, nil)
+	return fw.writeShared(sf, seq, timestamp, sendTS, nil, 0)
 }
 
 // WriteSharedFrameEgress is WriteSharedFrame for hop-traced broadcast:
@@ -240,10 +252,29 @@ func (fw *FrameWriter) WriteSharedFrameEgress(sf *SharedFrame, seq uint32, times
 	if egress.SendMicros == 0 {
 		egress.SendMicros = sendTS
 	}
-	return fw.writeShared(sf, seq, timestamp, sendTS, &egress)
+	return fw.writeShared(sf, seq, timestamp, sendTS, &egress, 0)
 }
 
-func (fw *FrameWriter) writeShared(sf *SharedFrame, seq uint32, timestamp, sendTS uint64, egress *obs.Hop) error {
+// WriteSharedFrameLeg is the general per-leg emission: egress, when
+// non-nil, is appended as this leg's final hop record (like
+// WriteSharedFrameEgress), and orFlags is OR'd into the emitted header's
+// flags field. orFlags may only carry flag bits that gate no extension
+// bytes — today that is FlagTierSwitch, the per-leg tier-change marker a
+// relay stamps on the first frame after switching a subscriber's tier.
+// The shared payload and its cached CRC are untouched either way.
+func (fw *FrameWriter) WriteSharedFrameLeg(sf *SharedFrame, seq uint32, timestamp, sendTS uint64, egress *obs.Hop, orFlags uint16) error {
+	if orFlags&^FlagTierSwitch != 0 {
+		return fmt.Errorf("%w: per-leg flags %#x gate extension bytes", ErrBadHeader, orFlags)
+	}
+	if egress != nil && egress.SendMicros == 0 {
+		e := *egress
+		e.SendMicros = sendTS
+		egress = &e
+	}
+	return fw.writeShared(sf, seq, timestamp, sendTS, egress, orFlags)
+}
+
+func (fw *FrameWriter) writeShared(sf *SharedFrame, seq uint32, timestamp, sendTS uint64, egress *obs.Hop, orFlags uint16) error {
 	if egress != nil && len(sf.hops) >= obs.MaxTraceHops {
 		// A forwarded frame may arrive already carrying a wire-valid full
 		// path (SharedFromFrame keeps it verbatim; only AppendHop reserves
@@ -254,13 +285,25 @@ func (fw *FrameWriter) writeShared(sf *SharedFrame, seq uint32, timestamp, sendT
 			int64(egress.Kind), int64(len(sf.hops)))
 		egress = nil
 	}
+	flags := sf.Flags | orFlags
+	if flags&FlagTierSwitch != 0 && flags&FlagTier == 0 {
+		// A switch marker on an untiered frame would be rejected by every
+		// reader; emitting it is a caller bug.
+		return fmt.Errorf("%w: FlagTierSwitch without FlagTier", ErrBadHeader)
+	}
 	b := fw.buf[:0]
-	b = appendHeader(b, sf.Type, sf.Channel, sf.Flags, seq, timestamp, len(sf.payload))
+	b = appendHeader(b, sf.Type, sf.Channel, flags, seq, timestamp, len(sf.payload))
 	if sf.Flags&FlagTrace != 0 {
 		b = appendTraceExt(b, sf.CaptureTS, sendTS, sf.TraceID)
 	}
 	if sf.Flags&FlagHops != 0 {
 		b = appendHops(b, sf.hops, egress)
+	}
+	if sf.Flags&FlagTier != 0 {
+		if err := checkTierExt(sf.Tier, sf.TierCount); err != nil {
+			return err
+		}
+		b = appendTierExt(b, sf.Tier, sf.TierCount)
 	}
 	crc := crcCombine(crc32.ChecksumIEEE(b), sf.payloadCRC, len(sf.payload))
 	full := binary.BigEndian.AppendUint32(b, crc) // header ∥ trailer, contiguous in fw.buf

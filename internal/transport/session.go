@@ -229,6 +229,9 @@ func wireLen(f *Frame) int {
 	if f.Flags&FlagHops != 0 {
 		n += 1 + len(f.Hops)*hopRecordLen
 	}
+	if f.Flags&FlagTier != 0 {
+		n += tierExtLen
+	}
 	return n
 }
 
@@ -260,6 +263,28 @@ func (s *Session) SendTracedHops(channel uint16, flags uint16, payload []byte, c
 	})
 }
 
+// SendTier transmits one rung of a semantic tier ladder: a semantic
+// payload stamped with the tier extension (tier index + ladder size) so
+// relays can assemble the full ladder per media frame and pick a tier
+// per egress leg.
+func (s *Session) SendTier(channel uint16, flags uint16, payload []byte, tier, tierCount uint8) error {
+	return s.send(&Frame{
+		Type: TypeSemantic, Channel: channel, Flags: flags | FlagTier,
+		Tier: tier, TierCount: tierCount, Payload: payload,
+	})
+}
+
+// SendTierTracedHops is SendTier with the hop-annotated trace extension
+// of SendTracedHops: the frame carries capture stamp, trace ID, and hop
+// path alongside its tier identity.
+func (s *Session) SendTierTracedHops(channel uint16, flags uint16, payload []byte, tier, tierCount uint8, captureTS, traceID uint64, hops []obs.Hop) error {
+	return s.send(&Frame{
+		Type: TypeSemantic, Channel: channel, Flags: flags | FlagTier | FlagTrace | FlagHops,
+		Tier: tier, TierCount: tierCount,
+		CaptureTS: captureTS, TraceID: traceID, Hops: hops, Payload: payload,
+	})
+}
+
 // SendControl transmits a control payload.
 func (s *Session) SendControl(payload []byte) error {
 	return s.send(&Frame{Type: TypeControl, Channel: ChannelControl, Payload: payload})
@@ -274,7 +299,7 @@ func (s *Session) SendControl(payload []byte) error {
 // concurrent use with Send/SendControl (writes serialize on the same
 // lock).
 func (s *Session) SendShared(sf *SharedFrame) error {
-	return s.sendShared(sf, nil)
+	return s.sendShared(sf, nil, 0)
 }
 
 // SendSharedEgress is SendShared for hop-traced broadcast frames: each
@@ -284,12 +309,40 @@ func (s *Session) SendShared(sf *SharedFrame) error {
 // Falls back to SendShared semantics when sf carries no hop extension.
 func (s *Session) SendSharedEgress(sf *SharedFrame, egress obs.Hop) error {
 	if sf.Flags&FlagHops == 0 {
-		return s.sendShared(sf, nil)
+		return s.sendShared(sf, nil, 0)
 	}
-	return s.sendShared(sf, &egress)
+	return s.sendShared(sf, &egress, 0)
 }
 
-func (s *Session) sendShared(sf *SharedFrame, egress *obs.Hop) error {
+// SharedSendOpts tunes one per-leg SharedFrame emission.
+type SharedSendOpts struct {
+	// Egress, when non-nil and the frame is hop-traced, is appended as
+	// this leg's final hop record (SendMicros zero = stamp at write
+	// time). Ignored on frames without the hop extension.
+	Egress *obs.Hop
+	// TierSwitch stamps FlagTierSwitch on this emission: the first frame
+	// this leg sends after changing tier, telling the receiver to reset
+	// decoder warm state before decoding. Only valid on tiered frames.
+	TierSwitch bool
+}
+
+// SendSharedLeg is SendShared/SendSharedEgress generalized to per-leg
+// options: each egress leg of a fan-out can carry its own final hop
+// record and its own tier-switch marker without perturbing the shared
+// payload or its cached CRC.
+func (s *Session) SendSharedLeg(sf *SharedFrame, o SharedSendOpts) error {
+	egress := o.Egress
+	if sf.Flags&FlagHops == 0 {
+		egress = nil
+	}
+	var orFlags uint16
+	if o.TierSwitch {
+		orFlags = FlagTierSwitch
+	}
+	return s.sendShared(sf, egress, orFlags)
+}
+
+func (s *Session) sendShared(sf *SharedFrame, egress *obs.Hop, orFlags uint16) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	seq := s.seq[sf.Channel]
@@ -301,10 +354,16 @@ func (s *Session) sendShared(sf *SharedFrame, egress *obs.Hop) error {
 	}
 	wire := sf.WireLen()
 	var err error
-	if egress != nil {
+	switch {
+	case orFlags != 0:
+		if egress != nil {
+			wire = sf.WireLenEgress()
+		}
+		err = s.fw.WriteSharedFrameLeg(sf, seq, ts, sendTS, egress, orFlags)
+	case egress != nil:
 		wire = sf.WireLenEgress()
 		err = s.fw.WriteSharedFrameEgress(sf, seq, ts, sendTS, *egress)
-	} else {
+	default:
 		err = s.fw.WriteSharedFrame(sf, seq, ts, sendTS)
 	}
 	if err != nil {

@@ -46,19 +46,29 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameRoundTripQuick(t *testing.T) {
 	f := func(typ byte, channel, flags uint16, seq uint32, ts uint64, payload []byte) bool {
 		in := Frame{Type: FrameType(typ), Channel: channel, Flags: flags, Seq: seq, Timestamp: ts, Payload: payload}
+		if flags&FlagTier != 0 {
+			// Tiered frames need in-range tier fields; derive them from the
+			// other inputs so the extension round-trips under quick too.
+			in.TierCount = uint8(channel%MaxTiers) + 1
+			in.Tier = uint8(seq) % in.TierCount
+		}
 		var buf bytes.Buffer
 		fw := NewFrameWriter(&buf)
 		if err := fw.WriteFrame(&in); err != nil {
-			// FlagHops without FlagTrace is the one rejected flag
-			// combination; everything else must serialize.
-			return flags&FlagHops != 0 && flags&FlagTrace == 0
+			// The rejected flag combinations: FlagHops without FlagTrace
+			// and FlagTierSwitch without FlagTier. Everything else must
+			// serialize.
+			return (flags&FlagHops != 0 && flags&FlagTrace == 0) ||
+				(flags&FlagTierSwitch != 0 && flags&FlagTier == 0)
 		}
 		out, err := NewFrameReader(&buf).ReadFrame()
 		if err != nil {
 			return false
 		}
 		return out.Type == in.Type && out.Channel == in.Channel && out.Flags == in.Flags &&
-			out.Seq == in.Seq && out.Timestamp == in.Timestamp && bytes.Equal(out.Payload, in.Payload)
+			out.Seq == in.Seq && out.Timestamp == in.Timestamp &&
+			out.Tier == in.Tier && out.TierCount == in.TierCount &&
+			bytes.Equal(out.Payload, in.Payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

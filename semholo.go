@@ -527,6 +527,51 @@ type Link = netsim.Link
 // BroadbandUS returns the paper's 25 Mbps deployment-constraint link.
 var BroadbandUS = netsim.BroadbandUS
 
+// Per-subscriber adaptive semantic tiering: one capture encoded at every
+// rung of a tier ladder (keypoints-only → keypoints+texture → full
+// hybrid), relayed as a tier-indexed SharedFrameSet, with each egress
+// leg's TierSelector picking its own rung from queue depth, drop rate,
+// RTT, and bandwidth estimates.
+type (
+	// Tier is one rung of a ladder: an encoder plus its nominal bitrate.
+	Tier = core.Tier
+	// TierLadder encodes one capture at every rung, cheapest first.
+	TierLadder = core.TierLadder
+	// LadderFrame is one media frame encoded at every rung.
+	LadderFrame = core.LadderFrame
+	// KeyframeForcer is implemented by encoders that can be asked for a
+	// self-contained frame (the tier-switch keyframe protocol).
+	KeyframeForcer = core.KeyframeForcer
+	// StateResetter is implemented by decoders that can discard warm
+	// state at a tier-switch keyframe boundary.
+	StateResetter = core.StateResetter
+	// SharedFrameSet is a tier-indexed family of serialize-once frames
+	// for one media frame — the relay's broadcast unit.
+	SharedFrameSet = transport.SharedFrameSet
+	// TierSelector picks a rung per egress leg from congestion signals.
+	TierSelector = transport.TierSelector
+	// TierSignals is one observation window fed to a TierSelector.
+	TierSignals = transport.TierSignals
+	// RateLevel names one selectable rung and its nominal bitrate.
+	RateLevel = transport.RateLevel
+	// BandwidthEstimator tracks delivered throughput per egress leg.
+	BandwidthEstimator = transport.BandwidthEstimator
+)
+
+var (
+	// NewTierLadder builds a ladder from explicit rungs.
+	NewTierLadder = core.NewTierLadder
+	// NewSemanticLadder builds the standard three-rung ladder:
+	// keypoints-only, keypoints+texture, full hybrid mesh.
+	NewSemanticLadder = core.NewSemanticLadder
+	// NewSharedFrameSet builds an empty tier-indexed broadcast set.
+	NewSharedFrameSet = transport.NewSharedFrameSet
+	// NewTierSelector builds a per-egress rung selector.
+	NewTierSelector = transport.NewTierSelector
+	// NewBandwidthEstimator builds a delivered-throughput estimator.
+	NewBandwidthEstimator = transport.NewBandwidthEstimator
+)
+
 // DecodeService reconstructs many concurrent avatar streams in one
 // process over shared immutable kernels, one worker pool, and one
 // pose-keyed mesh cache (ROADMAP item 3's decode service).
