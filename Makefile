@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay service-check bench-multitenant field-check bench-field trace-check bench-trace tier-check bench-tiering
+.PHONY: verify fmt-check vet build test race bench bench-parallel ci cache-determinism bench-cache obs-check pipeline-check bench-pipeline relay-check bench-relay service-check bench-multitenant field-check bench-field trace-check bench-trace tier-check bench-tiering cluster-check bench-cluster
 
 ## verify: the full pre-commit gate — formatting, vet, build, tests.
 verify: fmt-check vet build test
@@ -45,6 +45,7 @@ ci: vet build
 	$(MAKE) field-check
 	$(MAKE) trace-check
 	$(MAKE) tier-check
+	$(MAKE) cluster-check
 
 ## pipeline-check: the staged-runtime gate — race-enabled goroutine-leak
 ## tests (pipeline, relay, session) plus the staged-vs-sequential
@@ -144,6 +145,25 @@ tier-check:
 ## bench CLI.
 bench-tiering:
 	$(GO) run ./cmd/semholo-bench -exp tiering -tierout BENCH_tiering.json
+
+## cluster-check: the sharded-cluster gate — race-enabled placement /
+## cascade / churn suites (bounded-load ring vs rendezvous, depth-2
+## byte identity, depth-3 hop-cap drop, trunk-reconnect seq contiguity,
+## admission), the payload-adoption wire suites, and the seeded-jitter
+## mesh tests. The trunk-vs-subscriber alloc-parity regression runs on
+## its own non-race line: race instrumentation perturbs alloc counts.
+cluster-check:
+	$(GO) test -race ./internal/cluster
+	$(GO) test -race -run 'TestSharedFromWire|TestAdoptPayload|TestTrunkReshare|TestJitter|TestMeshSeeds|TestMeshDial' ./internal/transport ./internal/netsim
+	$(GO) test -run 'TestTrunkLegAllocs' ./internal/transport
+
+## bench-cluster: the sharded-cluster scaling record — 8 shards × 256
+## subscribers/shard over a seeded netsim mesh at cascade depth 0/1/2:
+## per-depth fan-out CPU, trunk-vs-subscriber allocs/frame parity, and
+## p95 delivery latency vs the flat single-relay baseline, written as
+## BENCH_cluster.json via the bench CLI.
+bench-cluster:
+	$(GO) run ./cmd/semholo-bench -exp cluster -clusterout BENCH_cluster.json
 
 ## bench-field: pruned vs unpruned reconstruction microbenchmarks plus
 ## the field-acceleration JSON record (cold/warm/dense arms at several

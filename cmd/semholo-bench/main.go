@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|field|pipeline|relay|multitenant|tiering|tracewaterfall|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|fig4|cache|field|pipeline|relay|cluster|multitenant|tiering|tracewaterfall|foveated|keypoints|finetune|slimmable|textdelta|codecs|qoe|all")
 		resArg    = flag.String("res", "", "comma-separated reconstruction resolutions (fig2/fig4)")
 		frames    = flag.Int("frames", 5, "frames per measurement")
 		full      = flag.Bool("full", false, "include the paper's full resolution sweep up to 1024 (slow)")
@@ -41,6 +41,9 @@ func main() {
 		pipeRes   = flag.Int("piperes", 128, "reconstruction resolution for the pipeline experiment (high enough to overload the decode stage)")
 		relayOut  = flag.String("relayout", "BENCH_relay.json", "output path for the relay experiment's JSON record")
 		relaySubs = flag.String("relaysubs", "4,64,256", "comma-separated subscriber counts for the relay experiment")
+		clusOut   = flag.String("clusterout", "BENCH_cluster.json", "output path for the cluster experiment's JSON record")
+		clusN     = flag.Int("clustershards", 8, "shard count for the cluster experiment")
+		clusSubs  = flag.Int("clustersubs", 256, "subscribers per shard for the cluster experiment")
 		mtOut     = flag.String("mtout", "BENCH_multitenant.json", "output path for the multitenant experiment's JSON record")
 		mtTenants = flag.String("mttenants", "1,8,32,64", "comma-separated tenant counts for the multitenant experiment")
 		mtRes     = flag.Int("mtres", 40, "reconstruction resolution for the multitenant experiment")
@@ -84,6 +87,7 @@ func main() {
 		"field":    func() { printFieldBench(env, resolutions, *frames*4, *fieldTen, *fieldOut, *mtOut) },
 		"pipeline": func() { printPipelineBench(env, *pipeRes, *frames*8, *pipeOut) },
 		"relay":    func() { printRelayBench(env, parseSubscribers(*relaySubs), *frames*8, *relayOut) },
+		"cluster":  func() { printClusterBench(env, *clusN, *clusSubs, *frames*4, *clusOut) },
 		"multitenant": func() {
 			printMultiTenantBench(env, parseSubscribers(*mtTenants), *frames*5, *mtRes, *mtOut)
 		},
@@ -100,7 +104,7 @@ func main() {
 	if *exp == "all" {
 		// Fixed, readable order.
 		for _, name := range []string{
-			"table1", "table2", "fig2", "fig3", "fig4", "cache", "field", "pipeline", "relay", "multitenant",
+			"table1", "table2", "fig2", "fig3", "fig4", "cache", "field", "pipeline", "relay", "cluster", "multitenant",
 			"tiering", "tracewaterfall", "foveated", "keypoints", "finetune", "slimmable", "textdelta", "codecs", "qoe",
 		} {
 			run(name, experimentsByName[name])
@@ -333,6 +337,37 @@ func printRelayBench(env *experiments.Env, subs []int, frames int, outPath strin
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "relay record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+func printClusterBench(env *experiments.Env, shards, subsPerShard, frames int, outPath string) {
+	fmt.Println("Sharded relay cluster: consistent-hash room placement + cascading trunk fan-out.")
+	fmt.Println("depth 0: one flat relay hosting every subscriber; depth 1/2: the shard fleet wired")
+	fmt.Println("into a trunk tree, equal total subscribers, trunk legs re-sharing without re-serializing.")
+	r := experiments.ClusterBench(env, shards, subsPerShard, frames, 0)
+	fmt.Printf("payload %d B, %d frames, %d shards × %d subs/shard; mesh links %.1f ms ± %.1f ms\n",
+		r.PayloadBytes, r.Frames, r.ShardCount, r.SubsPerShard, r.LinkDelayMs, r.LinkJitterMs)
+	fmt.Printf("per-leg write allocs/frame: subscriber %.2f, trunk %.2f (must be equal)\n",
+		r.SubscriberLegWriteAllocs, r.TrunkLegWriteAllocs)
+	fmt.Printf("%6s %7s %7s %7s %6s %12s %12s %12s %9s %9s %9s %11s %9s\n",
+		"depth", "shards", "fanout", "trunks", "subs", "cpu ms/frm", "cpu allocs", "live allocs",
+		"p50(ms)", "p95(ms)", "max(ms)", "deliv frac", "p95/flat")
+	for _, leg := range r.Legs {
+		fmt.Printf("%6d %7d %7d %7d %6d %12.3f %12.1f %12.1f %9.2f %9.2f %9.2f %11.3f %8.2fx\n",
+			leg.Depth, leg.Shards, leg.Fanout, leg.TrunkLegs, leg.Subscribers,
+			leg.FanoutCPUMsPerFrame, leg.FanoutAllocsPerFrame, leg.LiveAllocsPerFrame,
+			leg.P50Ms, leg.P95Ms, leg.MaxMs, leg.DeliveredFrac, leg.P95VsFlat)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster record: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", outPath)

@@ -1,0 +1,21 @@
+package cluster
+
+// Rendezvous picks a room's shard by highest random weight (Thaler &
+// Ravishankar): every shard scores hash(shard ⊕ room) and the maximum
+// wins. It needs no ring state and has the minimal-disruption property
+// exactly — removing a shard moves only that shard's rooms — at the
+// cost of O(shards) per lookup and no load bounding. It is the
+// cluster's fallback placement when no ring has been built (and the
+// oracle the ring is tested against).
+func Rendezvous(shards []string, room string) string {
+	var (
+		best     string
+		bestHash uint64
+	)
+	for _, s := range shards {
+		if h := hash64(s + "\xff" + room); best == "" || h > bestHash || (h == bestHash && s < best) {
+			best, bestHash = s, h
+		}
+	}
+	return best
+}

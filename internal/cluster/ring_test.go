@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func ringShards(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("shard-%02d", i)
+	}
+	return ids
+}
+
+func TestRingBoundedLoad(t *testing.T) {
+	const shards, rooms = 8, 1000
+	r := NewRing(0, 0)
+	for _, id := range ringShards(shards) {
+		r.AddShard(id)
+	}
+	for i := 0; i < rooms; i++ {
+		if _, err := r.Assign(fmt.Sprintf("room-%d", i), nil); err != nil {
+			t.Fatalf("assign room-%d: %v", i, err)
+		}
+	}
+	bound := int(math.Ceil(DefaultLoadFactor * rooms / shards))
+	total := 0
+	for id, load := range r.Loads() {
+		total += load
+		if load > bound {
+			t.Errorf("shard %s load %d exceeds bound %d", id, load, bound)
+		}
+		if load == 0 {
+			t.Errorf("shard %s received no rooms out of %d", id, rooms)
+		}
+	}
+	if total != rooms {
+		t.Errorf("total assigned = %d, want %d", total, rooms)
+	}
+}
+
+func TestRingDeterministicAndSticky(t *testing.T) {
+	build := func() map[string]string {
+		r := NewRing(32, 1.25)
+		for _, id := range ringShards(5) {
+			r.AddShard(id)
+		}
+		got := map[string]string{}
+		for i := 0; i < 200; i++ {
+			room := fmt.Sprintf("room-%d", i)
+			s, err := r.Assign(room, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[room] = s
+			// Sticky: a second Assign returns the same shard without
+			// growing the load.
+			again, err := r.Assign(room, nil)
+			if err != nil || again != s {
+				t.Fatalf("re-assign %s = %s, %v; want sticky %s", room, again, err, s)
+			}
+		}
+		return got
+	}
+	a, b := build(), build()
+	for room, s := range a {
+		if b[room] != s {
+			t.Fatalf("placement not deterministic: %s → %s vs %s", room, s, b[room])
+		}
+	}
+}
+
+func TestRingAvailabilityPredicate(t *testing.T) {
+	r := NewRing(16, 8) // generous factor: only the predicate constrains
+	r.AddShard("up")
+	r.AddShard("down")
+	for i := 0; i < 50; i++ {
+		s, err := r.Assign(fmt.Sprintf("room-%d", i), func(id string) bool { return id != "down" })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != "up" {
+			t.Fatalf("room-%d placed on vetoed shard %s", i, s)
+		}
+	}
+	if _, err := r.Assign("rejected", func(string) bool { return false }); err == nil {
+		t.Fatal("assign with all shards vetoed should fail")
+	}
+}
+
+func TestRingRemoveShardDisplacesOnlyItsRooms(t *testing.T) {
+	r := NewRing(0, 0)
+	for _, id := range ringShards(6) {
+		r.AddShard(id)
+	}
+	placed := map[string]string{}
+	for i := 0; i < 300; i++ {
+		room := fmt.Sprintf("room-%d", i)
+		s, err := r.Assign(room, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed[room] = s
+	}
+	const victim = "shard-03"
+	displaced := r.RemoveShard(victim)
+	for _, room := range displaced {
+		if placed[room] != victim {
+			t.Errorf("room %s displaced but lived on %s", room, placed[room])
+		}
+	}
+	moved := map[string]bool{}
+	for _, room := range displaced {
+		moved[room] = true
+	}
+	for room, s := range placed {
+		if s == victim && !moved[room] {
+			t.Errorf("room %s lived on removed shard but was not displaced", room)
+		}
+		if s != victim && moved[room] {
+			t.Errorf("room %s on surviving shard %s was displaced", room, s)
+		}
+	}
+}
+
+// TestRendezvousAgainstRing cross-checks the two placement schemes: both
+// must be deterministic, spread load across every shard, and — the
+// property that matters for operability — move only the removed shard's
+// rooms when the member set shrinks. Rendezvous has the property
+// exactly; the bounded-load ring approximates it (sticky assignments
+// move only when their shard vanishes).
+func TestRendezvousAgainstRing(t *testing.T) {
+	shards := ringShards(8)
+	const rooms = 2000
+
+	counts := map[string]int{}
+	before := map[string]string{}
+	for i := 0; i < rooms; i++ {
+		room := fmt.Sprintf("room-%d", i)
+		s := Rendezvous(shards, room)
+		if s == "" {
+			t.Fatal("rendezvous returned no shard")
+		}
+		if again := Rendezvous(shards, room); again != s {
+			t.Fatalf("rendezvous not deterministic for %s", room)
+		}
+		before[room], counts[s] = s, counts[s]+1
+	}
+	for _, id := range shards {
+		if counts[id] == 0 {
+			t.Errorf("rendezvous starved shard %s", id)
+		}
+		// HRW is uniform in expectation; allow a loose 2× band.
+		if counts[id] > 2*rooms/len(shards) {
+			t.Errorf("rendezvous overloaded shard %s: %d of %d rooms", id, counts[id], rooms)
+		}
+	}
+
+	// Minimal disruption: drop one shard; only its rooms move.
+	survivors := append([]string(nil), shards[:3]...)
+	survivors = append(survivors, shards[4:]...)
+	for room, s := range before {
+		after := Rendezvous(survivors, room)
+		if s == shards[3] {
+			if after == shards[3] {
+				t.Fatalf("room %s still on removed shard", room)
+			}
+		} else if after != s {
+			t.Errorf("room %s moved %s→%s though its shard survived", room, s, after)
+		}
+	}
+
+	// The ring's pure Lookup should agree with itself across rebuilds
+	// (same vnode hashing), and disruption on shard removal should stay
+	// near the 1/N ideal that rendezvous achieves exactly.
+	ring := NewRing(0, 0)
+	for _, id := range shards {
+		ring.AddShard(id)
+	}
+	movedByRing := 0
+	smaller := NewRing(0, 0)
+	for _, id := range survivors {
+		smaller.AddShard(id)
+	}
+	for i := 0; i < rooms; i++ {
+		room := fmt.Sprintf("room-%d", i)
+		a, b := ring.Lookup(room), smaller.Lookup(room)
+		if a != shards[3] && a != b {
+			movedByRing++
+		}
+	}
+	if movedByRing > 0 {
+		t.Errorf("ring lookup moved %d rooms whose shard survived (want 0 — vnode points of survivors are identical)", movedByRing)
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	// K=2 heap: index 0 root; 1,2 depth 1; 3..6 depth 2.
+	for i, want := range []int{0, 1, 1, 2, 2, 2, 2, 3} {
+		if got := treeDepth(i, 2); got != want {
+			t.Errorf("treeDepth(%d, 2) = %d, want %d", i, got, want)
+		}
+	}
+	// K=1 chain: depth == index.
+	for i := 0; i < 5; i++ {
+		if got := treeDepth(i, 1); got != i {
+			t.Errorf("treeDepth(%d, 1) = %d, want %d", i, got, i)
+		}
+	}
+}

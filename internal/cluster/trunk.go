@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"semholo/internal/core"
+	"semholo/internal/transport"
+)
+
+// TrunkDialFunc opens the byte stream for one trunk leg between two
+// shards of a room's cascade tree and returns both ends (child side
+// first) plus an optional closer for any underlying link object. The
+// default dials in-process over net.Pipe; benchmarks substitute netsim
+// pipes so trunk legs cross emulated WANs.
+type TrunkDialFunc func(parentID, childID, room string) (childConn, parentConn net.Conn, closer func(), err error)
+
+func pipeTrunkDial(parentID, childID, room string) (net.Conn, net.Conn, func(), error) {
+	c, p := net.Pipe()
+	return c, p, nil, nil
+}
+
+// trunk is one live parent→child cascade link for one room. Frames flow
+// down it (parent relay's trunk-egress leg → child relay's
+// trunk-ingress pump); tier keyframe requests flow up it through the
+// ordinary control plane.
+type trunk struct {
+	room    string
+	parent  string
+	child   string
+	closeFn func()
+
+	parentSess *transport.Session
+	childSess  *transport.Session
+}
+
+// dialTrunk establishes a trunk: both handshakes run concurrently (an
+// in-process pipe blocks each side on the other), then the parent
+// relay attaches the link as a trunk-egress leg — an ordinary egress
+// queue + goroutine, same cost as one subscriber — and the child relay
+// attaches its end as a trunk-ingress pump that re-shares frames
+// without re-serializing payloads.
+func dialTrunk(parent, child *Shard, parentRelay, childRelay *core.Relay, room string, dial TrunkDialFunc) (*trunk, error) {
+	childConn, parentConn, closer, err := dial(parent.id, child.id, room)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: trunk dial %s→%s for room %q: %w", parent.id, child.id, room, err)
+	}
+	t := &trunk{room: room, parent: parent.id, child: child.id, closeFn: closer}
+
+	type acceptResult struct {
+		sess *transport.Session
+		err  error
+	}
+	acc := make(chan acceptResult, 1)
+	go func() {
+		sess, _, err := transport.AcceptContext(parent.ctx, parentConn, transport.Hello{Peer: parent.id, Room: room})
+		acc <- acceptResult{sess, err}
+	}()
+	childSess, _, err := transport.DialContext(child.ctx, childConn, transport.Hello{Peer: TrunkPeerPrefix + child.id, Room: room})
+	res := <-acc
+	if err == nil {
+		err = res.err
+	}
+	if err != nil {
+		if res.sess != nil {
+			_ = res.sess.Close()
+		}
+		if childSess != nil {
+			_ = childSess.Close()
+		}
+		t.close()
+		return nil, fmt.Errorf("cluster: trunk handshake %s→%s for room %q: %w", parent.id, child.id, room, err)
+	}
+	t.parentSess, t.childSess = res.sess, childSess
+
+	if _, err := parentRelay.AttachPeer(TrunkPeerPrefix+child.id, t.parentSess, core.AttachOptions{TrunkEgress: true}); err != nil {
+		t.close()
+		return nil, fmt.Errorf("cluster: trunk egress attach on %s: %w", parent.id, err)
+	}
+	if _, err := childRelay.AttachPeer(TrunkPeerPrefix+parent.id, t.childSess, core.AttachOptions{TrunkIngress: true}); err != nil {
+		parentRelay.Detach(TrunkPeerPrefix + child.id)
+		t.close()
+		return nil, fmt.Errorf("cluster: trunk ingress attach on %s: %w", child.id, err)
+	}
+	return t, nil
+}
+
+// close tears the trunk's sessions and link down; each relay's pump
+// observes its session closing and detaches the leg.
+func (t *trunk) close() {
+	if t.parentSess != nil {
+		_ = t.parentSess.Close()
+	}
+	if t.childSess != nil {
+		_ = t.childSess.Close()
+	}
+	if t.closeFn != nil {
+		t.closeFn()
+	}
+}

@@ -58,6 +58,7 @@ type Relay struct {
 
 	queueDepth int
 	site       byte
+	room       string
 	// tierLevels enables per-subscriber semantic tiering when non-nil:
 	// tiered ingress frames are assembled into SharedFrameSets and each
 	// egress leg runs its own TierSelector over these levels.
@@ -95,6 +96,10 @@ type RelayOptions struct {
 	// (relay shard ID in a cascaded deployment; zero is fine for a single
 	// relay).
 	Site byte
+	// Room names the room this relay fans out, used as the metric label
+	// distinguishing rooms that share one registry (a shard hosts many).
+	// Empty is exported as "default".
+	Room string
 	// TierLevels, when non-nil, turns on per-subscriber semantic
 	// tiering (one entry per ladder rung, ascending bitrate): tiered
 	// ingress frames are assembled into one SharedFrameSet per media
@@ -145,6 +150,14 @@ type relayPeer struct {
 	name string
 	idx  int
 	sess *transport.Session
+	// trunkEgress marks a relay-to-relay downlink: the egress loop
+	// forwards every rung of a tiered set in ladder order (no
+	// TierSelector — the downstream shard's own legs pick rungs).
+	trunkEgress bool
+	// trunkIngress marks a relay-to-relay uplink: the pump skips channel
+	// re-homing (the home shard already re-homed at origin) and adopts
+	// the received payload buffer + CRC instead of re-copying.
+	trunkIngress bool
 	// out is the subscriber's bounded latest-frame-wins egress queue: the
 	// broadcast loop's non-blocking handoff to this peer's egress
 	// goroutine.
@@ -182,8 +195,11 @@ func NewRelayOpts(ctx context.Context, opt RelayOptions) *Relay {
 	ctx, cancel := context.WithCancel(ctx)
 	r := &Relay{
 		ctx: ctx, cancel: cancel, peers: map[string]*relayPeer{},
-		queueDepth: opt.QueueDepth, site: opt.Site,
+		queueDepth: opt.QueueDepth, site: opt.Site, room: opt.Room,
 		tierLevels: opt.TierLevels, newSelector: opt.NewTierSelector,
+	}
+	if r.room == "" {
+		r.room = "default"
 	}
 	if r.queueDepth <= 0 {
 		r.queueDepth = DefaultRelayQueueDepth
@@ -202,6 +218,7 @@ func NewRelayOpts(ctx context.Context, opt RelayOptions) *Relay {
 // pull-backed Funcs registered at attach time.
 type relayMetrics struct {
 	reg              *obs.Registry
+	room             string
 	broadcastSeconds *obs.Histogram
 	egressSeconds    *obs.Histogram
 	queueDepth       *obs.GaugeVec
@@ -214,37 +231,41 @@ type relayMetrics struct {
 // Instrument registers the relay's fan-out metrics: broadcast (ingress
 // enqueue-to-all) and ingress→egress latency histograms, ingress and
 // unroutable frame counters, a live peer-count gauge, and per-peer
-// queue depth / dropped / delivered series (labeled by participant,
-// registered as peers attach; re-attaching a name resets its series).
+// queue depth / dropped / delivered series (labeled by room and
+// participant, registered as peers attach; re-attaching a name resets
+// its series). Every series carries the relay's room label, so a shard
+// hosting many rooms on one registry stays scrapeable per room — the
+// cluster's per-room/per-shard capacity accounting.
 func (r *Relay) Instrument(reg *obs.Registry) {
 	m := &relayMetrics{
-		reg: reg,
+		reg:  reg,
+		room: r.room,
 		broadcastSeconds: reg.Histogram("semholo_relay_fanout_broadcast_seconds",
 			"Time one ingress frame spends enqueueing onto every subscriber egress queue.",
-			nil).With(),
+			nil, "room").With(r.room),
 		egressSeconds: reg.Histogram("semholo_relay_fanout_egress_seconds",
 			"Per-subscriber latency from relay ingress to the frame handed to the subscriber's wire.",
-			nil).With(),
+			nil, "room").With(r.room),
 		queueDepth: reg.Gauge("semholo_relay_egress_queue_depth",
-			"Live egress queue depth per subscriber.", "peer"),
+			"Live egress queue depth per subscriber.", "room", "peer"),
 		dropped: reg.Counter("semholo_relay_egress_dropped_frames_total",
-			"Frames shed by a subscriber's latest-frame-wins egress queue.", "peer"),
+			"Frames shed by a subscriber's latest-frame-wins egress queue.", "room", "peer"),
 		delivered: reg.Counter("semholo_relay_egress_delivered_frames_total",
-			"Frames written to a subscriber's session.", "peer"),
+			"Frames written to a subscriber's session.", "room", "peer"),
 		tier: reg.Gauge("semholo_relay_egress_tier",
-			"Ladder rung each subscriber leg currently serves (-1 before the first tiered frame).", "peer"),
+			"Ladder rung each subscriber leg currently serves (-1 before the first tiered frame).", "room", "peer"),
 		tierSwitches: reg.Counter("semholo_relay_egress_tier_switches_total",
-			"Mid-stream tier switches applied per subscriber leg.", "peer"),
+			"Mid-stream tier switches applied per subscriber leg.", "room", "peer"),
 	}
 	reg.Counter("semholo_relay_ingress_frames_total",
-		"Routable frames accepted from participants for fan-out.").
-		Func(func() float64 { return float64(r.ingress.Load()) })
+		"Routable frames accepted from participants for fan-out.", "room").
+		Func(func() float64 { return float64(r.ingress.Load()) }, r.room)
 	reg.Counter("semholo_relay_unroutable_frames_total",
-		"Frames of types the relay does not forward (protocol drift detector).").
-		Func(func() float64 { return float64(r.unroutable.Load()) })
-	reg.GaugeFunc("semholo_relay_peers",
-		"Participants currently attached.",
-		func() float64 { return float64(len(*r.snap.Load())) })
+		"Frames of types the relay does not forward (protocol drift detector).", "room").
+		Func(func() float64 { return float64(r.unroutable.Load()) }, r.room)
+	reg.Gauge("semholo_relay_peers",
+		"Participants currently attached.", "room").
+		Func(func() float64 { return float64(len(*r.snap.Load())) }, r.room)
 	r.m.Store(m)
 	// Cover peers attached before instrumentation.
 	r.mu.Lock()
@@ -255,11 +276,29 @@ func (r *Relay) Instrument(reg *obs.Registry) {
 }
 
 func (m *relayMetrics) registerPeer(p *relayPeer) {
-	m.queueDepth.Func(func() float64 { return float64(p.out.Len()) }, p.name)
-	m.dropped.Func(func() float64 { return float64(p.out.Dropped()) }, p.name)
-	m.delivered.Func(func() float64 { return float64(p.sent.Load()) }, p.name)
-	m.tier.Func(func() float64 { return float64(p.tier.Load()) }, p.name)
-	m.tierSwitches.Func(func() float64 { return float64(p.tierSwitches.Load()) }, p.name)
+	m.queueDepth.Func(func() float64 { return float64(p.out.Len()) }, m.room, p.name)
+	m.dropped.Func(func() float64 { return float64(p.out.Dropped()) }, m.room, p.name)
+	m.delivered.Func(func() float64 { return float64(p.sent.Load()) }, m.room, p.name)
+	m.tier.Func(func() float64 { return float64(p.tier.Load()) }, m.room, p.name)
+	m.tierSwitches.Func(func() float64 { return float64(p.tierSwitches.Load()) }, m.room, p.name)
+}
+
+// AttachOptions marks a peer's role in a cascaded deployment. The zero
+// value is an ordinary participant.
+type AttachOptions struct {
+	// TrunkEgress attaches a relay-to-relay downlink: instead of running
+	// a TierSelector, this leg forwards every rung of every tiered media
+	// frame in ladder order, so the downstream shard receives the full
+	// ladder and its own egress legs tier independently. Non-tiered
+	// frames forward verbatim, exactly as a subscriber leg would — same
+	// serialize-once write path, same 2 allocs/frame.
+	TrunkEgress bool
+	// TrunkIngress attaches a relay-to-relay uplink: frames arriving on
+	// it were already re-homed into their originating participant's
+	// channel block by the home shard, so the pump applies no channel
+	// offset, and the received payload buffer and its CRC are adopted
+	// into the re-shared frame instead of being copied and re-hashed.
+	TrunkIngress bool
 }
 
 // Attach registers a session under the participant's name and starts
@@ -268,6 +307,12 @@ func (m *relayMetrics) registerPeer(p *relayPeer) {
 // closes, on Detach, or when the relay shuts down; the peer is then
 // detached and its pump and egress goroutines joined.
 func (r *Relay) Attach(name string, sess *transport.Session) (int, error) {
+	return r.AttachPeer(name, sess, AttachOptions{})
+}
+
+// AttachPeer is Attach with an explicit role — ordinary participant or
+// trunk end of a relay-to-relay cascade link.
+func (r *Relay) AttachPeer(name string, sess *transport.Session, opt AttachOptions) (int, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -279,11 +324,12 @@ func (r *Relay) Attach(name string, sess *transport.Session) (int, error) {
 	}
 	p := &relayPeer{
 		name: name, idx: r.nextIdx, sess: sess,
+		trunkEgress: opt.TrunkEgress, trunkIngress: opt.TrunkIngress,
 		out:  queue.NewQueue[egressItem](r.queueDepth, false),
 		done: make(chan struct{}), egressDone: make(chan struct{}),
 	}
 	p.tier.Store(-1)
-	if r.tierLevels != nil {
+	if r.tierLevels != nil && !p.trunkEgress {
 		if r.newSelector != nil {
 			p.sel = r.newSelector(r.tierLevels)
 		} else {
@@ -382,6 +428,11 @@ func (r *Relay) pump(p *relayPeer) {
 	defer close(p.done)
 	defer r.detach(p)
 	base := uint16(p.idx) * ParticipantChannelStride
+	if p.trunkIngress {
+		// Trunk frames were re-homed by the home shard; re-offsetting here
+		// would collide participant blocks across shards.
+		base = 0
+	}
 	// curSet accumulates one tiered media frame (all ladder rungs) when
 	// the relay is tiering. The sender's single transmit goroutine ships
 	// rungs in order, so completion is a per-tier EndOfFrame bitmask.
@@ -402,10 +453,13 @@ func (r *Relay) pump(p *relayPeer) {
 		case transport.TypeClose:
 			return
 		case transport.TypeSemantic:
-			// Re-home the channel into the sender's block. The one payload
-			// copy (out of the reader's reused buffer) and the one payload
-			// CRC pass happen here; every subscriber reuses both.
-			sf, err = transport.SharedFromFrame(f)
+			// Re-home the channel into the sender's block. CaptureShared
+			// adopts the reader's payload buffer and the CRC it already
+			// verified, so ingress does zero payload copies and zero extra
+			// CRC passes — on a trunk leg this is what makes a cascaded
+			// shard's re-share free; on a participant leg it simply moves
+			// the per-frame allocation into the reader's next fill.
+			sf, err = p.sess.CaptureShared(f)
 			if err != nil {
 				continue // unreachable: a decoded frame is within MaxPayload
 			}
@@ -510,6 +564,12 @@ func (r *Relay) egress(p *relayPeer) {
 			return // queue closed and drained, or relay shutting down
 		}
 		if it.set != nil {
+			if p.trunkEgress {
+				if r.egressTrunkSet(p, it) != nil {
+					return
+				}
+				continue
+			}
 			if r.egressTiered(p, it, &st) != nil {
 				// Broken peer: its own pump observes the session error
 				// and detaches it.
@@ -648,6 +708,37 @@ func (r *Relay) egressTiered(p *relayPeer, it egressItem, st *tierEgressState) e
 	}
 	st.applied = actual
 	p.tier.Store(int64(actual))
+	p.sent.Add(1)
+	if m := r.m.Load(); m != nil {
+		m.egressSeconds.Observe(time.Since(it.at).Seconds())
+	}
+	return nil
+}
+
+// egressTrunkSet forwards one complete tiered media frame down a trunk
+// leg: every rung, in ladder order, so the downstream shard re-shares
+// the full ladder and its own subscriber legs keep tiering
+// independently. Each wire frame costs exactly what a subscriber leg's
+// does — the shared payload and its cached CRC are reused, only the
+// 32-byte header is rebuilt per leg — so adding a trunk to a hot room
+// is no more expensive than adding one subscriber per rung.
+func (r *Relay) egressTrunkSet(p *relayPeer, it egressItem) error {
+	deq := obs.NowMicros()
+	if tid := it.set.TraceID(); tid != 0 {
+		obs.Flight.Record(obs.EvRelayEgress, "relay:"+p.name, tid,
+			int64(deq)-it.at.UnixMicro(), int64(it.set.TierCount()))
+	}
+	for t := 0; t < it.set.TierCount(); t++ {
+		for _, sf := range it.set.Tier(t) {
+			var o transport.SharedSendOpts
+			if sf.Flags&transport.FlagHops != 0 {
+				o.Egress = &obs.Hop{Kind: obs.HopRelayEgress, Site: r.site, RecvMicros: deq}
+			}
+			if err := p.sess.SendSharedLeg(sf, o); err != nil {
+				return err
+			}
+		}
+	}
 	p.sent.Add(1)
 	if m := r.m.Load(); m != nil {
 		m.egressSeconds.Observe(time.Since(it.at).Seconds())

@@ -1,0 +1,469 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"semholo/internal/cluster"
+	"semholo/internal/netsim"
+	"semholo/internal/obs"
+	"semholo/internal/transport"
+)
+
+// ClusterLegStats measures one cascade-depth configuration of the
+// sharded relay cluster at a fixed total subscriber count.
+type ClusterLegStats struct {
+	// Depth is the deepest trunk distance from the home shard (0 = one
+	// flat relay, no trunks).
+	Depth  int `json:"cascade_depth"`
+	Shards int `json:"shards"`
+	Fanout int `json:"fanout"`
+	// TrunkLegs is the number of trunk links in the cascade tree.
+	TrunkLegs   int `json:"trunk_legs"`
+	Subscribers int `json:"subscribers"`
+
+	// CPU microbenchmark (single-threaded, sink writers): the whole
+	// cluster's serialization work for one broadcast frame — the home
+	// shard's ingress capture plus every shard's leg writes, with each
+	// downstream shard re-sharing via payload adoption (read + adopt +
+	// SharedFromWire, no payload copy or CRC pass).
+	FanoutCPUMsPerFrame  float64 `json:"fanout_cpu_ms_per_frame"`
+	FanoutAllocsPerFrame float64 `json:"fanout_allocs_per_frame"`
+
+	// Live netsim-mesh run: capture→receive latency over every
+	// delivered frame, and process allocations per delivered frame.
+	LiveAllocsPerFrame float64 `json:"live_allocs_per_frame"`
+	P50Ms              float64 `json:"p50_ms"`
+	P95Ms              float64 `json:"p95_ms"`
+	MaxMs              float64 `json:"max_ms"`
+	DeliveredFrac      float64 `json:"delivered_frac"`
+	// P95VsFlat is this leg's p95 over the depth-0 flat baseline's (the
+	// acceptance band is ≤ 2×).
+	P95VsFlat float64 `json:"p95_vs_flat"`
+}
+
+// ClusterBenchResult is what BENCH_cluster.json persists.
+type ClusterBenchResult struct {
+	PayloadBytes int `json:"payload_bytes"`
+	Frames       int `json:"frames"`
+	ShardCount   int `json:"shard_count"`
+	SubsPerShard int `json:"subs_per_shard"`
+
+	// Per-leg write cost (allocs/frame) of one WriteSharedFrame
+	// emission: a subscriber leg on a first-hand SharedFrame vs a trunk
+	// leg on a SharedFromWire re-shared frame. The cascade cost model
+	// requires these equal.
+	SubscriberLegWriteAllocs float64 `json:"subscriber_leg_write_allocs"`
+	TrunkLegWriteAllocs      float64 `json:"trunk_leg_write_allocs"`
+
+	// Mesh link shape shared by subscriber and trunk legs.
+	LinkDelayMs  float64 `json:"link_delay_ms"`
+	LinkJitterMs float64 `json:"link_jitter_ms"`
+
+	Legs []ClusterLegStats `json:"legs"`
+}
+
+// ClusterBench measures the sharded relay cluster against a flat
+// single-relay baseline at equal total subscriber count. For each
+// cascade depth (0 = one relay hosting everyone; 1 and 2 = the full
+// shard fleet wired into a trunk tree of that depth) it runs (1) a CPU
+// microbenchmark of the whole cluster's per-frame serialization work —
+// showing the total grows only by the trunk legs and downstream
+// re-shares, never by re-serializing payloads — and (2) a live run over
+// a deterministic netsim mesh (every subscriber and trunk leg on its
+// own seeded-jitter link), one hot room, one publisher at the home
+// shard, measuring capture→receive latency across all delivered frames.
+func ClusterBench(env *Env, shardCount, subsPerShard, frames, payloadBytes int) ClusterBenchResult {
+	if shardCount <= 0 {
+		shardCount = 8
+	}
+	if subsPerShard <= 0 {
+		subsPerShard = 256
+	}
+	if frames <= 0 {
+		frames = 20
+	}
+	if payloadBytes <= 0 {
+		payloadBytes = 2048
+	}
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = byte(env.Seed + int64(i))
+	}
+	// LAN-ish mesh shape: fast links with sub-millisecond propagation,
+	// so the comparison isolates the cluster's own queueing and
+	// serialization rather than WAN distance.
+	linkCfg := netsim.LinkConfig{
+		Bandwidth: 1e9,
+		Delay:     500 * time.Microsecond,
+		Jitter:    200 * time.Microsecond,
+	}
+	res := ClusterBenchResult{
+		PayloadBytes: payloadBytes,
+		Frames:       frames,
+		ShardCount:   shardCount,
+		SubsPerShard: subsPerShard,
+		LinkDelayMs:  float64(linkCfg.Delay) / 1e6,
+		LinkJitterMs: float64(linkCfg.Jitter) / 1e6,
+	}
+	res.SubscriberLegWriteAllocs, res.TrunkLegWriteAllocs = clusterLegWriteAllocs(payload)
+
+	total := shardCount * subsPerShard
+	type cfg struct{ depth, shards, fanout, subsEach int }
+	cfgs := []cfg{{depth: 0, shards: 1, fanout: 1, subsEach: total}}
+	for _, d := range []int{1, 2} {
+		if k := fanoutForDepth(shardCount, d); k > 0 {
+			cfgs = append(cfgs, cfg{depth: d, shards: shardCount, fanout: k, subsEach: subsPerShard})
+		}
+	}
+	var flatP95 float64
+	for _, c := range cfgs {
+		leg := ClusterLegStats{
+			Depth: c.depth, Shards: c.shards, Fanout: c.fanout,
+			TrunkLegs: c.shards - 1, Subscribers: c.shards * c.subsEach,
+		}
+		leg.FanoutCPUMsPerFrame, leg.FanoutAllocsPerFrame = clusterCPULeg(c.shards, c.fanout, c.subsEach, payload)
+		clusterLiveLeg(&leg, env.Seed+int64(c.depth), c.shards, c.fanout, c.subsEach, frames, payload, linkCfg)
+		if c.depth == 0 {
+			flatP95 = leg.P95Ms
+		}
+		if flatP95 > 0 {
+			leg.P95VsFlat = leg.P95Ms / flatP95
+		}
+		res.Legs = append(res.Legs, leg)
+	}
+	return res
+}
+
+// fanoutForDepth returns the smallest cascade fanout K at which an
+// n-shard tree's deepest member sits exactly depth levels from the
+// home, or -1 when no K achieves it (too few shards). Smallest K makes
+// the deepest level as populated as possible — the interesting shape.
+func fanoutForDepth(n, depth int) int {
+	for k := 1; k < n; k++ {
+		d, i := 0, n-1 // heap depth is monotone in index
+		for i > 0 {
+			i = (i - 1) / k
+			d++
+		}
+		if d == depth {
+			return k
+		}
+	}
+	return -1
+}
+
+// clusterLoopReader replays one encoded frame forever — a steady-state
+// trunk ingress for the CPU microbenchmark, with no pipe or scheduler
+// noise.
+type clusterLoopReader struct {
+	data []byte
+	off  int
+}
+
+func (r *clusterLoopReader) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// clusterLegWriteAllocs measures allocations of one per-leg
+// WriteSharedFrame emission: a subscriber leg writing a first-hand
+// SharedFrame, and a trunk-fed leg writing a SharedFromWire re-shared
+// frame. Both must be allocation-free — the shared path's ≤2
+// allocs/frame are the ingress capture, paid once, not per leg.
+func clusterLegWriteAllocs(payload []byte) (subscriber, trunk float64) {
+	sf, err := transport.NewSharedFrame(transport.TypeSemantic, 1, 0, payload)
+	if err != nil {
+		panic(err)
+	}
+	var wire bytes.Buffer
+	if err := transport.NewFrameWriter(&wire).WriteSharedFrame(sf, 1, 1, 0); err != nil {
+		panic(err)
+	}
+	fr := transport.NewFrameReader(bytes.NewReader(wire.Bytes()))
+	f, err := fr.ReadFrame()
+	if err != nil {
+		panic(err)
+	}
+	p, crc, ok := fr.AdoptPayload(f)
+	if !ok {
+		panic("cluster bench: payload adoption failed")
+	}
+	rsf, err := transport.SharedFromWire(f, p, crc)
+	if err != nil {
+		panic(err)
+	}
+	measure := func(sf *transport.SharedFrame) float64 {
+		const iters = 4096
+		fw := transport.NewFrameWriter(io.Discard)
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
+		for n := 0; n < iters; n++ {
+			if err := fw.WriteSharedFrame(sf, uint32(n), uint64(n), 0); err != nil {
+				panic(err)
+			}
+		}
+		runtime.ReadMemStats(&ms)
+		return float64(ms.Mallocs-m0) / iters
+	}
+	return measure(sf), measure(rsf)
+}
+
+// clusterCPULeg times the whole cluster's serialization work for one
+// broadcast frame, single-threaded over sink writers: the home shard
+// captures the frame once (NewSharedFrame — the only payload copy and
+// CRC pass anywhere) and writes its local subscriber legs plus its
+// trunk children; every downstream shard reads its trunk frame, adopts
+// the payload (SharedFromWire), and writes its own legs. Total leg
+// writes = subscribers + trunks; payload work stays O(1).
+func clusterCPULeg(shards, fanout, subsEach int, payload []byte) (msPerFrame, allocsPerFrame float64) {
+	children := make([]int, shards)
+	for j := 1; j < shards; j++ {
+		children[(j-1)/fanout]++
+	}
+	writers := make([][]*transport.FrameWriter, shards)
+	for i := range writers {
+		writers[i] = make([]*transport.FrameWriter, subsEach+children[i])
+		for k := range writers[i] {
+			writers[i][k] = transport.NewFrameWriter(io.Discard)
+		}
+	}
+	readers := make([]*transport.FrameReader, shards)
+	for i := 1; i < shards; i++ {
+		sf, err := transport.NewSharedFrame(transport.TypeSemantic, 1, 0, payload)
+		if err != nil {
+			panic(err)
+		}
+		var wire bytes.Buffer
+		if err := transport.NewFrameWriter(&wire).WriteSharedFrame(sf, 1, 1, 0); err != nil {
+			panic(err)
+		}
+		readers[i] = transport.NewFrameReader(&clusterLoopReader{data: wire.Bytes()})
+	}
+
+	iters := 4096 / (shards * subsEach)
+	if iters < 48 {
+		iters = 48
+	}
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	m0, t0 := ms.Mallocs, time.Now()
+	for it := 0; it < iters; it++ {
+		sf, err := transport.NewSharedFrame(transport.TypeSemantic, 1, 0, payload)
+		if err != nil {
+			panic(err)
+		}
+		for _, fw := range writers[0] {
+			if err := fw.WriteSharedFrame(sf, uint32(it), uint64(it), 0); err != nil {
+				panic(err)
+			}
+		}
+		for s := 1; s < shards; s++ {
+			f, err := readers[s].ReadFrame()
+			if err != nil {
+				panic(err)
+			}
+			p, crc, ok := readers[s].AdoptPayload(f)
+			if !ok {
+				panic("cluster bench: payload adoption failed")
+			}
+			rsf, err := transport.SharedFromWire(f, p, crc)
+			if err != nil {
+				panic(err)
+			}
+			for _, fw := range writers[s] {
+				if err := fw.WriteSharedFrame(rsf, uint32(it), uint64(it), 0); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	el := time.Since(t0)
+	runtime.ReadMemStats(&ms)
+	return el.Seconds() * 1e3 / float64(iters), float64(ms.Mallocs-m0) / float64(iters)
+}
+
+// dialClusterPeer connects one participant to a shard over a fresh mesh
+// link, running the shard's Accept concurrently with the client
+// handshake, and returns once the peer is fully attached.
+func dialClusterPeer(mesh *netsim.Mesh, s *cluster.Shard, room, peer string) (*transport.Session, error) {
+	local, remote, _ := mesh.Dial(peer, s.ID())
+	accepted := make(chan error, 1)
+	go func() {
+		_, _, err := s.Accept(remote)
+		accepted <- err
+	}()
+	sess, _, err := transport.Dial(local, transport.Hello{Peer: peer, Room: room})
+	if err != nil {
+		return nil, fmt.Errorf("dial %s→%s: %w", peer, s.ID(), err)
+	}
+	if err := <-accepted; err != nil {
+		return nil, fmt.Errorf("accept %s on %s: %w", peer, s.ID(), err)
+	}
+	return sess, nil
+}
+
+// clusterLiveLeg builds the cluster (one manager, shardCount shards,
+// trunks over the mesh), attaches subsEach subscribers to every member
+// shard plus one publisher at the home shard, and paces traced frames
+// through the cascade, measuring capture→receive latency across all
+// delivered frames.
+func clusterLiveLeg(leg *ClusterLegStats, seed int64, shardCount, fanout, subsEach, frames int, payload []byte, linkCfg netsim.LinkConfig) {
+	const room = "hot"
+	mesh := netsim.NewMesh(linkCfg, seed)
+	trunkDial := func(parentID, childID, _ string) (net.Conn, net.Conn, func(), error) {
+		parentEnd, childEnd, link := mesh.Dial(parentID, childID)
+		return childEnd, parentEnd, func() { link.Close() }, nil
+	}
+	m := cluster.NewRoomManager(cluster.ManagerOptions{Fanout: fanout, TrunkDial: trunkDial})
+	shards := map[string]*cluster.Shard{}
+	for i := 0; i < shardCount; i++ {
+		s := cluster.NewShard(fmt.Sprintf("shard-%d", i), cluster.ShardOptions{Site: byte(i + 1)})
+		if err := m.AddShard(s); err != nil {
+			panic(err)
+		}
+		shards[s.ID()] = s
+	}
+	home, err := m.HomeShard(room)
+	if err != nil {
+		panic(err)
+	}
+	if err := m.ActivateRoom(room, home); err != nil {
+		panic(err)
+	}
+	others := make([]string, 0, shardCount)
+	for id := range shards {
+		if id != home {
+			others = append(others, id)
+		}
+	}
+	sort.Strings(others)
+	for _, id := range others {
+		if err := m.ActivateRoom(room, id); err != nil {
+			panic(err)
+		}
+	}
+
+	pub, err := dialClusterPeer(mesh, shards[home], room, "publisher")
+	if err != nil {
+		panic(err)
+	}
+
+	// Attach every subscriber concurrently — serial handshakes over
+	// delayed links would dominate the setup at 2048 peers.
+	var (
+		attachWG  sync.WaitGroup
+		attachMu  sync.Mutex
+		attachErr error
+		subs      []*transport.Session
+	)
+	for _, id := range m.RoomMembers(room) {
+		for i := 0; i < subsEach; i++ {
+			attachWG.Add(1)
+			go func(s *cluster.Shard, name string) {
+				defer attachWG.Done()
+				sess, err := dialClusterPeer(mesh, s, room, name)
+				attachMu.Lock()
+				defer attachMu.Unlock()
+				if err != nil {
+					attachErr = err
+					return
+				}
+				subs = append(subs, sess)
+			}(shards[id], fmt.Sprintf("sub-%s-%04d", id, i))
+		}
+	}
+	attachWG.Wait()
+	if attachErr != nil {
+		panic(attachErr)
+	}
+
+	total := len(subs)
+	var mu sync.Mutex
+	latencies := make([]float64, 0, frames*total)
+	received := 0
+	var wg sync.WaitGroup
+	for _, sess := range subs {
+		wg.Add(1)
+		go func(sess *transport.Session) {
+			defer wg.Done()
+			for got := 0; got < frames; {
+				f, err := sess.Recv()
+				if err != nil {
+					return
+				}
+				if f.Type != transport.TypeSemantic {
+					continue
+				}
+				got++
+				if f.Traced() {
+					mu.Lock()
+					latencies = append(latencies, float64(obs.NowMicros()-f.CaptureTS)/1e3)
+					received++
+					mu.Unlock()
+				}
+			}
+		}(sess)
+	}
+
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	m0 := ms.Mallocs
+	for i := 0; i < frames; i++ {
+		if err := pub.SendTraced(1, 0, payload, obs.NowMicros(), uint64(i+1)); err != nil {
+			panic(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Drain window, then release any subscriber still blocked by
+	// tearing the cluster down.
+	for waited := 0; waited < 4000; waited += 10 {
+		mu.Lock()
+		done := received >= frames*total
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	runtime.ReadMemStats(&ms)
+
+	mu.Lock()
+	if received > 0 {
+		leg.LiveAllocsPerFrame = float64(ms.Mallocs-m0) / float64(received)
+	}
+	if total > 0 {
+		leg.DeliveredFrac = float64(received) / float64(frames*total)
+	}
+	lats := append([]float64(nil), latencies...)
+	mu.Unlock()
+
+	_ = pub.Close()
+	_ = m.Close()
+	mesh.Close()
+	wg.Wait()
+	for _, sess := range subs {
+		_ = sess.Close()
+	}
+
+	sort.Float64s(lats)
+	if len(lats) > 0 {
+		leg.P50Ms = percentile(lats, 0.50)
+		leg.P95Ms = percentile(lats, 0.95)
+		leg.MaxMs = lats[len(lats)-1]
+	}
+}

@@ -227,6 +227,35 @@ func TestQoESemanticBeatsRawOverBroadband(t *testing.T) {
 	}
 }
 
+func TestClusterBenchSmoke(t *testing.T) {
+	res := ClusterBench(testEnv, 2, 3, 6, 512)
+	// Depth 2 needs ≥ 4 shards; with 2 the sweep is flat + depth 1.
+	if len(res.Legs) != 2 {
+		t.Fatalf("legs: %d", len(res.Legs))
+	}
+	// The cascade cost model: a trunk leg's write must cost what a
+	// subscriber leg's write costs (both are allocation-free; the slack
+	// absorbs MemStats noise).
+	if res.SubscriberLegWriteAllocs > 2 {
+		t.Errorf("subscriber leg write = %.2f allocs/frame", res.SubscriberLegWriteAllocs)
+	}
+	if res.TrunkLegWriteAllocs > res.SubscriberLegWriteAllocs+0.5 {
+		t.Errorf("trunk leg write = %.2f allocs/frame vs subscriber %.2f",
+			res.TrunkLegWriteAllocs, res.SubscriberLegWriteAllocs)
+	}
+	for _, leg := range res.Legs {
+		if leg.FanoutCPUMsPerFrame <= 0 {
+			t.Errorf("depth %d: CPU leg not measured: %+v", leg.Depth, leg)
+		}
+		if leg.DeliveredFrac <= 0 || leg.P95Ms <= 0 {
+			t.Errorf("depth %d: live leg not measured: %+v", leg.Depth, leg)
+		}
+	}
+	if res.Legs[1].Depth != 1 || res.Legs[1].TrunkLegs != 1 {
+		t.Errorf("depth-1 leg malformed: %+v", res.Legs[1])
+	}
+}
+
 func TestRelayBenchSmoke(t *testing.T) {
 	res := RelayBench(testEnv, []int{2, 3}, 6, 512)
 	if len(res.Legs) != 2 {

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestJitterPipelinedAndSeeded pins the jitter contract the cluster
+// benchmark depends on: each chunk's delivery is held for Delay plus a
+// seeded uniform draw in [0, Jitter), applied in the pipelined delivery
+// goroutine. The draw sequence is reproducible from the seed (the pump
+// consumes exactly one Int63n per chunk when Loss is zero), so the test
+// reconstructs the expected jitter of every chunk and asserts each
+// measured one-way latency respects its chunk's own lower bound —
+// deterministic, and immune to scheduler noise (which only adds).
+func TestJitterPipelinedAndSeeded(t *testing.T) {
+	cfg := LinkConfig{
+		Delay:  5 * time.Millisecond,
+		Jitter: 40 * time.Millisecond,
+		Seed:   7,
+	}
+	a, b, link := Pipe(cfg)
+	defer link.Close()
+
+	// Reconstruct the pump's per-chunk jitter draws (rng seeded at
+	// Seed+1, one Int63n per chunk with Loss == 0).
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	const chunks = 8
+	expected := make([]time.Duration, chunks)
+	for i := range expected {
+		expected[i] = time.Duration(rng.Int63n(int64(cfg.Jitter)))
+	}
+
+	// Stop-and-wait so writes map 1:1 onto pump chunks: each Write
+	// returns once the pump has consumed the bytes (no bandwidth
+	// pacing), and the Read then blocks until the delivery goroutine
+	// releases the chunk at its jittered instant.
+	latencies := make([]time.Duration, chunks)
+	buf := make([]byte, 64)
+	for i := 0; i < chunks; i++ {
+		start := time.Now()
+		if _, err := a.Write(make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		latencies[i] = time.Since(start)
+	}
+
+	varied := false
+	for i, got := range latencies {
+		if want := cfg.Delay + expected[i]; got < want {
+			t.Errorf("chunk %d latency %v below its seeded bound %v (delay %v + jitter %v)",
+				i, got, want, cfg.Delay, expected[i])
+		}
+		if i > 0 && expected[i] != expected[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("seeded jitter draws are constant; per-chunk spread expected")
+	}
+}
+
+// TestMeshSeedsDeterministicAndDistinct: the same mesh seed must yield
+// identical per-link seeds across runs (reproducible benchmarks), and
+// distinct links — different pairs, or repeat dials of one pair — must
+// never share an RNG stream.
+func TestMeshSeedsDeterministicAndDistinct(t *testing.T) {
+	mk := func() []int64 {
+		m := NewMesh(LinkConfig{}, 42)
+		defer m.Close()
+		var seeds []int64
+		for _, pair := range [][2]string{{"s0", "s1"}, {"s0", "s2"}, {"s1", "s2"}, {"s0", "s1"}} {
+			seeds = append(seeds, m.linkSeed(pair[0]+"\x00"+pair[1], m.dials[pair[0]+"\x00"+pair[1]]))
+			m.dials[pair[0]+"\x00"+pair[1]]++
+		}
+		return seeds
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("link seed %d differs across identically-seeded meshes: %d vs %d", i, a[i], b[i])
+		}
+		for j := i + 1; j < len(a); j++ {
+			if a[i] == a[j] {
+				t.Fatalf("links %d and %d share a seed (%d)", i, j, a[i])
+			}
+		}
+	}
+	if NewMesh(LinkConfig{}, 1).linkSeed("x\x00y", 0) == NewMesh(LinkConfig{}, 2).linkSeed("x\x00y", 0) {
+		t.Fatal("different mesh seeds yield the same link seed")
+	}
+}
+
+// TestMeshDialTracksAndCloses: every dialed link is tracked and torn
+// down by Close (both endpoints observe the close).
+func TestMeshDialTracksAndCloses(t *testing.T) {
+	m := NewMesh(LinkConfig{}, 3)
+	a1, b1, _ := m.Dial("s0", "s1")
+	a2, b2, _ := m.Dial("s0", "s1")
+	if got := len(m.Links()); got != 2 {
+		t.Fatalf("mesh tracks %d links, want 2", got)
+	}
+	// The two links are independent pipes.
+	go a1.Write([]byte("one"))
+	buf := make([]byte, 8)
+	n, err := b1.Read(buf)
+	if err != nil || string(buf[:n]) != "one" {
+		t.Fatalf("first link read = %q, %v", buf[:n], err)
+	}
+	m.Close()
+	if _, err := a2.Write([]byte("x")); err == nil {
+		t.Error("write on closed mesh link succeeded")
+	}
+	_ = b2
+}

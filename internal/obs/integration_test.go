@@ -295,30 +295,33 @@ func TestRelayScrape(t *testing.T) {
 		}
 	}
 
+	// Every relay series carries the room label ("default" when the
+	// relay was built without one) so shards hosting many rooms on one
+	// registry stay scrapeable per room.
 	exp := scrape(t, reg)
-	if got := metricValue(exp, "semholo_relay_peers"); got != 3 {
+	if got := metricValue(exp, `semholo_relay_peers{room="default"}`); got != 3 {
 		t.Errorf("relay peers = %v, want 3", got)
 	}
-	if got := metricValue(exp, "semholo_relay_ingress_frames_total"); got != frames {
+	if got := metricValue(exp, `semholo_relay_ingress_frames_total{room="default"}`); got != frames {
 		t.Errorf("ingress frames = %v, want %d", got, frames)
 	}
-	if got := metricValue(exp, "semholo_relay_unroutable_frames_total"); got != 0 {
+	if got := metricValue(exp, `semholo_relay_unroutable_frames_total{room="default"}`); got != 0 {
 		t.Errorf("unroutable frames = %v, want 0", got)
 	}
-	if got := metricValue(exp, "semholo_relay_fanout_broadcast_seconds_count"); got != frames {
+	if got := metricValue(exp, `semholo_relay_fanout_broadcast_seconds_count{room="default"}`); got != frames {
 		t.Errorf("broadcast histogram count = %v, want %d", got, frames)
 	}
-	if got := metricValue(exp, "semholo_relay_fanout_egress_seconds_count"); got < frames {
+	if got := metricValue(exp, `semholo_relay_fanout_egress_seconds_count{room="default"}`); got < frames {
 		t.Errorf("egress histogram count = %v, want >= %d", got, frames)
 	}
 	for _, peer := range []string{"sub1", "sub2"} {
-		if got := metricValue(exp, `semholo_relay_egress_delivered_frames_total{peer="`+peer+`"}`); got < frames {
+		if got := metricValue(exp, `semholo_relay_egress_delivered_frames_total{room="default",peer="`+peer+`"}`); got < frames {
 			t.Errorf("%s delivered = %v, want >= %d", peer, got, frames)
 		}
-		if got := metricValue(exp, `semholo_relay_egress_queue_depth{peer="`+peer+`"}`); got < 0 {
+		if got := metricValue(exp, `semholo_relay_egress_queue_depth{room="default",peer="`+peer+`"}`); got < 0 {
 			t.Errorf("%s queue depth series missing from scrape", peer)
 		}
-		if got := metricValue(exp, `semholo_relay_egress_dropped_frames_total{peer="`+peer+`"}`); got != 0 {
+		if got := metricValue(exp, `semholo_relay_egress_dropped_frames_total{room="default",peer="`+peer+`"}`); got != 0 {
 			t.Errorf("%s dropped = %v, want 0 on an unshaped link", peer, got)
 		}
 	}

@@ -164,6 +164,11 @@ func TestPrometheusExpositionGolden(t *testing.T) {
 	frames.With("keypoint").Add(3)
 	frames.With("text").Inc()
 	reg.Gauge("demo_queue_depth", "Queue depth.").With().Set(2.5)
+	// Two-label family, the relay's room+peer shape: the label block must
+	// render values in registration order, comma-separated.
+	delivered := reg.Counter("demo_delivered_total", "Delivered frames.", "room", "peer")
+	delivered.With("lobby", "sub1").Add(5)
+	delivered.With("lobby", "sub2").Add(4)
 	reg.GaugeFunc("demo_uptime_ratio", "Uptime ratio.", func() float64 { return 0.75 })
 	h := reg.Histogram("demo_latency_seconds", "Latency.", []float64{0.25, 1}, "stage")
 	for _, v := range []float64{0.25, 0.5, 2} { // exact binary fractions: stable sum

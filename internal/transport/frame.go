@@ -330,7 +330,8 @@ func (fw *FrameWriter) WriteFrame(f *Frame) error {
 
 // FrameReader decodes frames from an io.Reader. The returned Frame's
 // Payload aliases an internal buffer that is overwritten by the next
-// ReadFrame (zero-copy decoding); callers that retain payloads must copy.
+// ReadFrame (zero-copy decoding); callers that retain payloads must copy
+// — or adopt the buffer outright via AdoptPayload.
 type FrameReader struct {
 	r       io.Reader
 	header  [headerLen]byte
@@ -340,6 +341,11 @@ type FrameReader struct {
 	tierBuf [tierExtLen]byte
 	payload []byte
 	trailer [trailerLen]byte
+	// payloadCRC is the payload-only CRC32 of the last frame read — a free
+	// byproduct of verification (the frame CRC is checked as
+	// crcCombine(headerCRC, payloadCRC)), cached so a relay capturing the
+	// frame for re-broadcast never re-hashes the payload.
+	payloadCRC uint32
 }
 
 // NewFrameReader wraps r.
@@ -436,12 +442,41 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	if tiered {
 		crc = crc32.Update(crc, crc32.IEEETable, fr.tierBuf[:])
 	}
-	crc = crc32.Update(crc, crc32.IEEETable, fr.payload)
+	// The payload is hashed on its own and joined with the header CRC via
+	// the GF(2) shift tables — the same total work as one incremental pass,
+	// but the payload-only CRC becomes available to AdoptPayload, so a
+	// relay forwarding this frame never hashes the payload again.
+	shiftTablesOnce.Do(initShiftTables)
+	fr.payloadCRC = crc32.ChecksumIEEE(fr.payload)
+	crc = crcCombine(crc, fr.payloadCRC, len(fr.payload))
 	if crc != binary.BigEndian.Uint32(fr.trailer[:]) {
 		return Frame{}, ErrBadCRC
 	}
 	f.Payload = fr.payload
 	return f, nil
+}
+
+// AdoptPayload transfers ownership of the last-read frame's payload
+// buffer to the caller, along with its payload-only CRC32 (computed
+// during read verification — no extra hash pass). Valid between a
+// successful ReadFrame returning f and the next ReadFrame; f.Payload
+// must still alias the reader's buffer. The reader allocates a fresh
+// buffer for the next frame, so the adopted bytes are immutable from the
+// caller's point of view. Returns ok=false when f's payload does not
+// alias the reader's live buffer (already adopted, cloned, or empty with
+// a non-empty reader buffer) — callers then fall back to copying.
+func (fr *FrameReader) AdoptPayload(f Frame) (payload []byte, payloadCRC uint32, ok bool) {
+	if len(f.Payload) != len(fr.payload) {
+		return nil, 0, false
+	}
+	if len(f.Payload) > 0 && &f.Payload[0] != &fr.payload[0] {
+		return nil, 0, false
+	}
+	payload, payloadCRC = fr.payload[:len(f.Payload):len(f.Payload)], fr.payloadCRC
+	// Detach: the next ReadFrame grows a fresh buffer instead of scribbling
+	// over the adopted one.
+	fr.payload = nil
+	return payload, payloadCRC, true
 }
 
 // Clone returns a frame with owned copies of the payload and hop list.

@@ -179,6 +179,36 @@ func SharedFromFrame(f Frame) (*SharedFrame, error) {
 	return sf, nil
 }
 
+// SharedFromWire captures a received frame as a SharedFrame by adopting
+// an already-owned payload buffer and its payload-only CRC32 — the
+// trunk-ingress fast path. Where SharedFromFrame pays one payload copy
+// and one CRC pass, SharedFromWire pays neither: the buffer (typically
+// detached from a FrameReader via AdoptPayload, whose verification
+// already produced the CRC) is referenced as-is, so a relay shard
+// re-sharing a frame received over a trunk costs the same per-frame work
+// as forwarding a locally published one. The caller must not mutate
+// payload after the call; like every SharedFrame payload it is shared by
+// all subscribers.
+func SharedFromWire(f Frame, payload []byte, payloadCRC uint32) (*SharedFrame, error) {
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	if err := checkTraceFlags(f.Flags, len(f.Hops)); err != nil {
+		return nil, err
+	}
+	shiftTablesOnce.Do(initShiftTables)
+	sf := &SharedFrame{
+		Type: f.Type, Channel: f.Channel, Flags: f.Flags,
+		CaptureTS: f.CaptureTS, TraceID: f.TraceID,
+		Tier: f.Tier, TierCount: f.TierCount,
+		payload: payload, payloadCRC: payloadCRC,
+	}
+	if len(f.Hops) > 0 {
+		sf.hops = append([]obs.Hop(nil), f.Hops...)
+	}
+	return sf, nil
+}
+
 // Payload exposes the frame's owned payload. Callers must treat it as
 // read-only: the bytes are shared by every subscriber.
 func (sf *SharedFrame) Payload() []byte { return sf.payload }

@@ -26,6 +26,10 @@ type Hello struct {
 	Shape []float64 `json:"shape,omitempty"`
 	// FPS is the sender's capture rate.
 	FPS float64 `json:"fps,omitempty"`
+	// Room names the conference room this session joins — the unit a
+	// relay cluster consistent-hashes onto shards. Empty means the
+	// single-room deployment of a standalone relay.
+	Room string `json:"room,omitempty"`
 }
 
 // Session is a framed, multiplexed connection between two telepresence
@@ -372,6 +376,21 @@ func (s *Session) sendShared(sf *SharedFrame, egress *obs.Hop, orFlags uint16) e
 	s.stats.bytesSent.Add(int64(wire))
 	s.stats.framesSent.Add(1)
 	return nil
+}
+
+// CaptureShared captures a frame just returned by Recv as a
+// SharedFrame, adopting the session reader's payload buffer and the
+// payload CRC computed during read verification when possible — no
+// payload copy and no CRC pass, the trunk-ingress economics. It must be
+// called between the Recv that returned f and the next Recv, on the
+// Recv-owning goroutine. When the buffer cannot be adopted (the frame
+// was cloned, or already captured) it falls back to SharedFromFrame's
+// copying path, so the result is always a valid standalone SharedFrame.
+func (s *Session) CaptureShared(f Frame) (*SharedFrame, error) {
+	if payload, crc, ok := s.fr.AdoptPayload(f); ok {
+		return SharedFromWire(f, payload, crc)
+	}
+	return SharedFromFrame(f)
 }
 
 // Recv reads the next frame, transparently answering pings and

@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"semholo/internal/obs"
+)
+
+// loopReader replays one encoded frame forever — a steady-state trunk
+// ingress for benchmarks, with no pipe or syscall noise.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (r *loopReader) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// tracedSharedFrame builds a hop-traced shared frame over payload, as a
+// relay's ingress would hold it.
+func tracedSharedFrame(t testing.TB, payload []byte) *SharedFrame {
+	t.Helper()
+	sf, err := NewSharedFrame(TypeSemantic, 1, 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.CaptureTS, sf.TraceID = 1, 2
+	if !sf.AppendHop(obs.Hop{Kind: obs.HopSender, Site: 1, RecvMicros: 1, SendMicros: 2}) {
+		t.Fatal("sender hop did not fit")
+	}
+	return sf
+}
+
+// encodeEgressFrame renders one egress emission of sf to bytes — what a
+// downstream shard receives on a trunk.
+func encodeEgressFrame(t testing.TB, sf *SharedFrame) []byte {
+	t.Helper()
+	var wire bytes.Buffer
+	if err := NewFrameWriter(&wire).WriteSharedFrameEgress(sf, 0, 0, 0,
+		obs.Hop{Kind: obs.HopRelayEgress, Site: 1, RecvMicros: 3}); err != nil {
+		t.Fatal(err)
+	}
+	return wire.Bytes()
+}
+
+// TestTrunkLegAllocsMatchSubscriberLeg is the benchmark-backed pin on
+// the cascade cost model: a trunk leg must cost what a subscriber leg
+// costs. Measured three ways:
+//
+//  1. the per-leg write itself — WriteSharedFrameEgress — allocates
+//     nothing on either kind of leg (the ≤2 allocs/frame of the shared
+//     path are the ingress capture, paid once, not per leg);
+//  2. a write on a SharedFromWire re-shared frame (what a downstream
+//     shard's egress emits) allocates exactly what a write on a
+//     first-hand SharedFrame does;
+//  3. the full downstream re-share — read + adopt + SharedFromWire —
+//     allocates no more than the copying SharedFromFrame capture it
+//     replaces, while skipping the payload copy and CRC pass entirely.
+func TestTrunkLegAllocsMatchSubscriberLeg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	payload := benchPayload()
+
+	subscriberWrite := testing.Benchmark(func(b *testing.B) {
+		sf := tracedSharedFrame(b, payload)
+		fw := NewFrameWriter(io.Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if err := fw.WriteSharedFrameEgress(sf, uint32(n), uint64(n), 0,
+				obs.Hop{Kind: obs.HopRelayEgress, RecvMicros: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	trunkWrite := testing.Benchmark(func(b *testing.B) {
+		enc := encodeEgressFrame(b, tracedSharedFrame(b, payload))
+		fr := NewFrameReader(&loopReader{data: enc})
+		f, err := fr.ReadFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, crc, ok := fr.AdoptPayload(f)
+		if !ok {
+			b.Fatal("payload adoption failed")
+		}
+		rsf, err := SharedFromWire(f, p, crc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fw := NewFrameWriter(io.Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if err := fw.WriteSharedFrameEgress(rsf, uint32(n), uint64(n), 0,
+				obs.Hop{Kind: obs.HopRelayEgress, RecvMicros: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if got := subscriberWrite.AllocsPerOp(); got > 2 {
+		t.Errorf("subscriber leg write = %d allocs/frame, want ≤ 2", got)
+	}
+	if s, tr := subscriberWrite.AllocsPerOp(), trunkWrite.AllocsPerOp(); tr != s {
+		t.Errorf("trunk leg write = %d allocs/frame, subscriber leg = %d; must be equal", tr, s)
+	}
+
+	// Full downstream re-share: adoption must not cost a single alloc
+	// more than the copying capture it replaces.
+	adoptReShare := testing.Benchmark(func(b *testing.B) {
+		enc := encodeEgressFrame(b, tracedSharedFrame(b, payload))
+		fr := NewFrameReader(&loopReader{data: enc})
+		fw := NewFrameWriter(io.Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			f, err := fr.ReadFrame()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, crc, ok := fr.AdoptPayload(f)
+			if !ok {
+				b.Fatal("payload adoption failed")
+			}
+			rsf, err := SharedFromWire(f, p, crc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fw.WriteSharedFrameEgress(rsf, uint32(n), uint64(n), 0,
+				obs.Hop{Kind: obs.HopRelayEgress, RecvMicros: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	copyReShare := testing.Benchmark(func(b *testing.B) {
+		enc := encodeEgressFrame(b, tracedSharedFrame(b, payload))
+		fr := NewFrameReader(&loopReader{data: enc})
+		fw := NewFrameWriter(io.Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			f, err := fr.ReadFrame()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rsf, err := SharedFromFrame(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fw.WriteSharedFrameEgress(rsf, uint32(n), uint64(n), 0,
+				obs.Hop{Kind: obs.HopRelayEgress, RecvMicros: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if a, c := adoptReShare.AllocsPerOp(), copyReShare.AllocsPerOp(); a > c {
+		t.Errorf("adopting re-share = %d allocs/frame, copying re-share = %d; adoption must not cost more", a, c)
+	}
+}
+
+// TestSharedFromWireRoundTrip pins the semantics the trunk depends on:
+// the re-shared frame re-emits byte-identically (same payload bytes,
+// valid CRC splice) and the adoption bookkeeping refuses frames it
+// cannot safely take over.
+func TestSharedFromWireRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("wire"), 300)
+	enc := encodeEgressFrame(t, tracedSharedFrame(t, payload))
+
+	fr := NewFrameReader(bytes.NewReader(enc))
+	f, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, crc, ok := fr.AdoptPayload(f)
+	if !ok {
+		t.Fatal("payload adoption failed on a fresh read")
+	}
+	if _, _, again := fr.AdoptPayload(f); again {
+		t.Fatal("second adoption of the same read must fail")
+	}
+	sf, err := SharedFromWire(f, p, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sf.Hops()); got != len(f.Hops) {
+		t.Fatalf("re-shared frame carries %d hops, want %d", got, len(f.Hops))
+	}
+
+	// Re-emit and decode: the spliced CRC must verify and the payload
+	// survive untouched.
+	var wire bytes.Buffer
+	if err := NewFrameWriter(&wire).WriteSharedFrame(sf, 7, 8, 9); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := NewFrameReader(&wire).ReadFrame()
+	if err != nil {
+		t.Fatalf("re-emitted trunk frame failed to decode: %v", err)
+	}
+	if !bytes.Equal(rf.Payload, payload) {
+		t.Fatal("payload corrupted through adopt + re-emit")
+	}
+	if rf.TraceID != f.TraceID || rf.CaptureTS != f.CaptureTS || rf.Channel != f.Channel {
+		t.Fatalf("header identity lost: %+v vs %+v", rf, f)
+	}
+}
+
+// TestAdoptPayloadRefusesClones: a cloned frame's payload is not the
+// reader's buffer; adoption must refuse it (the fallback copies).
+func TestAdoptPayloadRefusesClones(t *testing.T) {
+	enc := encodeEgressFrame(t, tracedSharedFrame(t, []byte("own-me")))
+	fr := NewFrameReader(bytes.NewReader(enc))
+	f, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := fr.AdoptPayload(f.Clone()); ok {
+		t.Fatal("adopted a cloned frame's payload")
+	}
+	// The original is still adoptable: the refusal must not detach.
+	if _, _, ok := fr.AdoptPayload(f); !ok {
+		t.Fatal("original frame no longer adoptable after a refused clone")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"semholo/internal/avatar"
 	"semholo/internal/body"
 	"semholo/internal/capture"
+	"semholo/internal/cluster"
 	"semholo/internal/compress"
 	"semholo/internal/compress/dracogo"
 	"semholo/internal/core"
@@ -571,6 +572,58 @@ var (
 	// NewBandwidthEstimator builds a delivered-throughput estimator.
 	NewBandwidthEstimator = transport.NewBandwidthEstimator
 )
+
+// Sharded relay cluster (internal/cluster): rooms consistent-hash onto
+// relay shards via a bounded-load ring, and a hot room cascades across
+// shards in a K-ary trunk tree — the home shard forwards each frame
+// over an ordinary egress leg and downstream shards re-share it to
+// their local subscribers without re-serializing the payload
+// (SharedFromWire adoption), so a trunk leg costs exactly what a
+// subscriber leg costs.
+type (
+	// ClusterShard hosts one relay per room with per-shard admission
+	// limits and capacity accounting.
+	ClusterShard = cluster.Shard
+	// ClusterShardOptions configures NewClusterShard.
+	ClusterShardOptions = cluster.ShardOptions
+	// RoomManager places rooms on shards and builds trunk cascades.
+	RoomManager = cluster.RoomManager
+	// RoomManagerOptions configures NewRoomManager.
+	RoomManagerOptions = cluster.ManagerOptions
+	// PlacementRing is the bounded-load consistent-hash ring mapping
+	// room IDs to shards.
+	PlacementRing = cluster.Ring
+	// TrunkDialFunc connects a parent shard to a child shard for one
+	// room's cascade edge.
+	TrunkDialFunc = cluster.TrunkDialFunc
+	// RelayAttachOptions marks a relay peer as a trunk egress and/or
+	// ingress leg.
+	RelayAttachOptions = core.AttachOptions
+	// Mesh is a deterministic many-node emulated network: one seeded
+	// jittered link per dialed pair.
+	Mesh = netsim.Mesh
+)
+
+var (
+	// NewClusterShard builds a relay shard.
+	NewClusterShard = cluster.NewShard
+	// NewRoomManager builds an in-process room manager over a shard set.
+	NewRoomManager = cluster.NewRoomManager
+	// NewPlacementRing builds a bounded-load consistent-hash ring.
+	NewPlacementRing = cluster.NewRing
+	// RendezvousShard is the rendezvous-hashing fallback placement
+	// (highest-random-weight), tested against the ring.
+	RendezvousShard = cluster.Rendezvous
+	// NewMesh builds a seeded emulated network mesh.
+	NewMesh = netsim.NewMesh
+	// SharedFromWire adopts a received frame's payload buffer and CRC
+	// into a SharedFrame for re-sharing without a copy or CRC pass.
+	SharedFromWire = transport.SharedFromWire
+)
+
+// TrunkPeerPrefix namespaces relay-to-relay trunk peers ("trunk/<shard>")
+// so they never collide with participant names.
+const TrunkPeerPrefix = cluster.TrunkPeerPrefix
 
 // DecodeService reconstructs many concurrent avatar streams in one
 // process over shared immutable kernels, one worker pool, and one
